@@ -1,0 +1,73 @@
+(* Shared plumbing for the benchmark/report harness: plain-text tables
+   and a thin wrapper over bechamel's OLS pipeline. *)
+
+let section title =
+  let bar = String.make 72 '=' in
+  Printf.printf "\n%s\n%s\n%s\n" bar title bar
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+let print_table ~header rows =
+  let columns = List.length header in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row ->
+            max acc (String.length (try List.nth row i with _ -> "")))
+          (String.length h) rows)
+      header
+  in
+  let line cells =
+    String.concat "  "
+      (List.map2 (fun c w -> Printf.sprintf "%-*s" w c) cells widths)
+  in
+  print_endline (line header);
+  print_endline
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter
+    (fun row ->
+      let row =
+        if List.length row < columns then
+          row @ List.init (columns - List.length row) (fun _ -> "")
+        else row
+      in
+      print_endline (line row))
+    rows
+
+(* Measure each (name, thunk) with bechamel OLS; returns ns/run. *)
+let time_ns ?(quota_s = 0.25) cases =
+  let open Bechamel in
+  let tests =
+    List.map
+      (fun (name, fn) -> Test.make ~name (Staged.stage fn))
+      cases
+  in
+  let grouped = Test.make_grouped ~name:"" ~fmt:"%s%s" tests in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_s) ~kde:None ()
+  in
+  let raw =
+    Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  List.map
+    (fun (name, _) ->
+      let result = Hashtbl.find analyzed name in
+      let ns =
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> est
+        | Some _ | None -> nan
+      in
+      (name, ns))
+    cases
+
+let pp_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns

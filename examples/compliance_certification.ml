@@ -1,0 +1,100 @@
+(* The full audit pipeline on one cluster: transaction-rule compliance
+   (R_T, paper eq 2), secret counting, sliding-window event correlation,
+   and a majority-approved, threshold-signed verdict (paper §2's
+   "threshold signature and distributed majority agreement").
+
+     dune exec examples/compliance_certification.exe *)
+
+open Dla
+
+let auditor = Net.Node_id.Auditor
+
+let () =
+  let config = { Workload.Ecommerce.default_config with transactions = 8 } in
+  let cluster = Cluster.create ~seed:6 Fragmentation.paper_partition in
+  let _, truth = Workload.Ecommerce.populate cluster config in
+
+  (* 1. Rule compliance per transaction: every order must have a
+     payment, in order, within an hour, with a positive amount. *)
+  let rules =
+    Rules.
+      [ Atomicity { expected_events = 2 };
+        Non_repudiation { action_memo = "order"; receipt_memo = "payment" };
+        Ordering { first_memo = "order"; then_memo = "payment" };
+        Time_window { max_seconds = 3600 };
+        Consistency {|C2 > 0.00|}
+      ]
+  in
+  let compliant, violating =
+    List.partition
+      (fun tid -> Rules.check_all cluster ~auditor ~tid rules = [])
+      truth.Workload.Ecommerce.transaction_ids
+  in
+  Printf.printf "rule compliance: %d/%d transactions pass R_T\n"
+    (List.length compliant)
+    (List.length compliant + List.length violating);
+  List.iter
+    (fun tid ->
+      List.iter
+        (fun (rule, detail) ->
+          Printf.printf "  %s violates %s: %s\n" tid
+            (Rules.rule_to_string rule) detail)
+        (Rules.check_all cluster ~auditor ~tid rules))
+    violating;
+
+  (* 2. Secret counting: how many UDP events, without learning which. *)
+  (match Auditor_engine.secret_count cluster ~auditor {|protocl = "UDP"|} with
+  | Ok n -> Printf.printf "\nsecret count of UDP events: %d\n" n
+  | Error e -> failwith e);
+
+  (* 3. Event correlation: per-user activity counts (aggregate only). *)
+  let subjects =
+    List.init config.Workload.Ecommerce.users (fun i -> Printf.sprintf "U%d" i)
+  in
+  (match
+     Correlation.count_by_subject cluster ~auditor
+       ~subject_attr:(Attribute.defined "id") ~subjects ()
+   with
+  | Ok counts ->
+    print_endline "per-user event counts (via secret counting):";
+    List.iter (fun (s, c) -> Printf.printf "  %s: %d\n" s c) counts
+  | Error e -> failwith e);
+
+  (* 4. Certify an audit verdict: majority vote + 3-of-4 threshold
+     signature.  No single node could have produced this signature. *)
+  print_endline "\ndealing 3-of-4 threshold keys to the cluster...";
+  let authority = Certification.setup cluster ~k:3 () in
+  let audit =
+    match
+      Auditor_engine.audit_string cluster ~auditor {|C2 > 100.00|}
+    with
+    | Ok a -> a
+    | Error e -> failwith e
+  in
+  (match Certification.certify authority cluster audit with
+  | Ok certificate ->
+    Printf.printf "certificate issued (%d approvals, %d rejections)\n"
+      certificate.Certification.approvals
+      certificate.Certification.rejections;
+    Printf.printf "  statement: %s\n"
+      (String.sub certificate.Certification.statement 0
+         (min 60 (String.length certificate.Certification.statement)));
+    Printf.printf "  verifies: %b\n" (Certification.verify authority certificate)
+  | Error e -> Printf.printf "certification failed: %s\n" e);
+
+  (* 5. A dissenting minority cannot block, a majority can. *)
+  (match
+     Certification.certify authority cluster ~dissenting:[ Net.Node_id.Dla 2 ]
+       audit
+   with
+  | Ok c ->
+    Printf.printf "with 1 dissenter: still certified (%d approvals)\n"
+      c.Certification.approvals
+  | Error e -> Printf.printf "with 1 dissenter: failed (%s)\n" e);
+  match
+    Certification.certify authority cluster
+      ~dissenting:[ Net.Node_id.Dla 0; Net.Node_id.Dla 1; Net.Node_id.Dla 2 ]
+      audit
+  with
+  | Ok _ -> print_endline "3 dissenters: certified (should not happen!)"
+  | Error e -> Printf.printf "with 3 dissenters: blocked (%s)\n" e

@@ -1,0 +1,167 @@
+open Numtheory
+
+type epoch = {
+  index : int;
+  first_glsn : Glsn.t option;
+  last_glsn : Glsn.t option;
+  record_count : int;
+  digest : Bignum.t;
+  previous_hash : string;
+  hash : string;
+}
+
+type t = {
+  cluster : Cluster.t;
+  mutable sealed : epoch list;  (* newest first *)
+  mutable next_index : int;
+  mutable covered_upto : Glsn.t option;  (* last sealed glsn *)
+}
+
+let genesis_hash = Crypto.Sha256.digest "dla-archive-genesis"
+
+let create cluster =
+  { cluster; sealed = []; next_index = 1; covered_upto = None }
+
+(* Cluster-wide canonical digest of one record: accumulator over all of
+   its fragment wires (same construction the per-record deposits use). *)
+let record_digest cluster glsn =
+  let params = Cluster.accumulator_params cluster in
+  let wires =
+    List.filter_map
+      (fun store ->
+        Option.map
+          (fun fragment -> Log_record.fragment_wire ~glsn fragment)
+          (Storage.fragment_of store glsn))
+      (Cluster.stores cluster)
+  in
+  Crypto.Accumulator.accumulate_all params wires
+
+let epoch_body ~index ~first_glsn ~last_glsn ~record_count ~digest
+    ~previous_hash =
+  Printf.sprintf "epoch|%d|%s|%s|%d|%s|%s" index
+    (match first_glsn with Some g -> Glsn.to_string g | None -> "-")
+    (match last_glsn with Some g -> Glsn.to_string g | None -> "-")
+    record_count (Bignum.to_hex digest)
+    (Crypto.Sha256.to_hex previous_hash)
+
+let interval_digest cluster glsns =
+  let params = Cluster.accumulator_params cluster in
+  List.fold_left
+    (fun acc glsn ->
+      Crypto.Accumulator.accumulate_bytes params acc
+        (Bignum.to_hex (record_digest cluster glsn)))
+    params.Crypto.Accumulator.x0 glsns
+
+let unsealed_glsns t =
+  let all = Cluster.all_glsns t.cluster in
+  match t.covered_upto with
+  | None -> all
+  | Some upto -> List.filter (fun g -> Glsn.compare g upto > 0) all
+
+let seal t =
+  let glsns = unsealed_glsns t in
+  let previous_hash =
+    match t.sealed with [] -> genesis_hash | last :: _ -> last.hash
+  in
+  let digest = interval_digest t.cluster glsns in
+  let first_glsn = match glsns with [] -> None | g :: _ -> Some g in
+  let last_glsn =
+    match List.rev glsns with [] -> None | g :: _ -> Some g
+  in
+  let record_count = List.length glsns in
+  let body =
+    epoch_body ~index:t.next_index ~first_glsn ~last_glsn ~record_count
+      ~digest ~previous_hash
+  in
+  let epoch =
+    {
+      index = t.next_index;
+      first_glsn;
+      last_glsn;
+      record_count;
+      digest;
+      previous_hash;
+      hash = Crypto.Sha256.digest body;
+    }
+  in
+  t.sealed <- epoch :: t.sealed;
+  t.next_index <- t.next_index + 1;
+  (match last_glsn with Some g -> t.covered_upto <- Some g | None -> ());
+  epoch
+
+let epochs t = List.rev t.sealed
+
+let verify t =
+  let rec go previous_hash = function
+    | [] -> Ok ()
+    | epoch :: rest ->
+      if not (String.equal epoch.previous_hash previous_hash) then
+        Error (Printf.sprintf "epoch %d: broken chain link" epoch.index)
+      else begin
+        (* Recompute the content digest from live cluster state. *)
+        let glsns =
+          match (epoch.first_glsn, epoch.last_glsn) with
+          | None, _ | _, None -> []
+          | Some first, Some last ->
+            List.filter
+              (fun g -> Glsn.compare g first >= 0 && Glsn.compare g last <= 0)
+              (Cluster.all_glsns t.cluster)
+        in
+        let digest = interval_digest t.cluster glsns in
+        let body =
+          epoch_body ~index:epoch.index ~first_glsn:epoch.first_glsn
+            ~last_glsn:epoch.last_glsn ~record_count:epoch.record_count
+            ~digest ~previous_hash
+        in
+        if List.length glsns <> epoch.record_count then
+          Error
+            (Printf.sprintf "epoch %d: record count changed (%d vs %d)"
+               epoch.index epoch.record_count (List.length glsns))
+        else if not (String.equal (Crypto.Sha256.digest body) epoch.hash) then
+          Error (Printf.sprintf "epoch %d: content digest mismatch" epoch.index)
+        else go epoch.hash rest
+      end
+  in
+  go genesis_hash (epochs t)
+
+(* The claim the cluster signs when an epoch is sealed. *)
+let epoch_statement epoch =
+  Printf.sprintf "epoch-%d:%s" epoch.index (Crypto.Sha256.to_hex epoch.hash)
+
+let seal_certified t authority cluster ?dissenting () =
+  let epoch = seal t in
+  match
+    Certification.certify_statement authority cluster ?dissenting
+      (epoch_statement epoch)
+  with
+  | Ok certificate -> Ok (epoch, certificate)
+  | Error e ->
+    Error (Printf.sprintf "epoch %d sealed uncertified: %s" epoch.index e)
+
+let verify_certified t authority certified =
+  match verify t with
+  | Error _ as e -> e
+  | Ok () ->
+    let rec go = function
+      | [] -> Ok ()
+      | (epoch, certificate) :: rest ->
+        if not (Certification.verify authority certificate) then
+          Error (Printf.sprintf "epoch %d: bad signature" epoch.index)
+        else if
+          not
+            (String.equal certificate.Certification.statement
+               (epoch_statement epoch))
+        then
+          Error
+            (Printf.sprintf "epoch %d: signature binds a different hash"
+               epoch.index)
+        else go rest
+    in
+    go certified
+
+let pp_epoch fmt e =
+  Format.fprintf fmt "epoch %d: %d record(s) [%s .. %s] hash %s..." e.index
+    e.record_count
+    (match e.first_glsn with Some g -> Glsn.to_string g | None -> "-")
+    (match e.last_glsn with Some g -> Glsn.to_string g | None -> "-")
+    (String.sub (Crypto.Sha256.to_hex e.hash) 0 12)

@@ -1,0 +1,58 @@
+(** Tamper-evident epoch archive.
+
+    §4.1 of the paper builds on Schneier–Kelsey-style secure audit logs
+    (its ref [25]): once an audit period closes, its contents must stay
+    verifiable even if nodes are compromised later.  The archive seals
+    the log in {e epochs}: each epoch records the glsn interval it
+    covers and the accumulator digest of every record in it, and is
+    hash-chained to its predecessor — so modifying a sealed record (or
+    reordering / dropping a sealed epoch) breaks either the digest
+    recomputation or the chain. *)
+
+type epoch = private {
+  index : int;
+  first_glsn : Glsn.t option;  (** [None] for an empty epoch *)
+  last_glsn : Glsn.t option;
+  record_count : int;
+  digest : Numtheory.Bignum.t;
+      (** accumulator over the covered records' canonical wires *)
+  previous_hash : string;
+  hash : string;  (** SHA-256 over this epoch's canonical form *)
+}
+
+type t
+
+val create : Cluster.t -> t
+(** An empty archive bound to a cluster (epoch 0 is the genesis link). *)
+
+val seal : t -> epoch
+(** Seal everything logged since the previous seal into a new epoch.
+    Sealing an empty interval is allowed (a heartbeat epoch). *)
+
+val epochs : t -> epoch list
+(** Oldest first. *)
+
+val verify : t -> (unit, string) result
+(** Recompute every epoch's digest from current cluster state and check
+    the hash chain; an error names the first broken epoch. *)
+
+val seal_certified :
+  t ->
+  Certification.t ->
+  Cluster.t ->
+  ?dissenting:Net.Node_id.t list ->
+  unit ->
+  (epoch * Certification.certificate, string) result
+(** {!seal}, then have the cluster majority-vote and threshold-sign the
+    epoch hash: the sealed history carries a signature no sub-threshold
+    coalition could have produced.  The epoch is sealed even when
+    certification fails (the chain must not fork on a vote); the
+    [Error] reports why no certificate was issued. *)
+
+val verify_certified :
+  t -> Certification.t -> (epoch * Certification.certificate) list ->
+  (unit, string) result
+(** {!verify} plus a signature check of every certified epoch against
+    its recorded hash. *)
+
+val pp_epoch : Format.formatter -> epoch -> unit

@@ -1,0 +1,138 @@
+type audit = {
+  criteria : Query.t;
+  matching : Glsn.t list;
+  c_auditing : float;
+  mean_c_store : float;
+  mean_c_query : float;
+  messages : int;
+  bytes : int;
+  rounds : int;
+}
+
+let audit cluster ?ttp ~auditor criteria =
+  let net = Cluster.net cluster in
+  let before = Net.Network.stats net in
+  match Executor.run cluster ?ttp ~auditor criteria with
+  | Error _ as e -> e
+  | Ok report ->
+    let after = Net.Network.stats net in
+    let fragmentation = Cluster.fragmentation cluster in
+    let stores =
+      List.filter_map
+        (fun glsn ->
+          Option.map
+            (Confidentiality.c_store fragmentation)
+            (Cluster.record_of cluster glsn))
+        report.Executor.matching
+    in
+    let mean xs =
+      match xs with
+      | [] -> 0.0
+      | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+    in
+    let mean_c_store = mean stores in
+    Ok
+      {
+        criteria;
+        matching = report.Executor.matching;
+        c_auditing = report.Executor.c_auditing;
+        mean_c_store;
+        mean_c_query = report.Executor.c_auditing *. mean_c_store;
+        messages = after.Net.Network.messages - before.Net.Network.messages;
+        bytes = after.Net.Network.bytes - before.Net.Network.bytes;
+        rounds = after.Net.Network.rounds - before.Net.Network.rounds;
+      }
+
+let audit_string cluster ?ttp ~auditor input =
+  match Query.parse input with
+  | Error e -> Error ("parse error: " ^ e)
+  | Ok criteria -> audit cluster ?ttp ~auditor criteria
+
+let secret_count cluster ?ttp ~auditor input =
+  match Query.parse input with
+  | Error e -> Error ("parse error: " ^ e)
+  | Ok criteria -> (
+    match
+      Executor.run cluster ?ttp ~delivery:Executor.Count_only ~auditor criteria
+    with
+    | Error _ as e -> e
+    | Ok report -> Ok report.Executor.count)
+
+let secret_sum cluster ?ttp ~auditor ~attr input =
+  match Query.parse input with
+  | Error e -> Error ("parse error: " ^ e)
+  | Ok criteria -> (
+    match Fragmentation.home_of (Cluster.fragmentation cluster) attr with
+    | None ->
+      Error
+        (Printf.sprintf "no DLA node supports attribute %s"
+           (Attribute.to_string attr))
+    | Some home -> (
+      (* The matching glsn set is metadata; deliver it to the attribute's
+         home node, which sums its own column and releases the total. *)
+      match Executor.run cluster ?ttp ~auditor:home criteria with
+      | Error _ as e -> e
+      | Ok report ->
+        let store = Cluster.store_of cluster home in
+        let values =
+          List.filter_map
+            (fun glsn ->
+              match Storage.fragment_of store glsn with
+              | None -> None
+              | Some fragment -> List.assoc_opt attr fragment)
+            report.Executor.matching
+        in
+        let rec total acc = function
+          | [] -> Ok acc
+          | v :: rest -> (
+            match (acc, v) with
+            | Value.Int a, Value.Int b -> total (Value.Int (a + b)) rest
+            | Value.Money a, Value.Money b -> total (Value.Money (a + b)) rest
+            | Value.Time a, Value.Time b -> total (Value.Time (a + b)) rest
+            | _, Value.Str _ -> Error "cannot sum a string attribute"
+            | _, _ -> Error "mixed value kinds under the attribute")
+        in
+        let zero_like =
+          match values with
+          | [] -> Value.Int 0
+          | Value.Int _ :: _ -> Value.Int 0
+          | Value.Money _ :: _ -> Value.Money 0
+          | Value.Time _ :: _ -> Value.Time 0
+          | Value.Str _ :: _ -> Value.Int 0
+        in
+        (match total zero_like values with
+        | Error _ as e -> e
+        | Ok sum ->
+          let net = Cluster.net cluster in
+          Net.Network.send_exn net ~src:home ~dst:auditor
+            ~label:"query:secret-sum" ~bytes:16;
+          Net.Ledger.record (Net.Network.ledger net) ~node:auditor
+            ~sensitivity:Net.Ledger.Aggregate ~tag:"query:secret-sum"
+            (Value.to_string sum);
+          Net.Network.round net;
+          Ok sum)))
+
+let secret_mean cluster ?ttp ~auditor ~attr input =
+  match secret_sum cluster ?ttp ~auditor ~attr input with
+  | Error _ as e -> e
+  | Ok sum -> (
+    match secret_count cluster ?ttp ~auditor input with
+    | Error _ as e -> e
+    | Ok 0 -> Error "no matching records"
+    | Ok count ->
+      let numerator =
+        match sum with
+        | Value.Money cents -> float_of_int cents /. 100.0
+        | Value.Int v | Value.Time v -> float_of_int v
+        | Value.Str _ -> 0.0 (* unreachable: secret_sum rejects strings *)
+      in
+      Ok (numerator /. float_of_int count))
+
+let pp_audit fmt a =
+  Format.fprintf fmt
+    "@[<v>criteria: %a@ matches: %d record(s): %s@ C_auditing = %.3f   mean \
+     C_store = %.3f   mean C_query = %.3f@ cost: %d messages, %d bytes, %d \
+     rounds@]"
+    Query.pp a.criteria (List.length a.matching)
+    (String.concat ", " (List.map Glsn.to_string a.matching))
+    a.c_auditing a.mean_c_store a.mean_c_query a.messages a.bytes a.rounds

@@ -1,0 +1,70 @@
+(** The auditor-engine facade (the AE_i boxes of Figure 2).
+
+    One call audits a cluster: parse (or take) the criteria, plan,
+    execute confidentially, and return the result together with the
+    §5 confidentiality scores and the network cost of the audit. *)
+
+type audit = {
+  criteria : Query.t;
+  matching : Glsn.t list;
+  c_auditing : float;  (** eq 11 *)
+  mean_c_store : float;  (** eq 10 averaged over the matching records *)
+  mean_c_query : float;  (** eq 12 averaged over the matching records *)
+  messages : int;  (** network messages this audit cost *)
+  bytes : int;
+  rounds : int;
+}
+
+val audit :
+  Cluster.t ->
+  ?ttp:Net.Node_id.t ->
+  auditor:Net.Node_id.t ->
+  Query.t ->
+  (audit, string) result
+
+val audit_string :
+  Cluster.t ->
+  ?ttp:Net.Node_id.t ->
+  auditor:Net.Node_id.t ->
+  string ->
+  (audit, string) result
+(** Parse the criteria from the query language, then {!audit}. *)
+
+val secret_count :
+  Cluster.t ->
+  ?ttp:Net.Node_id.t ->
+  auditor:Net.Node_id.t ->
+  string ->
+  (int, string) result
+(** The paper's secret-counting service (§1, ref [7]): the auditor
+    learns only {e how many} records satisfy the criteria — the glsn set
+    never leaves the cluster. *)
+
+val secret_sum :
+  Cluster.t ->
+  ?ttp:Net.Node_id.t ->
+  auditor:Net.Node_id.t ->
+  attr:Attribute.t ->
+  string ->
+  (Value.t, string) result
+(** "Total of volumes" (paper §1/abstract): sum a numeric attribute over
+    the matching records.  The attribute's home node evaluates the sum
+    locally over the (metadata) glsn set and releases only the total;
+    the auditor never sees per-record values.  The result carries the
+    attribute's kind ([Money] sums to [Money], …).
+    @raise nothing; mixed-kind or string columns yield an [Error]. *)
+
+val secret_mean :
+  Cluster.t ->
+  ?ttp:Net.Node_id.t ->
+  auditor:Net.Node_id.t ->
+  attr:Attribute.t ->
+  string ->
+  (float, string) result
+(** Mean of a numeric attribute over the matching records, computed by
+    the auditor from two authorized aggregates (a secret sum and a
+    secret count) — no additional disclosure beyond what those two
+    already carry.  [Money] means are in currency units (not cents).
+    [Error] on string columns or an empty match set. *)
+
+val pp_audit : Format.formatter -> audit -> unit

@@ -1,0 +1,175 @@
+open Numtheory
+
+type t = {
+  net : Net.Network.t;
+  fragmentation : Fragmentation.t;
+  stores : (Net.Node_id.t * Storage.t) list;
+  allocator : Glsn.Allocator.t;
+  ticket_authority : Ticket.Authority.t;
+  accumulator : Crypto.Accumulator.params;
+  rng : Prng.t;
+  mutable clock : int;
+  mutable origins : Net.Node_id.t Glsn.Map.t;
+}
+
+let create ?(seed = 0) ?net ?(accumulator_bits = 128) ?glsn_start fragmentation
+    =
+  let rng = Prng.create ~seed in
+  let net = match net with Some n -> n | None -> Net.Network.create ~seed () in
+  let stores =
+    List.map
+      (fun node ->
+        ( node,
+          Storage.create ~node
+            ~supported:(Fragmentation.supported_by fragmentation node) ))
+      (Fragmentation.nodes fragmentation)
+  in
+  {
+    net;
+    fragmentation;
+    stores;
+    allocator = Glsn.Allocator.create ?start:glsn_start ();
+    ticket_authority = Ticket.Authority.create ~key:(Prng.bytes rng 32);
+    accumulator = Crypto.Accumulator.generate rng ~bits:accumulator_bits;
+    rng;
+    clock = 0;
+    origins = Glsn.Map.empty;
+  }
+
+let net t = t.net
+let fragmentation t = t.fragmentation
+let nodes t = List.map fst t.stores
+
+let store_of t node =
+  match List.find_opt (fun (n, _) -> Net.Node_id.equal n node) t.stores with
+  | Some (_, store) -> store
+  | None -> raise Not_found
+
+let stores t = List.map snd t.stores
+let accumulator_params t = t.accumulator
+let rng t = t.rng
+let now t = t.clock
+let advance_time t seconds = t.clock <- t.clock + seconds
+
+let issue_ticket t ~id ~principal ~rights ~ttl =
+  Ticket.Authority.issue t.ticket_authority ~id ~principal ~rights
+    ~expires_at:(t.clock + ttl)
+
+let verify_ticket t ticket =
+  Ticket.Authority.verify t.ticket_authority ticket ~now:t.clock
+
+let ticket_authorizes t ticket right =
+  Ticket.Authority.authorizes t.ticket_authority ticket ~now:t.clock right
+
+let fragment_size fragment =
+  List.fold_left
+    (fun acc (a, v) ->
+      acc + String.length (Attribute.to_string a)
+      + String.length (Value.to_wire v) + 2)
+    8 fragment
+
+let submit t ~ticket ~origin ~attributes =
+  match
+    Ticket.Authority.verify t.ticket_authority ticket ~now:t.clock
+  with
+  | Error reason -> Error ("ticket rejected: " ^ reason)
+  | Ok () ->
+    if not (Net.Node_id.equal ticket.Ticket.principal origin) then
+      Error "ticket rejected: principal mismatch"
+    else if
+      not
+        (Ticket.Authority.authorizes t.ticket_authority ticket ~now:t.clock
+           Ticket.Write)
+    then Error "ticket rejected: no write right"
+    else begin
+      let universe = Fragmentation.universe t.fragmentation in
+      match
+        List.find_opt
+          (fun (a, _) -> not (Attribute.Set.mem a universe))
+          attributes
+      with
+      | Some (a, _) ->
+        Error
+          (Printf.sprintf "no DLA node supports attribute %s"
+             (Attribute.to_string a))
+      | None ->
+        let glsn = Glsn.Allocator.next t.allocator in
+        let record = Log_record.make ~glsn ~origin ~attributes in
+        let fragments = Fragmentation.fragment t.fragmentation record in
+        let ledger = Net.Network.ledger t.net in
+        (* Digest over all fragments, deposited at every node (§4.1),
+           plus each node's membership witness (ref [27]: the
+           accumulation of the *other* nodes' fragments) so a node can
+           later prove its fragment without a full circulation. *)
+        let wires =
+          List.map
+            (fun (_, fragment) -> Log_record.fragment_wire ~glsn fragment)
+            fragments
+        in
+        let digest = Crypto.Accumulator.accumulate_all t.accumulator wires in
+        let witnesses = Crypto.Accumulator.witnesses t.accumulator wires in
+        List.iter2
+          (fun (node, fragment) (_, witness) ->
+            Net.Network.send_exn t.net ~src:origin ~dst:node
+              ~label:"log:fragment"
+              ~bytes:(fragment_size fragment + 16 (* digest share *));
+            let store = store_of t node in
+            Storage.store store ~glsn ~fragment;
+            Storage.store_digest store ~glsn digest;
+            Storage.store_witness store ~glsn witness;
+            Access_control.grant (Storage.acl store)
+              ~ticket_id:ticket.Ticket.id glsn;
+            (* The node legitimately observes its own columns. *)
+            List.iter
+              (fun (a, v) ->
+                Net.Ledger.record ledger ~node
+                  ~sensitivity:Net.Ledger.Plaintext ~tag:"store:fragment"
+                  (Printf.sprintf "%s=%s" (Attribute.to_string a)
+                     (Value.to_string v)))
+              fragment;
+            Net.Ledger.record ledger ~node ~sensitivity:Net.Ledger.Metadata
+              ~tag:"store:glsn" (Glsn.to_string glsn))
+          fragments witnesses;
+        t.origins <- Glsn.Map.add glsn origin t.origins;
+        Net.Network.round t.net;
+        Ok glsn
+    end
+
+let record_of t glsn =
+  let fragments =
+    List.filter_map (fun (_, store) -> Storage.fragment_of store glsn) t.stores
+  in
+  match List.concat fragments with
+  | [] -> None
+  | attributes ->
+    let origin =
+      Option.value ~default:Net.Node_id.Auditor
+        (Glsn.Map.find_opt glsn t.origins)
+    in
+    Some (Log_record.make ~glsn ~origin ~attributes)
+
+let submit_transaction t ~ticket ~origin ~tsn ~ttn ~events =
+  let rec go acc = function
+    | [] ->
+      let records =
+        List.rev_map
+          (fun glsn ->
+            match record_of t glsn with Some r -> r | None -> assert false)
+          acc
+      in
+      Ok (Log_record.Transaction.make ~tsn ~ttn ~records)
+    | attributes :: rest -> (
+      match submit t ~ticket ~origin ~attributes with
+      | Ok glsn -> go (glsn :: acc) rest
+      | Error m -> Error m)
+  in
+  go [] events
+
+let all_glsns t =
+  List.fold_left
+    (fun acc (_, store) ->
+      List.fold_left (fun acc g -> Glsn.Set.add g acc) acc (Storage.glsns store))
+    Glsn.Set.empty t.stores
+  |> Glsn.Set.elements
+
+let record_count t = List.length (all_glsns t)

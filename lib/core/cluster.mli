@@ -1,0 +1,79 @@
+(** The DLA cluster (paper §2 Figure 2, §4).
+
+    Owns the simulated network, the per-node fragment stores, the glsn
+    allocation service, the ticket authority and the shared accumulator
+    parameters.  The {!submit} flow is the paper's distributed logging
+    path: ticket check → glsn assignment → fragmentation → per-node
+    storage + ACL update → integrity-digest deposit. *)
+
+open Numtheory
+
+type t
+
+val create :
+  ?seed:int ->
+  ?net:Net.Network.t ->
+  ?accumulator_bits:int ->
+  ?glsn_start:int ->
+  Fragmentation.t ->
+  t
+(** [glsn_start] overrides the allocator's first glsn (snapshot import
+    uses it to reproduce an exported numbering). *)
+
+val net : t -> Net.Network.t
+val fragmentation : t -> Fragmentation.t
+val nodes : t -> Net.Node_id.t list
+val store_of : t -> Net.Node_id.t -> Storage.t
+(** @raise Not_found for nodes outside the cluster. *)
+
+val stores : t -> Storage.t list
+val accumulator_params : t -> Crypto.Accumulator.params
+val rng : t -> Prng.t
+
+val now : t -> int
+(** Virtual cluster time (seconds), used for ticket expiry. *)
+
+val advance_time : t -> int -> unit
+
+val issue_ticket :
+  t ->
+  id:string ->
+  principal:Net.Node_id.t ->
+  rights:Ticket.right list ->
+  ttl:int ->
+  Ticket.t
+
+val verify_ticket : t -> Ticket.t -> (unit, string) result
+(** MAC + expiry check against the cluster's ticket authority. *)
+
+val ticket_authorizes : t -> Ticket.t -> Ticket.right -> bool
+
+val submit :
+  t ->
+  ticket:Ticket.t ->
+  origin:Net.Node_id.t ->
+  attributes:(Attribute.t * Value.t) list ->
+  (Glsn.t, string) result
+(** Log one event.  Fails (with a reason) when the ticket is invalid,
+    expired, lacks [Write], names a different principal, or the record
+    uses an attribute no DLA node supports. *)
+
+val submit_transaction :
+  t ->
+  ticket:Ticket.t ->
+  origin:Net.Node_id.t ->
+  tsn:int ->
+  ttn:int ->
+  events:(Attribute.t * Value.t) list list ->
+  (Log_record.Transaction.t, string) result
+(** Log a multi-event transaction (eq 1); adds [tid]/[tsn] bookkeeping
+    attributes are the caller's business — this just submits each event
+    under the same ticket and groups the results. *)
+
+val record_of : t -> Glsn.t -> Log_record.t option
+(** Reassemble a full record from all fragments — a *cluster-collusion*
+    operation used by tests and the centralized baseline; it is exactly
+    what no single node can do alone. *)
+
+val all_glsns : t -> Glsn.t list
+val record_count : t -> int

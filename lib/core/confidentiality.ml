@@ -1,0 +1,43 @@
+let c_store_params fragmentation record =
+  let w = Log_record.width record in
+  let v = Log_record.undefined_count record in
+  let u = Fragmentation.covering_nodes fragmentation record in
+  (w, v, u)
+
+let c_store fragmentation record =
+  let w, v, u = c_store_params fragmentation record in
+  if w = 0 then 0.0 else float_of_int (v * u) /. float_of_int w
+
+let c_auditing_params (plan : Planner.t) =
+  (plan.Planner.total_atoms, plan.Planner.cross_atoms, plan.Planner.conjuncts)
+
+let c_auditing plan =
+  let s, t, q = c_auditing_params plan in
+  if s + q = 0 then 0.0 else float_of_int (t + q) /. float_of_int (s + q)
+
+let c_query plan fragmentation record =
+  c_auditing plan *. c_store fragmentation record
+
+let c_dla fragmentation ~queries ~records =
+  if queries = [] || records = [] then Ok 0.0
+  else begin
+    let rec plans acc = function
+      | [] -> Ok (List.rev acc)
+      | query :: rest -> (
+        match Planner.plan fragmentation (Query.normalize query) with
+        | Ok plan -> plans (plan :: acc) rest
+        | Error _ as e -> e)
+    in
+    match plans [] queries with
+    | Error e -> Error e
+    | Ok plans ->
+      let total =
+        List.fold_left
+          (fun acc plan ->
+            List.fold_left
+              (fun acc record -> acc +. c_query plan fragmentation record)
+              acc records)
+          0.0 plans
+      in
+      Ok (total /. float_of_int (List.length plans * List.length records))
+  end

@@ -1,0 +1,267 @@
+open Numtheory
+
+type delivery = Glsns | Count_only
+
+type report = {
+  criteria : Query.t;
+  plan : Planner.t;
+  matching : Glsn.t list;
+  count : int;
+  c_auditing : float;
+}
+
+(* Order-preserving numeric embedding for blinded comparison.  Numeric
+   kinds embed as their integer value; strings embed as big-endian bytes
+   zero-padded to a common batch width, which preserves lexicographic
+   order (values must not contain NUL, which the workloads guarantee). *)
+let embed ~pad value =
+  match value with
+  | Value.Int v | Value.Money v | Value.Time v -> Bignum.of_int v
+  | Value.Str s ->
+    let padded = s ^ String.make (max 0 (pad - String.length s)) '\000' in
+    Bignum.of_bytes_be padded
+
+let value_pad values =
+  List.fold_left
+    (fun acc v ->
+      match v with Value.Str s -> max acc (String.length s) | _ -> acc)
+    0 values
+
+let glsn_set_bytes set = 8 * Glsn.Set.cardinal set
+
+let send_glsn_set net ~src ~dst ~label set =
+  if not (Net.Node_id.equal src dst) then
+    Net.Network.send_exn net ~src ~dst ~label ~bytes:(glsn_set_bytes set);
+  Net.Ledger.record (Net.Network.ledger net) ~node:dst
+    ~sensitivity:Net.Ledger.Metadata ~tag:label
+    (String.concat ","
+       (List.map Glsn.to_string (Glsn.Set.elements set)))
+
+(* A local atom evaluated entirely at its home node. *)
+let eval_local_atom store (atom : Query.atom) =
+  match atom.Query.rhs with
+  | Query.Const c ->
+    List.fold_left
+      (fun acc (glsn, v) ->
+        if Value.comparable v c
+           && Query.apply_comparison atom.Query.op (Value.compare_semantic v c)
+        then Glsn.Set.add glsn acc
+        else acc)
+      Glsn.Set.empty
+      (Storage.column store atom.Query.attr)
+  | Query.Attr b ->
+    List.fold_left
+      (fun acc glsn ->
+        match Storage.fragment_of store glsn with
+        | None -> acc
+        | Some fragment -> (
+          match
+            (List.assoc_opt atom.Query.attr fragment, List.assoc_opt b fragment)
+          with
+          | Some va, Some vb
+            when Value.comparable va vb
+                 && Query.apply_comparison atom.Query.op
+                      (Value.compare_semantic va vb)
+            -> Glsn.Set.add glsn acc
+          | _ -> acc))
+      Glsn.Set.empty (Storage.glsns store)
+
+(* A cross atom: both homes blind their columns with a shared secret
+   monotone transform and ship them to the blind TTP, which filters by
+   the comparison and returns the satisfying glsn set to the clause
+   home. *)
+let eval_cross_atom cluster ~ttp ~clause_home (atom : Query.atom) ~left ~right
+    rhs_attr =
+  let net = Cluster.net cluster in
+  let ledger = Net.Network.ledger net in
+  let left_store = Cluster.store_of cluster left in
+  let right_store = Cluster.store_of cluster right in
+  let left_col = Storage.column left_store atom.Query.attr in
+  let right_col = Storage.column right_store rhs_attr in
+  (* Homes agree on the secret transform (one negotiation message). *)
+  Net.Network.send_exn net ~src:left ~dst:right ~label:"query:negotiate"
+    ~bytes:16;
+  Net.Network.round net;
+  let blind = Crypto.Blinding.generate_monotone (Cluster.rng cluster) ~bits:64 in
+  let pad =
+    max (value_pad (List.map snd left_col)) (value_pad (List.map snd right_col))
+  in
+  let blind_column src col =
+    let blinded =
+      List.map
+        (fun (glsn, v) ->
+          ( glsn,
+            Value.comparison_class v,
+            Crypto.Blinding.apply_monotone blind (embed ~pad v) ))
+        col
+    in
+    let bytes =
+      List.fold_left
+        (fun acc (_, _, w) -> acc + Smc.Proto_util.bignum_wire_size w + 9)
+        0 blinded
+    in
+    Net.Network.send_exn net ~src ~dst:ttp ~label:"query:cross-column" ~bytes;
+    List.iter
+      (fun (_, _, w) ->
+        Net.Ledger.record ledger ~node:ttp ~sensitivity:Net.Ledger.Blinded
+          ~tag:"query:cross-column" (Bignum.to_string w))
+      blinded;
+    blinded
+  in
+  let left_blinded = blind_column left left_col in
+  let right_blinded = blind_column right right_col in
+  Net.Network.round net;
+  let satisfied =
+    List.fold_left
+      (fun acc (glsn, kind_l, wl) ->
+        match
+          List.find_opt (fun (g, _, _) -> Glsn.equal g glsn) right_blinded
+        with
+        | Some (_, kind_r, wr)
+          when String.equal kind_l kind_r
+               && Query.apply_comparison atom.Query.op (Bignum.compare wl wr)
+          -> Glsn.Set.add glsn acc
+        | Some _ | None -> acc)
+      Glsn.Set.empty left_blinded
+  in
+  send_glsn_set net ~src:ttp ~dst:clause_home ~label:"query:cross-result"
+    satisfied;
+  Net.Network.round net;
+  satisfied
+
+let eval_clause cluster ~ttp (clause : Planner.planned_clause) =
+  let net = Cluster.net cluster in
+  let home = clause.Planner.clause_home in
+  List.fold_left
+    (fun acc { Planner.atom; home = atom_home } ->
+      let set =
+        match atom_home with
+        | Planner.Local node ->
+          let set = eval_local_atom (Cluster.store_of cluster node) atom in
+          if not (Net.Node_id.equal node home) then begin
+            send_glsn_set net ~src:node ~dst:home ~label:"query:local-result"
+              set;
+            Net.Network.round net
+          end;
+          set
+        | Planner.Cross { left; right } -> (
+          match atom.Query.rhs with
+          | Query.Attr rhs_attr ->
+            eval_cross_atom cluster ~ttp ~clause_home:home atom ~left ~right
+              rhs_attr
+          | Query.Const _ -> assert false (* planner never crosses a const *))
+      in
+      Glsn.Set.union acc set)
+    Glsn.Set.empty clause.Planner.atoms
+
+let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
+    ?(optimize = false) ~auditor criteria =
+  let normalized = Query.normalize criteria in
+  match Planner.plan (Cluster.fragmentation cluster) normalized with
+  | Error _ as e -> e
+  | Ok plan ->
+    let net = Cluster.net cluster in
+    let ledger = Net.Network.ledger net in
+    (* Evaluate every clause, collecting its glsn set at its home.  The
+       optimizer runs cheap local clauses first and stops at the first
+       empty set (the conjunction can no longer match anything). *)
+    let ordered_clauses =
+      if optimize then
+        let local, cross =
+          List.partition
+            (fun clause -> not clause.Planner.is_cross)
+            plan.Planner.clauses
+        in
+        local @ cross
+      else plan.Planner.clauses
+    in
+    let clause_sets =
+      let rec eval acc = function
+        | [] -> List.rev acc
+        | clause :: rest ->
+          let set = eval_clause cluster ~ttp clause in
+          if optimize && Glsn.Set.is_empty set then
+            (* Short-circuit: one empty clause empties the conjunction. *)
+            [ (clause.Planner.clause_home, set) ]
+          else eval ((clause.Planner.clause_home, set) :: acc) rest
+      in
+      eval [] ordered_clauses
+    in
+    (* Conjunction: first fold clauses that share a home locally, then
+       secure-set-intersect across distinct homes (glsn as element). *)
+    let by_home =
+      List.fold_left
+        (fun acc (home, set) ->
+          match
+            List.find_opt (fun (h, _) -> Net.Node_id.equal h home) acc
+          with
+          | Some (_, existing) ->
+            (home, Glsn.Set.inter existing set)
+            :: List.filter (fun (h, _) -> not (Net.Node_id.equal h home)) acc
+          | None -> (home, set) :: acc)
+        [] clause_sets
+      |> List.rev
+    in
+    let final_set =
+      match by_home with
+      | [] -> Glsn.Set.empty
+      | [ (_, only) ] -> only
+      | parties ->
+        let receiver = fst (List.hd parties) in
+        let scheme =
+          Crypto.Commutative.xor_pad (Cluster.rng cluster)
+            (Crypto.Xor_pad.params ~width_bits:256)
+        in
+        let result =
+          Smc.Set_intersection.run ~net ~scheme ~receiver
+            (List.map
+               (fun (home, set) ->
+                 {
+                   Smc.Set_intersection.node = home;
+                   set = List.map Glsn.to_string (Glsn.Set.elements set);
+                 })
+               parties)
+        in
+        List.fold_left
+          (fun acc s -> Glsn.Set.add (Glsn.of_string s) acc)
+          Glsn.Set.empty result.Smc.Set_intersection.intersection
+    in
+    (* Deliver the final result to the auditor: the glsn list, or only
+       its cardinality in secret-counting mode. *)
+    let deliverer =
+      match by_home with [] -> ttp | (home, _) :: _ -> home
+    in
+    (match delivery with
+    | Glsns ->
+      send_glsn_set net ~src:deliverer ~dst:auditor ~label:"query:final"
+        final_set;
+      List.iter
+        (fun glsn ->
+          Net.Ledger.record ledger ~node:auditor
+            ~sensitivity:Net.Ledger.Aggregate ~tag:"query:final"
+            (Glsn.to_string glsn))
+        (Glsn.Set.elements final_set)
+    | Count_only ->
+      Net.Network.send_exn net ~src:deliverer ~dst:auditor
+        ~label:"query:final-count" ~bytes:8;
+      Net.Ledger.record ledger ~node:auditor ~sensitivity:Net.Ledger.Aggregate
+        ~tag:"query:final-count"
+        (string_of_int (Glsn.Set.cardinal final_set)));
+    Net.Network.round net;
+    let s = float_of_int plan.Planner.total_atoms in
+    let t = float_of_int plan.Planner.cross_atoms in
+    let q = float_of_int plan.Planner.conjuncts in
+    let c_auditing = if s +. q = 0.0 then 0.0 else (t +. q) /. (s +. q) in
+    let matching =
+      match delivery with
+      | Glsns -> Glsn.Set.elements final_set
+      | Count_only -> []
+    in
+    Ok
+      {
+        criteria;
+        plan;
+        matching;
+        count = Glsn.Set.cardinal final_set;
+        c_auditing;
+      }

@@ -1,0 +1,54 @@
+(** Distributed confidential query execution (paper §2, Figure 3).
+
+    Runs a planned query against a cluster:
+
+    - local atoms are evaluated by their home node over its own
+      fragments;
+    - cross atoms are evaluated with a blinded-comparison batch through a
+      blind TTP (§3.2/§3.3 machinery): both homes apply a shared secret
+      order-preserving transform and ship only transformed columns, so
+      the TTP learns order/equality relations, never values;
+    - each clause SQ_i (a disjunction) is assembled at its clause home as
+      a union of atom glsn sets;
+    - the conjunction of clauses is computed by secure set intersection
+      with glsn as the set element, exactly as the paper specifies;
+    - the final glsn list is delivered to the auditor.
+
+    Glsn identifiers travel in the clear: they are cluster-assigned
+    metadata every node already stores (Definition 1's permitted
+    secondary information). *)
+
+type delivery =
+  | Glsns  (** the auditor receives the matching glsn list (default) *)
+  | Count_only
+      (** the auditor receives only the cardinality — the paper's
+          "secret counting" mode (§1, ref [7]): audit statistics such as
+          "number of specific services used" without learning which
+          records matched *)
+
+type report = {
+  criteria : Query.t;
+  plan : Planner.t;
+  matching : Glsn.t list;
+      (** sorted ascending; empty under [Count_only] (see [count]) *)
+  count : int;  (** cardinality of the result set *)
+  c_auditing : float;  (** eq 11, from the plan's s, t, q *)
+}
+
+val run :
+  Cluster.t ->
+  ?ttp:Net.Node_id.t ->
+  ?delivery:delivery ->
+  ?optimize:bool ->
+  auditor:Net.Node_id.t ->
+  Query.t ->
+  (report, string) result
+(** Fails on planner errors.  Matches {!Query.eval_record} applied to
+    every reassembled record (the tests assert this equivalence).
+
+    With [optimize] (default [false], so costs stay reproducible),
+    local-only clauses are evaluated before cross clauses and evaluation
+    short-circuits as soon as any clause produces an empty glsn set —
+    the conjunction is then empty without paying for the remaining
+    (possibly TTP-heavy) clauses.  Answers are identical either way
+    (property-tested). *)

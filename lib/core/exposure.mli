@@ -1,0 +1,30 @@
+(** Coalition-exposure analysis over the observation ledger.
+
+    The paper's §2 claim is about a {e single} node: "no single node on
+    the TTP cluster owns the full set of log records".  This analyzer
+    generalizes the question to coalitions — if k DLA nodes collude and
+    pool everything they ever observed in plaintext, what fraction of
+    the log do they jointly reconstruct?  It reads the same instrumented
+    ledger the privacy tests use, so the answer reflects the protocols
+    as actually executed (including any leaks a future change might
+    introduce — the tests pin the expected envelope). *)
+
+type coverage = {
+  cells_total : int;  (** attribute cells in the audited log *)
+  cells_observed : int;  (** cells the coalition saw in plaintext *)
+  records_fully_covered : int;
+      (** records for which the coalition holds {e every} attribute *)
+  records_total : int;
+}
+
+val fraction : coverage -> float
+(** [cells_observed / cells_total] (0 when the log is empty). *)
+
+val coalition_coverage :
+  Cluster.t -> coalition:Net.Node_id.t list -> coverage
+(** Pool the plaintext observations of the coalition's members against
+    the cluster's current log. *)
+
+val sweep : Cluster.t -> (int * coverage) list
+(** Coverage of the prefix coalitions {P0}, {P0,P1}, … — the exposure
+    growth curve printed by the bench (experiment E14). *)

@@ -1,0 +1,97 @@
+open Numtheory
+
+type member = {
+  name : string;
+  cluster : Cluster.t;
+  representative : Net.Node_id.t;
+}
+
+(* Representatives need federation-unique identities: the member name
+   disambiguates nodes that would otherwise all be "P0" of their own
+   cluster. *)
+let member ~name cluster =
+  { name; cluster; representative = Net.Node_id.Ttp ("fed:" ^ name) }
+
+let local_count ~auditor ~criteria member =
+  Auditor_engine.secret_count member.cluster ~auditor criteria
+
+let sum_prime = Bignum.of_string "2305843009213693951"
+
+let secret_count_total ~net ~rng ~auditor ~criteria members =
+  if List.length members < 2 then
+    Error "federation needs at least 2 member clusters"
+  else begin
+    (* Each representative computes its cluster's count locally... *)
+    let rec gather acc = function
+      | [] -> Ok (List.rev acc)
+      | m :: rest -> (
+        match local_count ~auditor:m.representative ~criteria m with
+        | Ok count -> gather ((m, count) :: acc) rest
+        | Error e -> Error (Printf.sprintf "%s: %s" m.name e))
+    in
+    match gather [] members with
+    | Error _ as e -> e
+    | Ok counts ->
+      (* ...then the representatives secure-sum them on the federation
+         network; only the requesting auditor sees the total. *)
+      let parties =
+        List.map
+          (fun (m, count) ->
+            { Smc.Sum.node = m.representative; value = Bignum.of_int count })
+          counts
+      in
+      let k = (List.length members / 2) + 1 in
+      let total =
+        Smc.Sum.run ~net ~rng ~p:sum_prime ~k ~receiver:auditor parties
+      in
+      (match Bignum.to_int_opt total with
+      | Some v -> Ok v
+      | None -> Error "count overflow")
+  end
+
+let busiest_member ~net ~rng ~criteria members =
+  if List.length members < 2 then
+    Error "federation needs at least 2 member clusters"
+  else begin
+    let rec gather acc = function
+      | [] -> Ok (List.rev acc)
+      | m :: rest -> (
+        match local_count ~auditor:m.representative ~criteria m with
+        | Ok count -> gather ((m, count) :: acc) rest
+        | Error e -> Error (Printf.sprintf "%s: %s" m.name e))
+    in
+    match gather [] members with
+    | Error _ as e -> e
+    | Ok counts ->
+      let parties =
+        List.map
+          (fun (m, count) ->
+            { Smc.Ranking.node = m.representative; value = Bignum.of_int count })
+          counts
+      in
+      let verdict =
+        Smc.Ranking.run ~net ~rng ~ttp:(Net.Node_id.Ttp "fed:rank") parties
+      in
+      let name_of node =
+        match
+          List.find_opt
+            (fun m -> Net.Node_id.equal m.representative node)
+            members
+        with
+        | Some m -> m.name
+        | None -> Net.Node_id.to_string node
+      in
+      Ok
+        ( name_of verdict.Smc.Ranking.max_holder,
+          name_of verdict.Smc.Ranking.min_holder )
+  end
+
+let per_member_counts ~auditor ~criteria members =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | m :: rest -> (
+      match local_count ~auditor ~criteria m with
+      | Ok count -> go ((m.name, count) :: acc) rest
+      | Error e -> Error (Printf.sprintf "%s: %s" m.name e))
+  in
+  go [] members

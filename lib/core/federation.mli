@@ -1,0 +1,55 @@
+(** Network-wide auditing across independent DLA clusters.
+
+    The paper's abstract promises that "the mutually supported, mutually
+    monitored cluster TTP architecture allows independent systems to
+    collaborate in network-wide auditing without compromising their
+    private information" — the peer-relationship-of-routers analogy.
+
+    A federation audit runs the criteria inside each member cluster
+    (each under its own fragmentation, keys and tickets) and aggregates
+    only the per-cluster counts with the §3.5 secure sum: the requesting
+    auditor learns the network-wide total, while no cluster learns
+    another's count, let alone its records. *)
+
+type member = {
+  name : string;
+  cluster : Cluster.t;
+  representative : Net.Node_id.t;
+      (** the DLA node that speaks for this cluster in the federation *)
+}
+
+val member : name:string -> Cluster.t -> member
+(** The representative gets a federation-unique identity derived from
+    [name]. *)
+
+val secret_count_total :
+  net:Net.Network.t ->
+  rng:Numtheory.Prng.t ->
+  auditor:Net.Node_id.t ->
+  criteria:string ->
+  member list ->
+  (int, string) result
+(** Count, network-wide, the records matching [criteria].  Each member
+    evaluates locally (count-only); the counts are combined with a
+    Shamir secure sum over the federation network [net], threshold
+    ⌈(n+1)/2⌉.  Requires at least 2 members. *)
+
+val per_member_counts :
+  auditor:Net.Node_id.t ->
+  criteria:string ->
+  member list ->
+  ((string * int) list, string) result
+(** Non-aggregated variant for comparison: each member reports its own
+    count to its own auditor (still confidential within each cluster). *)
+
+val busiest_member :
+  net:Net.Network.t ->
+  rng:Numtheory.Prng.t ->
+  criteria:string ->
+  member list ->
+  (string * string, string) result
+(** Which cluster has the most (and which the fewest) matching records —
+    the §3.3 Maxₛ/Minₛ service at federation scale: each representative
+    submits only its order-blinded count to a blind TTP, which announces
+    [(max member, min member)]; no cluster's count is revealed to anyone.
+    Requires at least 2 members. *)

@@ -1,0 +1,163 @@
+type t = {
+  assignment : (Net.Node_id.t * Attribute.Set.t) list;
+  homes : Net.Node_id.t Attribute.Map.t;
+}
+
+let make bindings =
+  if bindings = [] then invalid_arg "Fragmentation.make: empty assignment";
+  let seen_nodes = Hashtbl.create 8 in
+  let assignment =
+    List.map
+      (fun (node, attrs) ->
+        let key = Net.Node_id.to_string node in
+        if Hashtbl.mem seen_nodes key then
+          invalid_arg "Fragmentation.make: node assigned twice"
+        else Hashtbl.add seen_nodes key ();
+        (node, Attribute.Set.of_list attrs))
+      bindings
+  in
+  let homes =
+    List.fold_left
+      (fun acc (node, attrs) ->
+        Attribute.Set.fold
+          (fun attr acc ->
+            if Attribute.Map.mem attr acc then
+              invalid_arg "Fragmentation.make: attribute assigned to two nodes"
+            else Attribute.Map.add attr node acc)
+          attrs acc)
+      Attribute.Map.empty assignment
+  in
+  { assignment; homes }
+
+let paper_partition =
+  let d = Attribute.defined and u = Attribute.undefined in
+  make
+    [ (Net.Node_id.Dla 0, [ d "time"; u 4 ]);
+      (Net.Node_id.Dla 1, [ d "id"; d "eid"; u 2; u 5 ]);
+      (Net.Node_id.Dla 2, [ d "tid"; u 3; u 6 ]);
+      (Net.Node_id.Dla 3, [ d "protocl"; d "ip"; u 1 ])
+    ]
+
+let round_robin ~nodes ~attrs =
+  if nodes = [] then invalid_arg "Fragmentation.round_robin: no nodes";
+  let buckets = Array.make (List.length nodes) [] in
+  List.iteri
+    (fun i attr ->
+      let b = i mod Array.length buckets in
+      buckets.(b) <- attr :: buckets.(b))
+    attrs;
+  make (List.mapi (fun i node -> (node, List.rev buckets.(i))) nodes)
+
+let grouped ~nodes ~attrs ~per_node =
+  if per_node < 1 then invalid_arg "Fragmentation.grouped: per_node < 1";
+  if List.length attrs > per_node * List.length nodes then
+    invalid_arg "Fragmentation.grouped: attributes do not fit";
+  let rec chunks acc current count = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | attr :: rest ->
+      if count = per_node then chunks (List.rev current :: acc) [ attr ] 1 rest
+      else chunks acc (attr :: current) (count + 1) rest
+  in
+  let groups = chunks [] [] 0 attrs in
+  let rec zip nodes groups acc =
+    match (nodes, groups) with
+    | _, [] -> List.rev acc
+    | [], _ :: _ -> invalid_arg "Fragmentation.grouped: attributes do not fit"
+    | node :: nrest, group :: grest -> zip nrest grest ((node, group) :: acc)
+  in
+  (* Nodes beyond the groups get empty attribute sets. *)
+  let padded =
+    let ng = List.length groups in
+    groups @ List.init (max 0 (List.length nodes - ng)) (fun _ -> [])
+  in
+  make (zip nodes padded [])
+
+let of_spec spec =
+  let parse_node s =
+    let s = String.trim s in
+    if String.length s >= 2 && s.[0] = 'P' then
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some i when i >= 0 -> Ok (Net.Node_id.Dla i)
+      | Some _ | None -> Error (Printf.sprintf "bad node name %S" s)
+    else Error (Printf.sprintf "bad node name %S (expected P<i>)" s)
+  in
+  let parse_entry entry =
+    match String.index_opt entry ':' with
+    | None -> Error (Printf.sprintf "missing ':' in %S" entry)
+    | Some i -> (
+      match parse_node (String.sub entry 0 i) with
+      | Error _ as e -> e
+      | Ok node ->
+        let attrs =
+          String.sub entry (i + 1) (String.length entry - i - 1)
+          |> String.split_on_char ','
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+          |> List.map Attribute.of_string
+        in
+        Ok (node, attrs))
+    in
+  let entries =
+    String.split_on_char ';' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec parse acc = function
+    | [] -> Ok (List.rev acc)
+    | entry :: rest -> (
+      match parse_entry entry with
+      | Ok binding -> parse (binding :: acc) rest
+      | Error _ as e -> e)
+  in
+  match parse [] entries with
+  | Error _ as e -> e
+  | Ok [] -> Error "empty layout"
+  | Ok bindings -> (
+    match make bindings with
+    | layout -> Ok layout
+    | exception Invalid_argument m -> Error m)
+
+let to_spec t =
+  String.concat "; "
+    (List.map
+       (fun (node, attrs) ->
+         Printf.sprintf "%s:%s"
+           (Net.Node_id.to_string node)
+           (String.concat ","
+              (List.map Attribute.to_string (Attribute.Set.elements attrs))))
+       t.assignment)
+
+let nodes t = List.map fst t.assignment
+
+let universe t =
+  List.fold_left
+    (fun acc (_, attrs) -> Attribute.Set.union acc attrs)
+    Attribute.Set.empty t.assignment
+
+let supported_by t node =
+  match
+    List.find_opt (fun (n, _) -> Net.Node_id.equal n node) t.assignment
+  with
+  | Some (_, attrs) -> attrs
+  | None -> Attribute.Set.empty
+
+let home_of t attr = Attribute.Map.find_opt attr t.homes
+
+let fragment t record =
+  List.map
+    (fun (node, attrs) -> (node, Log_record.restrict record attrs))
+    t.assignment
+
+let covering_nodes t record =
+  (* With a disjoint partition the minimum cover is exactly the set of
+     homes of the record's attributes. *)
+  let homes =
+    Attribute.Set.fold
+      (fun attr acc ->
+        match home_of t attr with
+        | Some node -> Net.Node_id.Set.add node acc
+        | None -> acc)
+      (Log_record.attribute_set record)
+      Net.Node_id.Set.empty
+  in
+  Net.Node_id.Set.cardinal homes

@@ -1,0 +1,56 @@
+(** Attribute partitioning of log records across DLA nodes
+    (paper §4, Tables 1–5).
+
+    A policy assigns each DLA node P_i a supported attribute set A_i with
+    ∪ A_i = I and A_i ∩ A_j = ∅ (i ≠ j).  A record then splits into
+    fragments Log_i = {glsn, L ∩ A_i}; every node learns the glsn (that
+    is shared metadata by design) but only its own attribute columns. *)
+
+type t
+
+val make : (Net.Node_id.t * Attribute.t list) list -> t
+(** @raise Invalid_argument if a node appears twice, an attribute is
+    assigned to two nodes, or the assignment is empty. *)
+
+val paper_partition : t
+(** The exact partition of Tables 2–5:
+    P0:{time, C4}, P1:{id, eid, C2, C5}, P2:{tid, C3, C6}, P3:{protocl,
+    ip, C1}.  (Attribute names as printed in the paper, including the
+    "protocl" spelling.) *)
+
+val round_robin : nodes:Net.Node_id.t list -> attrs:Attribute.t list -> t
+(** Deal attributes across nodes in turn — the generic policy used by
+    the workload generators and the confidentiality sweeps. *)
+
+val grouped : nodes:Net.Node_id.t list -> attrs:Attribute.t list -> per_node:int -> t
+(** First [per_node] attributes to the first node, next to the second, …
+    @raise Invalid_argument if the attributes don't fit the nodes. *)
+
+val of_spec : string -> (t, string) result
+(** Parse a layout description like
+    ["P0:time,C4; P1:id,eid,C2,C5; P2:tid,C3,C6; P3:protocl,ip,C1"] —
+    the CLI's [--layout] format.  Node names must be [P<i>]. *)
+
+val to_spec : t -> string
+(** Inverse of {!of_spec} (attributes in canonical order). *)
+
+val nodes : t -> Net.Node_id.t list
+val universe : t -> Attribute.Set.t
+(** I — all supported attributes. *)
+
+val supported_by : t -> Net.Node_id.t -> Attribute.Set.t
+(** A_i; empty for unknown nodes. *)
+
+val home_of : t -> Attribute.t -> Net.Node_id.t option
+(** The unique node supporting an attribute. *)
+
+val fragment :
+  t -> Log_record.t -> (Net.Node_id.t * (Attribute.t * Value.t) list) list
+(** Split a record; includes an entry for every node, possibly with an
+    empty column list (the node still stores the glsn row, cf. Tables
+    2–5 where some cells are blank). *)
+
+val covering_nodes : t -> Log_record.t -> int
+(** The minimum number of nodes whose attribute sets cover the record's
+    attributes — the [u] of eq 10.  With a disjoint partition this is
+    exactly the number of nodes holding a non-empty fragment. *)

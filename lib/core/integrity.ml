@@ -1,0 +1,107 @@
+open Numtheory
+
+type violation =
+  | No_digest
+  | Missing_fragment of Net.Node_id.t
+  | Digest_mismatch
+
+let violation_to_string = function
+  | No_digest -> "no deposited digest"
+  | Missing_fragment node ->
+    Printf.sprintf "missing fragment at %s" (Net.Node_id.to_string node)
+  | Digest_mismatch -> "digest mismatch"
+
+let check_record cluster ~initiator glsn =
+  let net = Cluster.net cluster in
+  let nodes = Cluster.nodes cluster in
+  let params = Cluster.accumulator_params cluster in
+  let initiator_store = Cluster.store_of cluster initiator in
+  match Storage.digest_of initiator_store glsn with
+  | None -> Error No_digest
+  | Some deposited ->
+    (* Circulate an intermediate accumulator value around the ring; each
+       node folds in the fragment it stores under this glsn. *)
+    let wire_size = Smc.Proto_util.bignum_wire_size in
+    let rec circulate acc prev = function
+      | [] ->
+        if not (Net.Node_id.equal prev initiator) then
+          Net.Network.send_exn net ~src:prev ~dst:initiator
+            ~label:"integrity:circulate" ~bytes:(wire_size acc);
+        Ok acc
+      | node :: rest -> (
+        if not (Net.Node_id.equal prev node) then
+          Net.Network.send_exn net ~src:prev ~dst:node
+            ~label:"integrity:circulate" ~bytes:(wire_size acc);
+        let store = Cluster.store_of cluster node in
+        match Storage.fragment_of store glsn with
+        | None -> Error (Missing_fragment node)
+        | Some fragment ->
+          let wire = Log_record.fragment_wire ~glsn fragment in
+          circulate
+            (Crypto.Accumulator.accumulate_bytes params acc wire)
+            node rest)
+    in
+    let start = params.Crypto.Accumulator.x0 in
+    let result = circulate start initiator nodes in
+    Net.Network.round net;
+    (match result with
+    | Error v -> Error v
+    | Ok final ->
+      if Bignum.equal final deposited then Ok () else Error Digest_mismatch)
+
+let challenge_node cluster ~challenger ~node glsn =
+  let net = Cluster.net cluster in
+  let params = Cluster.accumulator_params cluster in
+  let challenger_store = Cluster.store_of cluster challenger in
+  match Storage.digest_of challenger_store glsn with
+  | None -> Error No_digest
+  | Some total ->
+    let store = Cluster.store_of cluster node in
+    (match (Storage.fragment_of store glsn, Storage.witness_of store glsn) with
+    | None, _ | _, None -> Error (Missing_fragment node)
+    | Some fragment, Some witness ->
+      (* challenge -> node; node folds its fragment into its witness and
+         returns the proof value. *)
+      Net.Network.send_exn net ~src:challenger ~dst:node
+        ~label:"integrity:challenge" ~bytes:8;
+      let wire = Log_record.fragment_wire ~glsn fragment in
+      let proof = Crypto.Accumulator.accumulate_bytes params witness wire in
+      Net.Network.send_exn net ~src:node ~dst:challenger
+        ~label:"integrity:proof"
+        ~bytes:(Smc.Proto_util.bignum_wire_size proof);
+      Net.Network.round net;
+      if Bignum.equal proof total then Ok () else Error Digest_mismatch)
+
+let check_all cluster ~initiator =
+  List.filter_map
+    (fun glsn ->
+      match check_record cluster ~initiator glsn with
+      | Ok () -> None
+      | Error v -> Some (glsn, v))
+    (Cluster.all_glsns cluster)
+
+let acl_consistent cluster ~ttp_seed ~ticket_id =
+  let net = Cluster.net cluster in
+  let nodes = Cluster.nodes cluster in
+  let parties =
+    List.map
+      (fun node ->
+        let store = Cluster.store_of cluster node in
+        let glsns =
+          Glsn.Set.elements
+            (Access_control.glsns_of (Storage.acl store) ~ticket_id)
+        in
+        { Smc.Set_intersection.node; set = List.map Glsn.to_string glsns })
+      nodes
+  in
+  let sizes =
+    List.map (fun p -> List.length p.Smc.Set_intersection.set) parties
+  in
+  let rng = Prng.create ~seed:ttp_seed in
+  let scheme =
+    Crypto.Commutative.xor_pad rng (Crypto.Xor_pad.params ~width_bits:256)
+  in
+  let receiver = List.hd nodes in
+  let result = Smc.Set_intersection.run ~net ~scheme ~receiver parties in
+  let common = List.length result.Smc.Set_intersection.intersection in
+  List.for_all (fun s -> s = common) sizes

@@ -1,0 +1,87 @@
+open Numtheory
+
+let score layout ~queries ~records =
+  match Confidentiality.c_dla layout ~queries ~records with
+  | Ok c -> c
+  | Error _ -> neg_infinity
+
+(* Assignments are int arrays: assignment.(i) = node index of attrs.(i). *)
+let layout_of_assignment ~nodes ~attrs assignment =
+  let buckets = Array.make nodes [] in
+  List.iteri
+    (fun i attr ->
+      let b = assignment.(i) in
+      buckets.(b) <- attr :: buckets.(b))
+    attrs;
+  Fragmentation.make
+    (List.init nodes (fun b -> (Net.Node_id.Dla b, List.rev buckets.(b))))
+
+let initial_assignment ~nodes ~attrs =
+  Array.init (List.length attrs) (fun i -> i mod nodes)
+
+let check_inputs ~nodes ~attrs ~queries ~records =
+  if nodes < 1 then invalid_arg "Layout_search: nodes < 1";
+  if attrs = [] then invalid_arg "Layout_search: no attributes";
+  if queries = [] || records = [] then
+    invalid_arg "Layout_search: empty workload"
+
+let greedy ~nodes ~attrs ~queries ~records =
+  check_inputs ~nodes ~attrs ~queries ~records;
+  let n_attrs = List.length attrs in
+  let assignment = initial_assignment ~nodes ~attrs in
+  let eval a = score (layout_of_assignment ~nodes ~attrs a) ~queries ~records in
+  let best = ref (eval assignment) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for i = 0 to n_attrs - 1 do
+      let original = assignment.(i) in
+      for candidate = 0 to nodes - 1 do
+        if candidate <> original then begin
+          assignment.(i) <- candidate;
+          let s = eval assignment in
+          if s > !best then begin
+            best := s;
+            improved := true
+          end
+          else assignment.(i) <- original
+        end
+      done
+    done
+  done;
+  (layout_of_assignment ~nodes ~attrs assignment, !best)
+
+let anneal ~rng ~iterations ~nodes ~attrs ~queries ~records =
+  check_inputs ~nodes ~attrs ~queries ~records;
+  let n_attrs = List.length attrs in
+  let assignment = initial_assignment ~nodes ~attrs in
+  let eval a = score (layout_of_assignment ~nodes ~attrs a) ~queries ~records in
+  let current = ref (eval assignment) in
+  let best_assignment = Array.copy assignment in
+  let best = ref !current in
+  for step = 0 to iterations - 1 do
+    let temperature =
+      0.5 *. (1.0 -. (float_of_int step /. float_of_int iterations))
+    in
+    let i = Prng.int rng n_attrs in
+    let original = assignment.(i) in
+    let candidate = Prng.int rng nodes in
+    if candidate <> original then begin
+      assignment.(i) <- candidate;
+      let s = eval assignment in
+      let accept =
+        s >= !current
+        || (temperature > 0.0
+           && Prng.float rng < exp ((s -. !current) /. temperature))
+      in
+      if accept then begin
+        current := s;
+        if s > !best then begin
+          best := s;
+          Array.blit assignment 0 best_assignment 0 n_attrs
+        end
+      end
+      else assignment.(i) <- original
+    end
+  done;
+  (layout_of_assignment ~nodes ~attrs best_assignment, !best)

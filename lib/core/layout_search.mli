@@ -1,0 +1,40 @@
+(** Fragmentation-layout search.
+
+    §5's metrics are not just descriptive — they rank designs.  Given a
+    representative query workload and record shape, this module searches
+    the space of attribute-to-node assignments for a layout that
+    maximizes C_DLA (eq 13): the cluster operator's "where should each
+    attribute live?" question, answered by the paper's own objective.
+
+    Two searchers: a deterministic greedy hill-climb (move one attribute
+    at a time while the score improves) and simulated annealing for
+    escaping local optima.  Both keep every attribute assigned, so any
+    layout they return can execute the whole workload. *)
+
+val score :
+  Fragmentation.t ->
+  queries:Query.t list ->
+  records:Log_record.t list ->
+  float
+(** C_DLA of the layout on the workload; negative infinity when a query
+    cannot be planned (never the case for full assignments). *)
+
+val greedy :
+  nodes:int ->
+  attrs:Attribute.t list ->
+  queries:Query.t list ->
+  records:Log_record.t list ->
+  Fragmentation.t * float
+(** Hill-climb from round-robin; deterministic.  Returns the layout and
+    its score.  @raise Invalid_argument on empty inputs. *)
+
+val anneal :
+  rng:Numtheory.Prng.t ->
+  iterations:int ->
+  nodes:int ->
+  attrs:Attribute.t list ->
+  queries:Query.t list ->
+  records:Log_record.t list ->
+  Fragmentation.t * float
+(** Simulated annealing from round-robin; seeded, hence reproducible.
+    Returns the best layout visited. *)

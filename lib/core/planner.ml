@@ -1,0 +1,103 @@
+type atom_home =
+  | Local of Net.Node_id.t
+  | Cross of { left : Net.Node_id.t; right : Net.Node_id.t }
+
+type planned_atom = { atom : Query.atom; home : atom_home }
+
+type planned_clause = {
+  atoms : planned_atom list;
+  clause_home : Net.Node_id.t;
+  is_cross : bool;
+}
+
+type t = {
+  clauses : planned_clause list;
+  total_atoms : int;
+  cross_atoms : int;
+  conjuncts : int;
+}
+
+let home_of_attr fragmentation attr =
+  match Fragmentation.home_of fragmentation attr with
+  | Some node -> Ok node
+  | None ->
+    Error
+      (Printf.sprintf "attribute %s is not supported by any DLA node"
+         (Attribute.to_string attr))
+
+let plan_atom fragmentation (atom : Query.atom) =
+  match home_of_attr fragmentation atom.Query.attr with
+  | Error _ as e -> e
+  | Ok left -> (
+    match atom.Query.rhs with
+    | Query.Const _ -> Ok { atom; home = Local left }
+    | Query.Attr b -> (
+      match home_of_attr fragmentation b with
+      | Error _ as e -> e
+      | Ok right ->
+        if Net.Node_id.equal left right then Ok { atom; home = Local left }
+        else Ok { atom; home = Cross { left; right } }))
+
+let plan fragmentation normalized =
+  let rec plan_clauses acc = function
+    | [] -> Ok (List.rev acc)
+    | clause :: rest -> (
+      let rec plan_atoms atoms_acc = function
+        | [] -> Ok (List.rev atoms_acc)
+        | atom :: atoms -> (
+          match plan_atom fragmentation atom with
+          | Ok planned -> plan_atoms (planned :: atoms_acc) atoms
+          | Error _ as e -> e)
+      in
+      match plan_atoms [] clause with
+      | Error _ as e -> e
+      | Ok atoms ->
+        let nodes_involved =
+          List.fold_left
+            (fun acc { home; _ } ->
+              match home with
+              | Local n -> Net.Node_id.Set.add n acc
+              | Cross { left; right } ->
+                Net.Node_id.Set.add left (Net.Node_id.Set.add right acc))
+            Net.Node_id.Set.empty atoms
+        in
+        let clause_home =
+          match atoms with
+          | { home = Local n; _ } :: _ -> n
+          | { home = Cross { left; _ }; _ } :: _ -> left
+          | [] -> invalid_arg "Planner.plan: empty clause"
+        in
+        let is_cross = Net.Node_id.Set.cardinal nodes_involved > 1 in
+        plan_clauses ({ atoms; clause_home; is_cross } :: acc) rest)
+  in
+  match plan_clauses [] normalized with
+  | Error _ as e -> e
+  | Ok clauses ->
+    let total_atoms =
+      List.fold_left (fun acc c -> acc + List.length c.atoms) 0 clauses
+    in
+    let cross_atoms =
+      List.fold_left
+        (fun acc c ->
+          acc
+          + List.length
+              (List.filter
+                 (fun { home; _ } ->
+                   match home with Cross _ -> true | Local _ -> false)
+                 c.atoms))
+        0 clauses
+    in
+    Ok
+      {
+        clauses;
+        total_atoms;
+        cross_atoms;
+        conjuncts = max 0 (List.length clauses - 1);
+      }
+
+let homes t =
+  List.fold_left
+    (fun acc clause ->
+      if List.exists (Net.Node_id.equal clause.clause_home) acc then acc
+      else acc @ [ clause.clause_home ])
+    [] t.clauses

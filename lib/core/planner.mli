@@ -1,0 +1,32 @@
+(** Query planning (paper §2, Figure 3).
+
+    Classifies each atom of a normalized query as *local* (both operands
+    live at one DLA node) or *cross* (operands homed at two nodes), and
+    assigns each clause SQ_i a home node that will assemble the clause's
+    glsn set.  The planner only needs the fragmentation map — never the
+    data. *)
+
+type atom_home =
+  | Local of Net.Node_id.t
+  | Cross of { left : Net.Node_id.t; right : Net.Node_id.t }
+
+type planned_atom = { atom : Query.atom; home : atom_home }
+
+type planned_clause = {
+  atoms : planned_atom list;
+  clause_home : Net.Node_id.t;  (** node that assembles this SQ_i *)
+  is_cross : bool;  (** does the clause involve more than one node? *)
+}
+
+type t = {
+  clauses : planned_clause list;
+  total_atoms : int;  (** s of eq 11 *)
+  cross_atoms : int;  (** t of eq 11 *)
+  conjuncts : int;  (** q of eq 11 *)
+}
+
+val plan : Fragmentation.t -> Query.normalized -> (t, string) result
+(** Fails when a referenced attribute has no home in the cluster. *)
+
+val homes : t -> Net.Node_id.t list
+(** Distinct clause homes, in first-appearance order. *)

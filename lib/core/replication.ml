@@ -1,0 +1,129 @@
+open Numtheory
+
+type t = {
+  degree : int;
+  keys : (Net.Node_id.t * string) list;  (* per-owner AEAD keys *)
+}
+
+(* ChaCha20-Poly1305 with the glsn as associated data: a holder cannot
+   corrupt the blob undetected nor replay it under a different record,
+   and the nonce is unique because glsn's are (one blob per (owner,
+   glsn)). *)
+let seal key ~glsn wire =
+  Crypto.Aead.seal ~key
+    ~nonce:(Crypto.Chacha20.nonce_of_string glsn)
+    ~ad:glsn wire
+
+let open_blob key ~glsn blob =
+  Crypto.Aead.open_ ~key
+    ~nonce:(Crypto.Chacha20.nonce_of_string glsn)
+    ~ad:glsn blob
+
+let setup cluster ~degree =
+  let nodes = Cluster.nodes cluster in
+  if degree < 1 || degree >= List.length nodes then
+    invalid_arg "Replication.setup: degree outside [1, nodes)";
+  let rng = Cluster.rng cluster in
+  let master = Prng.bytes rng 32 in
+  let keys_for node =
+    Crypto.Hkdf.derive ~ikm:master
+      ~info:("replica:" ^ Net.Node_id.to_string node)
+      ~length:32
+  in
+  { degree; keys = List.map (fun node -> (node, keys_for node)) nodes }
+
+let degree t = t.degree
+
+let key_of t node =
+  snd (List.find (fun (n, _) -> Net.Node_id.equal n node) t.keys)
+
+let successors nodes node count =
+  let arr = Array.of_list nodes in
+  let n = Array.length arr in
+  let rec index i =
+    if Net.Node_id.equal arr.(i) node then i else index (i + 1)
+  in
+  let base = index 0 in
+  List.init count (fun k -> arr.((base + k + 1) mod n))
+
+let replicate_fragment t cluster ~owner ~glsn fragment =
+  let net = Cluster.net cluster in
+  let ledger = Net.Network.ledger net in
+  let wire = Log_record.fragment_wire ~glsn fragment in
+  let blob = seal (key_of t owner) ~glsn:(Glsn.to_string glsn) wire in
+  List.iter
+    (fun holder ->
+      Net.Network.send_exn net ~src:owner ~dst:holder ~label:"replicate:blob"
+        ~bytes:(String.length blob);
+      Net.Ledger.record ledger ~node:holder ~sensitivity:Net.Ledger.Ciphertext
+        ~tag:"replicate:blob" (Crypto.Sha256.digest_hex blob);
+      Storage.store_replica
+        (Cluster.store_of cluster holder)
+        ~owner ~glsn ~blob)
+    (successors (Cluster.nodes cluster) owner t.degree)
+
+let replicate_all t cluster =
+  let placed = ref 0 in
+  List.iter
+    (fun owner ->
+      let store = Cluster.store_of cluster owner in
+      List.iter
+        (fun glsn ->
+          match Storage.fragment_of store glsn with
+          | None -> ()
+          | Some fragment ->
+            replicate_fragment t cluster ~owner ~glsn fragment;
+            placed := !placed + t.degree)
+        (Storage.glsns store))
+    (Cluster.nodes cluster);
+  Net.Network.round (Cluster.net cluster);
+  !placed
+
+let repair t cluster =
+  let net = Cluster.net cluster in
+  let all_glsns = Cluster.all_glsns cluster in
+  let repaired = ref [] in
+  List.iter
+    (fun owner ->
+      let store = Cluster.store_of cluster owner in
+      List.iter
+        (fun glsn ->
+          if Storage.fragment_of store glsn = None then begin
+            (* Ask each successor in turn for the blob. *)
+            let holders = successors (Cluster.nodes cluster) owner t.degree in
+            let blob =
+              List.find_map
+                (fun holder ->
+                  match
+                    Storage.replica_of
+                      (Cluster.store_of cluster holder)
+                      ~owner glsn
+                  with
+                  | None -> None
+                  | Some blob ->
+                    Net.Network.send_exn net ~src:owner ~dst:holder
+                      ~label:"repair:request" ~bytes:8;
+                    Net.Network.send_exn net ~src:holder ~dst:owner
+                      ~label:"repair:blob" ~bytes:(String.length blob);
+                    Some blob)
+                holders
+            in
+            match blob with
+            | None -> ()
+            | Some blob -> (
+              match
+                open_blob (key_of t owner) ~glsn:(Glsn.to_string glsn) blob
+              with
+              | None -> () (* wrong key or corrupt: MAC rejects it *)
+              | Some wire -> (
+                match Log_record.fragment_of_wire wire with
+                | glsn', fragment when Glsn.equal glsn glsn' ->
+                  Storage.store store ~glsn ~fragment;
+                  repaired := (owner, glsn) :: !repaired
+                | _ -> ()
+                | exception Invalid_argument _ -> ()))
+          end)
+        all_glsns)
+    (Cluster.nodes cluster);
+  Net.Network.round net;
+  List.rev !repaired

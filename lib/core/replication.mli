@@ -1,0 +1,31 @@
+(** Fragment replication and repair.
+
+    §2 of the paper: "measures must be taken so that the DLA cluster as
+    a whole has the complete log for every node in the application
+    subsystem."  Each node pushes an encrypted-at-rest copy of every
+    fragment it stores to its next [degree] ring successors.  The blob
+    is XOR-stream-encrypted under a key only the owner holds, so
+    replication adds {e availability} without widening {e exposure}: a
+    replica holder observes ciphertext only (ledger-verified in tests).
+
+    After data loss (disk tamper/crash), {!repair} restores any missing
+    primary rows from surviving replicas — the owner fetches its blob
+    back and decrypts with its own key. *)
+
+type t
+(** Replication state: degree plus the per-owner blob keys. *)
+
+val setup : Cluster.t -> degree:int -> t
+(** @raise Invalid_argument unless [1 <= degree < cluster size]. *)
+
+val degree : t -> int
+
+val replicate_all : t -> Cluster.t -> int
+(** Push (or refresh) replicas for every fragment currently stored;
+    returns the number of replica blobs placed. *)
+
+val repair : t -> Cluster.t -> (Net.Node_id.t * Glsn.t) list
+(** Scan every node for missing rows (every node stores a row — possibly
+    with no columns — for every cluster glsn) and restore them from
+    replicas.  Returns what was repaired; rows with no surviving replica
+    are left missing (and will keep failing integrity checks). *)

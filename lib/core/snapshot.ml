@@ -1,0 +1,120 @@
+let version_line = "dla-snapshot|1"
+
+let ticket_of_glsn cluster glsn =
+  (* Every node holds the same ACL; read the first node's copy. *)
+  let store = Cluster.store_of cluster (List.hd (Cluster.nodes cluster)) in
+  let acl = Storage.acl store in
+  List.find_map
+    (fun ticket_id ->
+      if Access_control.authorizes acl ~ticket_id glsn then Some ticket_id
+      else None)
+    (Access_control.ticket_ids acl)
+
+let export cluster =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (version_line ^ "\n");
+  List.iter
+    (fun glsn ->
+      match Cluster.record_of cluster glsn with
+      | None -> ()
+      | Some record ->
+        let origin = Log_record.origin record in
+        let ticket =
+          Option.value ~default:"T-unknown" (ticket_of_glsn cluster glsn)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "record|%s|%s|%s\n"
+             (Net.Node_id.to_string origin)
+             ticket
+             (Log_record.fragment_wire ~glsn (Log_record.attributes record))))
+    (Cluster.all_glsns cluster);
+  Buffer.contents buf
+
+let parse_origin s =
+  if String.length s >= 2 && s.[0] = 'u' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some i -> Some (Net.Node_id.User i)
+    | None -> None
+  else if String.length s >= 2 && s.[0] = 'P' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some i -> Some (Net.Node_id.Dla i)
+    | None -> None
+  else None
+
+let import ?(seed = 0) ~fragmentation data =
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' data)
+  in
+  match lines with
+  | [] -> Error "empty snapshot"
+  | header :: body ->
+    if not (String.equal header version_line) then
+      Error "unsupported snapshot version"
+    else begin
+      (* Parse all rows first so numbering can be validated up front. *)
+      let parse_line line =
+        match String.index_opt line '|' with
+        | Some 6 when String.sub line 0 6 = "record" -> (
+          let rest = String.sub line 7 (String.length line - 7) in
+          match String.split_on_char '|' rest with
+          | origin_s :: ticket :: wire_parts -> (
+            let wire = String.concat "|" wire_parts in
+            match parse_origin origin_s with
+            | None -> Error (Printf.sprintf "bad origin %S" origin_s)
+            | Some origin -> (
+              match Log_record.fragment_of_wire wire with
+              | glsn, attributes -> Ok (glsn, origin, ticket, attributes)
+              | exception Invalid_argument m -> Error m))
+          | _ -> Error "malformed record line")
+        | _ -> Error (Printf.sprintf "unrecognized line %S" line)
+      in
+      let rec parse acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest -> (
+          match parse_line line with
+          | Ok row -> parse (row :: acc) rest
+          | Error _ as e -> e)
+      in
+      match parse [] body with
+      | Error e -> Error ("snapshot parse error: " ^ e)
+      | Ok [] -> Error "snapshot contains no records"
+      | Ok rows ->
+        let rows =
+          List.sort (fun (a, _, _, _) (b, _, _, _) -> Glsn.compare a b) rows
+        in
+        let first_glsn, _, _, _ = List.hd rows in
+        let cluster =
+          Cluster.create ~seed ~glsn_start:(Glsn.to_int first_glsn)
+            fragmentation
+        in
+        let tickets = Hashtbl.create 8 in
+        let ticket_for id principal =
+          match Hashtbl.find_opt tickets (id, principal) with
+          | Some t -> t
+          | None ->
+            let t =
+              Cluster.issue_ticket cluster ~id ~principal
+                ~rights:[ Ticket.Read; Ticket.Write ]
+                ~ttl:(365 * 86400)
+            in
+            Hashtbl.add tickets (id, principal) t;
+            t
+        in
+        let rec replay = function
+          | [] -> Ok cluster
+          | (glsn, origin, ticket_id, attributes) :: rest -> (
+            let ticket = ticket_for ticket_id origin in
+            match Cluster.submit cluster ~ticket ~origin ~attributes with
+            | Error e ->
+              Error
+                (Printf.sprintf "replay of %s failed: %s" (Glsn.to_string glsn)
+                   e)
+            | Ok assigned ->
+              if not (Glsn.equal assigned glsn) then
+                Error
+                  (Printf.sprintf "glsn divergence: expected %s, assigned %s"
+                     (Glsn.to_string glsn) (Glsn.to_string assigned))
+              else replay rest)
+        in
+        replay rows
+    end

@@ -1,0 +1,20 @@
+(** Logical backup of a cluster's audit log.
+
+    {!export} serializes every record (reassembled from fragments)
+    together with its origin, glsn and authorizing ticket into a
+    versioned line format; {!import} replays it into a fresh cluster —
+    same fragmentation, same glsn numbering, same ACL shape — with fresh
+    cryptographic material (keys, digests and witnesses are recomputed,
+    so the restored cluster is self-consistent rather than bit-identical;
+    this is a logical backup, not a disk image).
+
+    Used by the CLI's [export]/[import] commands and as the migration
+    path between fragmentation layouts. *)
+
+val export : Cluster.t -> string
+
+val import :
+  ?seed:int -> fragmentation:Fragmentation.t -> string -> (Cluster.t, string) result
+(** Rebuild from an export.  Fails on version/format errors, on records
+    that no longer fit the target fragmentation, or if the replayed glsn
+    numbering diverges from the exported one. *)

@@ -1,0 +1,101 @@
+open Numtheory
+
+type t = {
+  node : Net.Node_id.t;
+  supported : Attribute.Set.t;
+  mutable rows : (Attribute.t * Value.t) list Glsn.Map.t;
+  mutable digests : Bignum.t Glsn.Map.t;
+  mutable witnesses : Bignum.t Glsn.Map.t;
+  mutable replicas : (string * string) list Glsn.Map.t;
+      (* glsn -> (owner name, encrypted blob) *)
+  acl : Access_control.t;
+}
+
+let create ~node ~supported =
+  {
+    node;
+    supported;
+    rows = Glsn.Map.empty;
+    digests = Glsn.Map.empty;
+    witnesses = Glsn.Map.empty;
+    replicas = Glsn.Map.empty;
+    acl = Access_control.create ();
+  }
+
+let node t = t.node
+let supported t = t.supported
+
+let store t ~glsn ~fragment =
+  List.iter
+    (fun (attr, _) ->
+      if not (Attribute.Set.mem attr t.supported) then
+        invalid_arg "Storage.store: unsupported attribute in fragment")
+    fragment;
+  if Glsn.Map.mem glsn t.rows then
+    invalid_arg "Storage.store: glsn already stored";
+  t.rows <- Glsn.Map.add glsn fragment t.rows
+
+let store_digest t ~glsn digest =
+  t.digests <- Glsn.Map.add glsn digest t.digests
+
+let store_witness t ~glsn witness =
+  t.witnesses <- Glsn.Map.add glsn witness t.witnesses
+
+let fragment_of t glsn = Glsn.Map.find_opt glsn t.rows
+let digest_of t glsn = Glsn.Map.find_opt glsn t.digests
+let witness_of t glsn = Glsn.Map.find_opt glsn t.witnesses
+let glsns t = List.map fst (Glsn.Map.bindings t.rows)
+let record_count t = Glsn.Map.cardinal t.rows
+
+let column t attr =
+  Glsn.Map.fold
+    (fun glsn fragment acc ->
+      match List.assoc_opt attr fragment with
+      | Some v -> (glsn, v) :: acc
+      | None -> acc)
+    t.rows []
+  |> List.rev
+
+let acl t = t.acl
+
+let store_replica t ~owner ~glsn ~blob =
+  let owner = Net.Node_id.to_string owner in
+  let existing = Option.value ~default:[] (Glsn.Map.find_opt glsn t.replicas) in
+  let existing = List.remove_assoc owner existing in
+  t.replicas <- Glsn.Map.add glsn ((owner, blob) :: existing) t.replicas
+
+let replica_of t ~owner glsn =
+  match Glsn.Map.find_opt glsn t.replicas with
+  | None -> None
+  | Some blobs -> List.assoc_opt (Net.Node_id.to_string owner) blobs
+
+let replica_count t =
+  Glsn.Map.fold (fun _ blobs acc -> acc + List.length blobs) t.replicas 0
+
+let tamper_set t ~glsn ~attr value =
+  match Glsn.Map.find_opt glsn t.rows with
+  | None -> false
+  | Some fragment ->
+    let replaced = ref false in
+    let fragment' =
+      List.map
+        (fun (a, v) ->
+          if Attribute.equal a attr then begin
+            replaced := true;
+            (a, value)
+          end
+          else (a, v))
+        fragment
+    in
+    let fragment' =
+      if !replaced then fragment' else (attr, value) :: fragment'
+    in
+    t.rows <- Glsn.Map.add glsn fragment' t.rows;
+    true
+
+let tamper_delete t ~glsn =
+  if Glsn.Map.mem glsn t.rows then begin
+    t.rows <- Glsn.Map.remove glsn t.rows;
+    true
+  end
+  else false

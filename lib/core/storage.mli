@@ -1,0 +1,70 @@
+(** Per-DLA-node fragment storage (paper §4, Tables 2–5).
+
+    Each node stores, keyed by glsn, only the attribute columns it
+    supports, plus the user-deposited integrity digest for the whole
+    record (§4.1).  Tampering entry points simulate a compromised node
+    for the integrity-check tests ("when a DLA node is compromised, its
+    access control tables and log records could be modified"). *)
+
+open Numtheory
+
+type t
+
+val create : node:Net.Node_id.t -> supported:Attribute.Set.t -> t
+
+val node : t -> Net.Node_id.t
+val supported : t -> Attribute.Set.t
+
+val store :
+  t -> glsn:Glsn.t -> fragment:(Attribute.t * Value.t) list -> unit
+(** @raise Invalid_argument if the fragment contains an unsupported
+    attribute or the glsn is already present. *)
+
+val store_digest : t -> glsn:Glsn.t -> Bignum.t -> unit
+(** Deposit the record-level accumulator value sent by the user. *)
+
+val store_witness : t -> glsn:Glsn.t -> Bignum.t -> unit
+(** Deposit this node's membership witness (the accumulation of the
+    {e other} nodes' fragments, ref [27]) so the node can later prove
+    its fragment in isolation. *)
+
+val fragment_of : t -> Glsn.t -> (Attribute.t * Value.t) list option
+val digest_of : t -> Glsn.t -> Bignum.t option
+val witness_of : t -> Glsn.t -> Bignum.t option
+
+val glsns : t -> Glsn.t list
+(** Sorted ascending. *)
+
+val record_count : t -> int
+
+val column : t -> Attribute.t -> (Glsn.t * Value.t) list
+(** All stored values of one attribute, by ascending glsn. *)
+
+val acl : t -> Access_control.t
+(** This node's copy of the cluster access-control table. *)
+
+(** {1 Replicas}
+
+    A node may hold encrypted-at-rest replicas of *other* nodes'
+    fragments for availability ("measures must be taken so that the DLA
+    cluster as a whole has the complete log", §2).  Replicas are stored
+    as opaque wire blobs keyed by (owner, glsn): the replica holder can
+    return them for repair but gains no plaintext columns (the blob is
+    XOR-encrypted under the owner-pair key; the ledger records only
+    ciphertext observations). *)
+
+val store_replica :
+  t -> owner:Net.Node_id.t -> glsn:Glsn.t -> blob:string -> unit
+
+val replica_of : t -> owner:Net.Node_id.t -> Glsn.t -> string option
+
+val replica_count : t -> int
+
+(** {1 Fault injection} *)
+
+val tamper_set :
+  t -> glsn:Glsn.t -> attr:Attribute.t -> Value.t -> bool
+(** Overwrite a stored cell, bypassing all checks; [false] if absent. *)
+
+val tamper_delete : t -> glsn:Glsn.t -> bool
+(** Drop a whole fragment row; [false] if absent. *)

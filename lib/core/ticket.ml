@@ -1,0 +1,47 @@
+type right = Read | Write | Delete
+
+let right_to_string = function Read -> "R" | Write -> "W" | Delete -> "D"
+
+type t = {
+  id : string;
+  principal : Net.Node_id.t;
+  rights : right list;
+  expires_at : int;
+  mac : string;
+}
+
+let canonical ~id ~principal ~rights ~expires_at =
+  Printf.sprintf "ticket|%s|%s|%s|%d" id
+    (Net.Node_id.to_string principal)
+    (String.concat "" (List.map right_to_string rights))
+    expires_at
+
+module Authority = struct
+  type t = { key : string }
+
+  let create ~key = { key }
+
+  let mac t ~id ~principal ~rights ~expires_at =
+    Crypto.Sha256.hmac ~key:t.key (canonical ~id ~principal ~rights ~expires_at)
+
+  let issue t ~id ~principal ~rights ~expires_at =
+    if rights = [] then invalid_arg "Ticket.Authority.issue: no rights";
+    { id; principal; rights; expires_at;
+      mac = mac t ~id ~principal ~rights ~expires_at }
+
+  let verify t ticket ~now =
+    let expected =
+      mac t ~id:ticket.id ~principal:ticket.principal ~rights:ticket.rights
+        ~expires_at:ticket.expires_at
+    in
+    if not (String.equal expected ticket.mac) then Error "bad MAC"
+    else if now > ticket.expires_at then Error "expired"
+    else Ok ()
+
+  let authorizes t ticket ~now right =
+    match verify t ticket ~now with
+    | Error _ -> false
+    | Ok () -> List.mem right ticket.rights
+end
+
+let forge ticket ~rights = { ticket with rights }

@@ -1,0 +1,45 @@
+open Numtheory
+
+type params = { n : Bignum.t; x0 : Bignum.t }
+
+let generate rng ~bits =
+  let n, _p, _q = Primes.rsa_modulus rng ~bits in
+  let x0 = Prng.bignum_range rng Bignum.two (Bignum.pred n) in
+  { n; x0 }
+
+let of_values ~n ~x0 =
+  if Bignum.compare n (Bignum.of_int 4) <= 0 then
+    invalid_arg "Accumulator.of_values: modulus too small"
+  else if Bignum.compare x0 Bignum.one <= 0 || Bignum.compare x0 n >= 0 then
+    invalid_arg "Accumulator.of_values: x0 outside (1, n)"
+  else { n; x0 }
+
+let exponent_of_bytes payload =
+  Bignum.logor (Bignum.of_bytes_be (Sha256.digest payload)) Bignum.one
+
+let accumulate { n; _ } acc ~y =
+  if Bignum.sign y <= 0 then invalid_arg "Accumulator.accumulate: y <= 0"
+  else Modular.pow acc y ~m:n
+
+let accumulate_bytes params acc payload =
+  accumulate params acc ~y:(exponent_of_bytes payload)
+
+let accumulate_all params payloads =
+  List.fold_left (accumulate_bytes params) params.x0 payloads
+
+let witnesses params payloads =
+  (* Quadratic fold is fine at cluster sizes; a product tree would give
+     O(n log n) but obscure the algebra. *)
+  List.mapi
+    (fun i payload ->
+      let others = List.filteri (fun j _ -> j <> i) payloads in
+      (payload, accumulate_all params others))
+    payloads
+
+let verify_membership params ~total ~witness payload =
+  Bignum.equal (accumulate_bytes params witness payload) total
+
+let add params ~total payload = accumulate_bytes params total payload
+
+let update_witness params ~witness ~added =
+  accumulate_bytes params witness added

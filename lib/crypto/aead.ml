@@ -1,0 +1,33 @@
+(* RFC 8439 §2.8: one-time Poly1305 key from ChaCha20 block 0; MAC input
+   is AD and ciphertext, zero-padded to 16, plus their lengths. *)
+
+let pad16 s =
+  let r = String.length s mod 16 in
+  if r = 0 then s else s ^ String.make (16 - r) '\000'
+
+let le64 n =
+  String.init 8 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
+
+let mac_data ~ad ~ciphertext =
+  pad16 ad ^ pad16 ciphertext ^ le64 (String.length ad)
+  ^ le64 (String.length ciphertext)
+
+let one_time_key ~key ~nonce =
+  String.sub (Chacha20.block ~key ~nonce ~counter:0) 0 32
+
+let seal ~key ~nonce ~ad plaintext =
+  let ciphertext = Chacha20.encrypt ~key ~nonce ~counter:1 plaintext in
+  let otk = one_time_key ~key ~nonce in
+  let tag = Poly1305.mac ~key:otk (mac_data ~ad ~ciphertext) in
+  ciphertext ^ tag
+
+let open_ ~key ~nonce ~ad sealed =
+  if String.length sealed < 16 then None
+  else begin
+    let clen = String.length sealed - 16 in
+    let ciphertext = String.sub sealed 0 clen in
+    let tag = String.sub sealed clen 16 in
+    let otk = one_time_key ~key ~nonce in
+    if not (Poly1305.verify ~key:otk ~tag (mac_data ~ad ~ciphertext)) then None
+    else Some (Chacha20.encrypt ~key ~nonce ~counter:1 ciphertext)
+  end

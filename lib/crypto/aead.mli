@@ -1,0 +1,15 @@
+(** ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+
+    Authenticated encryption with associated data — the sealing
+    primitive for encrypted-at-rest replica blobs: the glsn rides as
+    associated data, so a blob cannot be replayed under another record
+    even by a holder that never learns the plaintext. *)
+
+val seal :
+  key:string -> nonce:string -> ad:string -> string -> string
+(** [ciphertext ‖ 16-byte tag].
+    @raise Invalid_argument on wrong key/nonce sizes. *)
+
+val open_ :
+  key:string -> nonce:string -> ad:string -> string -> string option
+(** [None] when the tag fails (corrupt data, wrong key/nonce/AD). *)

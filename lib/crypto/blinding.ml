@@ -1,0 +1,29 @@
+open Numtheory
+
+type affine = { a : Bignum.t; b : Bignum.t; p : Bignum.t }
+
+let generate_affine rng ~p =
+  if Bignum.compare p Bignum.two < 0 then
+    invalid_arg "Blinding.generate_affine: modulus too small"
+  else
+    {
+      a = Prng.bignum_range rng Bignum.one p;
+      b = Prng.bignum_below rng p;
+      p;
+    }
+
+let apply_affine { a; b; p } y =
+  Modular.add (Modular.mul a y ~m:p) b ~m:p
+
+type monotone = { scale : Bignum.t; offset : Bignum.t }
+
+let generate_monotone rng ~bits =
+  if bits < 1 then invalid_arg "Blinding.generate_monotone: bits < 1"
+  else
+    {
+      scale = Bignum.succ (Prng.bits rng bits);
+      offset = Prng.bits rng bits;
+    }
+
+let apply_monotone { scale; offset } y =
+  Bignum.add (Bignum.mul scale y) offset

@@ -1,0 +1,80 @@
+(* RFC 8439 ChaCha20.  State is sixteen 32-bit words kept in native ints
+   masked to 32 bits. *)
+
+let key_len = 32
+let nonce_len = 12
+let mask32 = 0xFFFFFFFF
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let quarter_round st a b c d =
+  st.(a) <- (st.(a) + st.(b)) land mask32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 16;
+  st.(c) <- (st.(c) + st.(d)) land mask32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 12;
+  st.(a) <- (st.(a) + st.(b)) land mask32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 8;
+  st.(c) <- (st.(c) + st.(d)) land mask32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 7
+
+let word32_le s i =
+  Char.code s.[i]
+  lor (Char.code s.[i + 1] lsl 8)
+  lor (Char.code s.[i + 2] lsl 16)
+  lor (Char.code s.[i + 3] lsl 24)
+
+let block ~key ~nonce ~counter =
+  if String.length key <> key_len then invalid_arg "Chacha20: bad key length";
+  if String.length nonce <> nonce_len then
+    invalid_arg "Chacha20: bad nonce length";
+  if counter < 0 then invalid_arg "Chacha20: negative counter";
+  let st = Array.make 16 0 in
+  st.(0) <- 0x61707865;
+  st.(1) <- 0x3320646e;
+  st.(2) <- 0x79622d32;
+  st.(3) <- 0x6b206574;
+  for i = 0 to 7 do
+    st.(4 + i) <- word32_le key (4 * i)
+  done;
+  st.(12) <- counter land mask32;
+  for i = 0 to 2 do
+    st.(13 + i) <- word32_le nonce (4 * i)
+  done;
+  let working = Array.copy st in
+  for _ = 1 to 10 do
+    quarter_round working 0 4 8 12;
+    quarter_round working 1 5 9 13;
+    quarter_round working 2 6 10 14;
+    quarter_round working 3 7 11 15;
+    quarter_round working 0 5 10 15;
+    quarter_round working 1 6 11 12;
+    quarter_round working 2 7 8 13;
+    quarter_round working 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    let v = (working.(i) + st.(i)) land mask32 in
+    Bytes.set out (4 * i) (Char.chr (v land 0xff));
+    Bytes.set out ((4 * i) + 1) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set out ((4 * i) + 2) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set out ((4 * i) + 3) (Char.chr ((v lsr 24) land 0xff))
+  done;
+  Bytes.to_string out
+
+let encrypt ~key ~nonce ?(counter = 1) data =
+  let n = String.length data in
+  let out = Bytes.create n in
+  let nblocks = (n + 63) / 64 in
+  for b = 0 to nblocks - 1 do
+    let keystream = block ~key ~nonce ~counter:(counter + b) in
+    let offset = 64 * b in
+    let len = min 64 (n - offset) in
+    for i = 0 to len - 1 do
+      Bytes.set out (offset + i)
+        (Char.chr (Char.code data.[offset + i] lxor Char.code keystream.[i]))
+    done
+  done;
+  Bytes.to_string out
+
+let nonce_of_string context =
+  String.sub (Sha256.digest ("chacha-nonce:" ^ context)) 0 nonce_len

@@ -1,0 +1,32 @@
+open Numtheory
+
+type keypair = { enc : Bignum.t -> Bignum.t; dec : Bignum.t -> Bignum.t }
+
+type scheme = {
+  name : string;
+  fresh_keypair : unit -> keypair;
+  encode : string -> Bignum.t;
+}
+
+let pohlig_hellman rng params =
+  {
+    name = "pohlig-hellman";
+    fresh_keypair =
+      (fun () ->
+        let key = Pohlig_hellman.generate_key rng params in
+        {
+          enc = Pohlig_hellman.encrypt params key;
+          dec = Pohlig_hellman.decrypt params key;
+        });
+    encode = Pohlig_hellman.encode params;
+  }
+
+let xor_pad rng params =
+  {
+    name = "xor-pad";
+    fresh_keypair =
+      (fun () ->
+        let key = Xor_pad.generate_key rng params in
+        { enc = Xor_pad.encrypt params key; dec = Xor_pad.decrypt params key });
+    encode = Xor_pad.encode params;
+  }

@@ -1,0 +1,29 @@
+(** Scheme-agnostic view of a commutative cipher.
+
+    The SMC protocols (secure set intersection/union, paper §3.1, §3.4)
+    only need, per node, a matched encrypt/decrypt pair plus a shared
+    deterministic embedding of payloads into the message domain.  This
+    module packages Pohlig–Hellman and the XOR pad behind that common
+    shape, so protocol code — and the cipher-choice ablation bench — is
+    written once. *)
+
+open Numtheory
+
+type keypair = {
+  enc : Bignum.t -> Bignum.t;
+  dec : Bignum.t -> Bignum.t;
+}
+(** One node's matched key, as closures over scheme parameters. *)
+
+type scheme = {
+  name : string;
+  fresh_keypair : unit -> keypair;
+      (** Draw an independent key for one participant. *)
+  encode : string -> Bignum.t;
+      (** Shared deterministic payload embedding: equal payloads map to
+          equal domain elements across all participants. *)
+}
+
+val pohlig_hellman : Numtheory.Prng.t -> Pohlig_hellman.params -> scheme
+
+val xor_pad : Numtheory.Prng.t -> Xor_pad.params -> scheme

@@ -1,0 +1,57 @@
+type entry = { index : int; payload : string; mac : string }
+
+type t = {
+  mutable key : string;
+  mutable next_index : int;
+  mutable previous_mac : string;
+  mutable log : entry list;  (* newest first *)
+}
+
+let evolve key = Sha256.digest ("evolve:" ^ key)
+
+let entry_mac ~key ~index ~previous_mac ~payload =
+  Sha256.hmac ~key (Printf.sprintf "%d|%s|%s" index previous_mac payload)
+
+let genesis_mac = Sha256.digest "forward-log-genesis"
+
+let create ~initial_key =
+  { key = initial_key; next_index = 0; previous_mac = genesis_mac; log = [] }
+
+let append t payload =
+  let entry =
+    {
+      index = t.next_index;
+      payload;
+      mac =
+        entry_mac ~key:t.key ~index:t.next_index ~previous_mac:t.previous_mac
+          ~payload;
+    }
+  in
+  (* Evolve and forget: the old key is unrecoverable from the new one. *)
+  t.key <- evolve t.key;
+  t.next_index <- t.next_index + 1;
+  t.previous_mac <- entry.mac;
+  t.log <- entry :: t.log;
+  entry
+
+let entries t = List.rev t.log
+let current_key t = t.key
+
+let verify ~initial_key entries =
+  let rec go key previous_mac expected_index = function
+    | [] -> Ok ()
+    | entry :: rest ->
+      if entry.index <> expected_index then
+        Error (Printf.sprintf "entry %d: index gap" entry.index)
+      else if
+        not
+          (String.equal entry.mac
+             (entry_mac ~key ~index:entry.index ~previous_mac
+                ~payload:entry.payload))
+      then Error (Printf.sprintf "entry %d: bad MAC or broken chain" entry.index)
+      else go (evolve key) entry.mac (expected_index + 1) rest
+  in
+  go initial_key genesis_mac 0 entries
+
+let forge_with_key ~key ~index ~previous_mac ~payload =
+  { index; payload; mac = entry_mac ~key ~index ~previous_mac ~payload }

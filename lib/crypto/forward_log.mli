@@ -1,0 +1,44 @@
+(** Forward-secure audit log (Schneier–Kelsey style, the paper's ref
+    [25] "Secure Audit Logs to Support Computer Forensics").
+
+    The single-node alternative the paper contrasts its cluster with:
+    entries are MAC'd under an evolving key ([K_{i+1} = H(K_i)], old key
+    erased) and hash-chained, so an attacker who compromises the node at
+    time t holds only [K_t] and cannot forge, alter or silently truncate
+    anything written before t.  A verifier holding the initial key
+    replays the evolution and checks every link.
+
+    What it cannot do — and why the paper goes distributed — is
+    {e confidential sharing}: the node still holds all its plaintext,
+    and an attacker with [K_t] can fabricate everything after t. *)
+
+type entry = private {
+  index : int;
+  payload : string;
+  mac : string;  (** HMAC(K_index, index ‖ payload ‖ previous mac) *)
+}
+
+type t
+
+val create : initial_key:string -> t
+(** A fresh writer.  Keep [initial_key] with the (offline) verifier;
+    the writer's copy evolves away immediately. *)
+
+val append : t -> string -> entry
+(** MAC under the current key, then evolve and erase it. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val current_key : t -> string
+(** What an attacker gets by compromising the node now. *)
+
+val verify : initial_key:string -> entry list -> (unit, string) result
+(** Replay the key evolution and check every entry and chain link; the
+    error names the first bad index. *)
+
+val forge_with_key : key:string -> index:int -> previous_mac:string ->
+  payload:string -> entry
+(** Test helper — what an attacker can construct from a captured key:
+    an entry MAC'd under [key].  Verification must reject it for any
+    index whose true key predates the capture. *)

@@ -1,0 +1,23 @@
+let hash_len = 32
+
+let extract ?(salt = String.make hash_len '\000') ~ikm () =
+  Sha256.hmac ~key:salt ikm
+
+let expand ~prk ~info ~length =
+  if length < 0 || length > 255 * hash_len then
+    invalid_arg "Hkdf.expand: length out of range";
+  let buf = Buffer.create length in
+  let rec go previous i =
+    if Buffer.length buf < length then begin
+      let block =
+        Sha256.hmac ~key:prk (previous ^ info ^ String.make 1 (Char.chr i))
+      in
+      Buffer.add_string buf block;
+      go block (i + 1)
+    end
+  in
+  go "" 1;
+  String.sub (Buffer.contents buf) 0 length
+
+let derive ~ikm ~info ~length =
+  expand ~prk:(extract ~ikm ()) ~info ~length

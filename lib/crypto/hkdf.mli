@@ -1,0 +1,17 @@
+(** HKDF (RFC 5869) over HMAC-SHA256.
+
+    The key-derivation step wherever one secret must yield several
+    independent keys — the replication layer derives each owner's blob
+    key and MAC key from one master secret.  Validated against the RFC
+    5869 test vectors. *)
+
+val extract : ?salt:string -> ikm:string -> unit -> string
+(** 32-byte pseudorandom key.  [salt] defaults to 32 zero bytes. *)
+
+val expand : prk:string -> info:string -> length:int -> string
+(** Output keying material.
+    @raise Invalid_argument if [length] exceeds 255×32 or is negative. *)
+
+val derive : ikm:string -> info:string -> length:int -> string
+(** [expand (extract ikm)] in one call, with the default (zero) salt;
+    use {!extract} + {!expand} when a salt is needed. *)

@@ -1,0 +1,51 @@
+open Numtheory
+
+type public = { n : Bignum.t; n_squared : Bignum.t }
+type secret = { lambda : Bignum.t; mu : Bignum.t; public : public }
+
+let lcm a b = Bignum.div (Bignum.mul a b) (Modular.gcd a b)
+
+(* L(x) = (x - 1) / n, defined on x = 1 mod n. *)
+let l_function ~n x = Bignum.div (Bignum.pred x) n
+
+let generate rng ~bits =
+  if bits < 16 then invalid_arg "Paillier.generate: modulus too small";
+  let rec go () =
+    let n, p, q = Primes.rsa_modulus rng ~bits in
+    let phi = Bignum.mul (Bignum.pred p) (Bignum.pred q) in
+    if not (Bignum.equal (Modular.gcd n phi) Bignum.one) then go ()
+    else begin
+      let n_squared = Bignum.mul n n in
+      let public = { n; n_squared } in
+      let lambda = lcm (Bignum.pred p) (Bignum.pred q) in
+      (* g = n+1: g^λ mod n² = 1 + λn, so L(g^λ) = λ mod n. *)
+      let g_lambda =
+        Modular.pow (Bignum.succ n) lambda ~m:n_squared
+      in
+      match Modular.inverse (l_function ~n g_lambda) ~m:n with
+      | Some mu -> (public, { lambda; mu; public })
+      | None -> go ()
+    end
+  in
+  go ()
+
+let encrypt rng { n; n_squared } m =
+  if Bignum.sign m < 0 || Bignum.compare m n >= 0 then
+    invalid_arg "Paillier.encrypt: plaintext outside [0, n)";
+  (* c = (1+n)^m * r^n mod n², with random r coprime to n. *)
+  let rec random_unit () =
+    let r = Prng.bignum_range rng Bignum.one n in
+    if Bignum.equal (Modular.gcd r n) Bignum.one then r else random_unit ()
+  in
+  let r = random_unit () in
+  let gm = Modular.pow (Bignum.succ n) m ~m:n_squared in
+  let rn = Modular.pow r n ~m:n_squared in
+  Modular.mul gm rn ~m:n_squared
+
+let decrypt { n; n_squared } secret c =
+  let x = Modular.pow c secret.lambda ~m:n_squared in
+  Modular.mul (l_function ~n x) secret.mu ~m:n
+
+let add { n_squared; _ } c1 c2 = Modular.mul c1 c2 ~m:n_squared
+
+let scale { n_squared; _ } c ~by = Modular.pow c by ~m:n_squared

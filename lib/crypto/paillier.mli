@@ -1,0 +1,36 @@
+(** Paillier additively-homomorphic encryption.
+
+    §3 of the paper observes that "the cost of multiparty private
+    computation will be greatly reduced if a TTP can coordinate the
+    computation" — Paillier is the textbook realization: each party
+    encrypts its value under the receiver's public key, {e any}
+    untrusted coordinator multiplies the ciphertexts (which adds the
+    plaintexts), and only the receiver can decrypt the total.  One
+    message per party instead of the Shamir protocol's n²; the trade-off
+    is that the receiver's key becomes a single point of decryption
+    (the benches compare both, experiment P1).
+
+    Standard simplified-variant parameters: [n = p·q] with
+    [gcd(n, φ(n)) = 1], generator [g = n+1], [λ = lcm(p-1, q-1)],
+    decryption via [L(c^λ mod n²) · λ⁻¹ mod n]. *)
+
+open Numtheory
+
+type public = private { n : Bignum.t; n_squared : Bignum.t }
+type secret
+
+val generate : Prng.t -> bits:int -> public * secret
+(** Modulus of roughly [bits] bits.  @raise Invalid_argument if
+    [bits < 16]. *)
+
+val encrypt : Prng.t -> public -> Bignum.t -> Bignum.t
+(** @raise Invalid_argument if the plaintext is outside [\[0, n)]. *)
+
+val decrypt : public -> secret -> Bignum.t -> Bignum.t
+
+val add : public -> Bignum.t -> Bignum.t -> Bignum.t
+(** Homomorphic addition: [decrypt (add c1 c2) = m1 + m2 mod n]. *)
+
+val scale : public -> Bignum.t -> by:Bignum.t -> Bignum.t
+(** Homomorphic scalar multiplication:
+    [decrypt (scale c ~by:k) = k·m mod n]. *)

@@ -1,0 +1,40 @@
+open Numtheory
+
+type params = { p : Bignum.t }
+type key = { e : Bignum.t; d : Bignum.t }
+
+let generate_params rng ~bits = { p = Primes.random_safe_prime rng ~bits }
+
+let params_of_prime p =
+  if Bignum.compare p (Bignum.of_int 5) < 0 || Bignum.is_even p then
+    invalid_arg "Pohlig_hellman.params_of_prime: need an odd prime >= 5"
+  else { p }
+
+let generate_key rng { p } =
+  let phi = Bignum.pred p in
+  let rec go () =
+    let e = Prng.bignum_range rng (Bignum.of_int 3) (Bignum.pred phi) in
+    match Modular.inverse e ~m:phi with
+    | Some d -> { e; d }
+    | None -> go ()
+  in
+  go ()
+
+let check_domain p m =
+  if Bignum.sign m <= 0 || Bignum.compare m p >= 0 then
+    invalid_arg "Pohlig_hellman: message outside [1, p-1]"
+
+let encrypt { p } { e; _ } m =
+  check_domain p m;
+  Modular.pow m e ~m:p
+
+let decrypt { p } { d; _ } c =
+  check_domain p c;
+  Modular.pow c d ~m:p
+
+let encode { p } payload =
+  (* 2 + (H(payload) mod (p - 3)) lies in [2, p-2]; deterministic, so two
+     nodes holding equal plaintexts produce the same group element. *)
+  let h = Bignum.of_bytes_be (Sha256.digest payload) in
+  let span = Bignum.sub p (Bignum.of_int 3) in
+  Bignum.add Bignum.two (Bignum.erem h span)

@@ -1,0 +1,36 @@
+(** Pohlig–Hellman exponentiation cipher (paper §3, ref [21]).
+
+    Over a safe prime [p], encryption is [c = m^e mod p] and decryption
+    [m = c^d mod p] with [e*d = 1 mod (p-1)].  Because exponents compose
+    multiplicatively, encryptions under different keys commute —
+    equations (6) and (7) of the paper — which is what lets DLA nodes
+    relay and stack encryptions in any order during secure set
+    intersection and union. *)
+
+open Numtheory
+
+type params = private { p : Bignum.t }
+(** The shared group: a prime [p] such that [p-1] has a large prime
+    factor (we generate safe primes, [p = 2q+1]). *)
+
+type key = private { e : Bignum.t; d : Bignum.t }
+
+val generate_params : Numtheory.Prng.t -> bits:int -> params
+(** Fresh safe-prime parameters.  All cluster members share [params]. *)
+
+val params_of_prime : Bignum.t -> params
+(** Wrap an externally agreed prime.
+    @raise Invalid_argument if the argument is even or < 5. *)
+
+val generate_key : Numtheory.Prng.t -> params -> key
+(** Random [e] coprime to [p-1], with matching [d]. *)
+
+val encrypt : params -> key -> Bignum.t -> Bignum.t
+(** @raise Invalid_argument if the message is outside [\[1, p-1\]]. *)
+
+val decrypt : params -> key -> Bignum.t -> Bignum.t
+
+val encode : params -> string -> Bignum.t
+(** Deterministic hash-embedding of an arbitrary byte string into
+    [\[2, p-2\]]: equal strings map to equal group elements, so
+    commutatively-encrypted equality comparisons work on any payload. *)

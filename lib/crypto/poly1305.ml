@@ -1,0 +1,51 @@
+open Numtheory
+
+(* p = 2^130 - 5 *)
+let p =
+  Bignum.sub (Bignum.shift_left Bignum.one 130) (Bignum.of_int 5)
+
+let le_bytes_to_bignum s =
+  (* little-endian bytes *)
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) (Bignum.add_int (Bignum.shift_left acc 8) (Char.code s.[i]))
+  in
+  go (String.length s - 1) Bignum.zero
+
+let clamp r =
+  (* r &= 0x0ffffffc0ffffffc0ffffffc0fffffff (little-endian order) *)
+  let mask = Bignum.of_hex "0ffffffc0ffffffc0ffffffc0fffffff" in
+  Bignum.logand r mask
+
+let mac ~key msg =
+  if String.length key <> 32 then invalid_arg "Poly1305: bad key length";
+  let r = clamp (le_bytes_to_bignum (String.sub key 0 16)) in
+  let s = le_bytes_to_bignum (String.sub key 16 16) in
+  let n = String.length msg in
+  let acc = ref Bignum.zero in
+  let nblocks = (n + 15) / 16 in
+  for b = 0 to nblocks - 1 do
+    let offset = 16 * b in
+    let len = min 16 (n - offset) in
+    let block = String.sub msg offset len in
+    (* The block plus a high 0x01 byte. *)
+    let v =
+      Bignum.logor
+        (le_bytes_to_bignum block)
+        (Bignum.shift_left Bignum.one (8 * len))
+    in
+    acc := Modular.mul (Bignum.add !acc v) r ~m:p
+  done;
+  let tag = Bignum.add !acc s in
+  (* Low 128 bits, little-endian. *)
+  String.init 16 (fun i ->
+      match Bignum.to_int_opt
+              (Bignum.logand
+                 (Bignum.shift_right tag (8 * i))
+                 (Bignum.of_int 255))
+      with
+      | Some b -> Char.chr b
+      | None -> assert false)
+
+let verify ~key ~tag msg =
+  String.length tag = 16 && String.equal (mac ~key msg) tag

@@ -1,0 +1,12 @@
+(** Poly1305 one-time authenticator (RFC 8439 §2.5), on the bignum
+    substrate.
+
+    Combined with {!Chacha20} into the standard AEAD construction
+    ({!Aead}); validated against the RFC 8439 test vectors. *)
+
+val mac : key:string -> string -> string
+(** 16-byte tag.  The 32-byte [key] must be used for one message only
+    (the AEAD derives it per-nonce).
+    @raise Invalid_argument on a wrong key size. *)
+
+val verify : key:string -> tag:string -> string -> bool

@@ -1,0 +1,27 @@
+(** SHA-256 (FIPS 180-4), pure OCaml.
+
+    Every hash-shaped need in the system routes through here: mapping log
+    elements into the Pohlig–Hellman group, one-way-accumulator exponent
+    derivation, ticket MACs (via {!hmac}) and evidence commitments.
+    Validated against the FIPS test vectors in the test suite. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val finalize : ctx -> string
+(** 32-byte raw digest.  The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot 32-byte raw digest. *)
+
+val digest_hex : string -> string
+(** One-shot digest as 64 lowercase hex characters. *)
+
+val hmac : key:string -> string -> string
+(** HMAC-SHA256 (RFC 2104), 32-byte raw MAC. *)
+
+val hmac_hex : key:string -> string -> string
+
+val to_hex : string -> string
+(** Hex-encode an arbitrary byte string (used for digests). *)

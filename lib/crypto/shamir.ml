@@ -1,0 +1,62 @@
+open Numtheory
+
+type share = { x : Bignum.t; y : Bignum.t }
+
+let default_xs ~n = List.init n (fun i -> Bignum.of_int (i + 1))
+
+let poly_eval ~p coeffs x =
+  (* Horner, most-significant coefficient first. *)
+  List.fold_left
+    (fun acc c -> Modular.add (Modular.mul acc x ~m:p) c ~m:p)
+    Bignum.zero coeffs
+
+let split rng ~p ~k ~xs ~secret =
+  if k < 1 then invalid_arg "Shamir.split: k must be >= 1";
+  if k > List.length xs then invalid_arg "Shamir.split: k exceeds share count";
+  if Bignum.sign secret < 0 || Bignum.compare secret p >= 0 then
+    invalid_arg "Shamir.split: secret outside [0, p)";
+  let normalized = List.map (fun x -> Modular.normalize x ~m:p) xs in
+  if List.exists Bignum.is_zero normalized then
+    invalid_arg "Shamir.split: evaluation point is zero mod p";
+  let sorted = List.sort_uniq Bignum.compare normalized in
+  if List.length sorted <> List.length normalized then
+    invalid_arg "Shamir.split: duplicate evaluation points";
+  (* coefficients c_{k-1} .. c_1, then the secret as constant term *)
+  let high = List.init (k - 1) (fun _ -> Prng.bignum_below rng p) in
+  let coeffs = high @ [ secret ] in
+  List.map (fun x -> { x; y = poly_eval ~p coeffs x }) xs
+
+let reconstruct ~p shares =
+  match shares with
+  | [] -> invalid_arg "Shamir.reconstruct: no shares"
+  | _ ->
+    let xs = List.map (fun s -> s.x) shares in
+    let sorted = List.sort_uniq Bignum.compare xs in
+    if List.length sorted <> List.length xs then
+      invalid_arg "Shamir.reconstruct: duplicate x-coordinates";
+    (* F(0) = Σ_i y_i Π_{j≠i} x_j / (x_j - x_i)  (mod p) *)
+    List.fold_left
+      (fun acc si ->
+        let num, den =
+          List.fold_left
+            (fun (num, den) sj ->
+              if Bignum.equal si.x sj.x then (num, den)
+              else
+                ( Modular.mul num sj.x ~m:p,
+                  Modular.mul den (Modular.sub sj.x si.x ~m:p) ~m:p ))
+            (Bignum.one, Bignum.one) shares
+        in
+        let coeff = Modular.mul num (Modular.inverse_exn den ~m:p) ~m:p in
+        Modular.add acc (Modular.mul si.y coeff ~m:p) ~m:p)
+      Bignum.zero shares
+
+let add_shares ~p a b =
+  if not (Bignum.equal a.x b.x) then
+    invalid_arg "Shamir.add_shares: mismatched evaluation points";
+  { x = a.x; y = Modular.add a.y b.y ~m:p }
+
+let scale_share ~p c s = { s with y = Modular.mul c s.y ~m:p }
+
+let sum_shares ~p = function
+  | [] -> invalid_arg "Shamir.sum_shares: no shares"
+  | first :: rest -> List.fold_left (add_shares ~p) first rest

@@ -1,0 +1,43 @@
+(** Shamir (k, n) secret sharing over Z_p (paper §3.5).
+
+    Each DLA node P_i hides its local value a_i in the constant term of a
+    random degree-(k-1) polynomial f_i and distributes evaluations
+    f_i(x_j) to its peers.  Because sharing is linear, nodes can add (or
+    scale) shares locally; reconstructing the summed polynomial's constant
+    term yields Σ a_i — the paper's secure sum — without any node ever
+    seeing another's value. *)
+
+open Numtheory
+
+type share = { x : Bignum.t; y : Bignum.t }
+
+val default_xs : n:int -> Bignum.t list
+(** The canonical public evaluation points 1..n. *)
+
+val split :
+  Numtheory.Prng.t ->
+  p:Bignum.t ->
+  k:int ->
+  xs:Bignum.t list ->
+  secret:Bignum.t ->
+  share list
+(** Random degree-(k-1) polynomial with constant term [secret], evaluated
+    at each point of [xs].
+    @raise Invalid_argument if [k < 1], [k > length xs], points are not
+    distinct and non-zero mod [p], or the secret is outside [\[0, p)]. *)
+
+val reconstruct : p:Bignum.t -> share list -> Bignum.t
+(** Lagrange interpolation at zero.  Correct whenever at least [k] shares
+    of the original polynomial are supplied (extras are consistent).
+    @raise Invalid_argument on duplicate x-coordinates or empty input. *)
+
+val add_shares : p:Bignum.t -> share -> share -> share
+(** Pointwise sum; both shares must sit at the same [x].
+    Shares of [a] plus shares of [b] are shares of [a + b]. *)
+
+val scale_share : p:Bignum.t -> Bignum.t -> share -> share
+(** Shares of [a] scaled by public [c] are shares of [c * a] — the
+    weighted-sum variant at the end of §3.5. *)
+
+val sum_shares : p:Bignum.t -> share list -> share
+(** Fold of {!add_shares}.  @raise Invalid_argument on empty input. *)

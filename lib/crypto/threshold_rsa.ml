@@ -1,0 +1,120 @@
+open Numtheory
+
+type params = {
+  n : Bignum.t;
+  e : Bignum.t;
+  k : int;
+  parties : int;
+  delta : Bignum.t;
+}
+
+type share = { index : int; value : Bignum.t; params : params }
+type partial = { index : int; value : Bignum.t }
+
+let factorial n =
+  let rec go acc i =
+    if i > n then acc else go (Bignum.mul_int acc i) (i + 1)
+  in
+  go Bignum.one 2
+
+let deal rng ~bits ~k ~parties =
+  if k < 1 || k > parties then invalid_arg "Threshold_rsa.deal: bad threshold";
+  if bits < 32 then invalid_arg "Threshold_rsa.deal: modulus too small";
+  (* Safe-prime modulus: the squares subgroup then has order m = p'q',
+     which is where d lives and where Shamir interpolation happens. *)
+  let half = bits / 2 in
+  let p = Primes.random_safe_prime rng ~bits:half in
+  let rec distinct () =
+    let q = Primes.random_safe_prime rng ~bits:half in
+    if Bignum.equal p q then distinct () else q
+  in
+  let q = distinct () in
+  let n = Bignum.mul p q in
+  let m =
+    Bignum.mul
+      (Bignum.shift_right (Bignum.pred p) 1)
+      (Bignum.shift_right (Bignum.pred q) 1)
+  in
+  (* e must be prime, > parties, and coprime to m. *)
+  let rec pick_e candidate =
+    let e = Primes.next_prime rng candidate in
+    if Bignum.equal (Modular.gcd e m) Bignum.one then e
+    else pick_e e
+  in
+  let e = pick_e (Bignum.of_int (max 65536 parties)) in
+  let d = Modular.inverse_exn e ~m in
+  let params = { n; e; k; parties; delta = factorial parties } in
+  let xs = List.init parties (fun i -> Bignum.of_int (i + 1)) in
+  let shares = Shamir.split rng ~p:m ~k ~xs ~secret:d in
+  ( params,
+    List.mapi
+      (fun i (s : Shamir.share) -> { index = i + 1; value = s.Shamir.y; params })
+      shares )
+
+let digest_to_group { n; _ } msg =
+  let h = Bignum.erem (Bignum.of_bytes_be (Sha256.digest msg)) n in
+  Modular.mul h h ~m:n
+
+let partial_sign share msg =
+  let { n; delta; _ } = share.params in
+  let x = digest_to_group share.params msg in
+  let exponent = Bignum.mul (Bignum.shift_left delta 1) share.value in
+  { index = share.index; value = Modular.pow x exponent ~m:n }
+
+(* x^e for possibly negative e, via the inverse mod n. *)
+let pow_signed x e ~m =
+  if Bignum.sign e >= 0 then Modular.pow x e ~m
+  else Modular.pow (Modular.inverse_exn x ~m) (Bignum.neg e) ~m
+
+(* Integer Lagrange coefficient λ_i = Δ · Π_{j≠i} (0-j)/(i-j) over the
+   given index subset; Δ = parties! makes the division exact. *)
+let lagrange params subset i =
+  let num, den =
+    List.fold_left
+      (fun (num, den) j ->
+        if j = i then (num, den)
+        else (Bignum.mul_int num (-j), Bignum.mul_int den (i - j)))
+      (params.delta, Bignum.one)
+      subset
+  in
+  let q, r = Bignum.div_rem num den in
+  assert (Bignum.is_zero r);
+  q
+
+let combine params msg partials =
+  let indices = List.map (fun p -> p.index) partials in
+  if List.length (List.sort_uniq compare indices) <> List.length indices then
+    Error "duplicate partial indices"
+  else if List.exists (fun i -> i < 1 || i > params.parties) indices then
+    Error "partial index out of range"
+  else begin
+    let x = digest_to_group params msg in
+    (* w = Π x_i^(2 λ_i) = x^(4 Δ² d) *)
+    let w =
+      List.fold_left
+        (fun acc partial ->
+          let lambda = lagrange params indices partial.index in
+          let e = Bignum.shift_left lambda 1 in
+          Modular.mul acc (pow_signed partial.value e ~m:params.n) ~m:params.n)
+        Bignum.one partials
+    in
+    (* Remove the 4Δ² factor: a·4Δ² + b·e = 1 (gcd is 1 since e is an
+       odd prime > parties), so σ = w^a · x^b has σ^e = x. *)
+    let e' = Bignum.shift_left (Bignum.mul params.delta params.delta) 2 in
+    let g, a, b = Modular.extended_gcd e' params.e in
+    if not (Bignum.equal g Bignum.one) then Error "exponents not coprime"
+    else begin
+      let signature =
+        Modular.mul (pow_signed w a ~m:params.n) (pow_signed x b ~m:params.n)
+          ~m:params.n
+      in
+      if Bignum.equal (Modular.pow signature params.e ~m:params.n) x then
+        Ok signature
+      else Error "combination failed verification (insufficient or corrupt partials)"
+    end
+  end
+
+let verify params msg signature =
+  Bignum.equal
+    (Modular.pow signature params.e ~m:params.n)
+    (digest_to_group params msg)

@@ -1,0 +1,41 @@
+open Numtheory
+
+type params = { width_bits : int }
+type key = { secret : string; pad : Bignum.t }
+
+let params ~width_bits =
+  if width_bits <= 0 then invalid_arg "Xor_pad.params: width must be positive"
+  else { width_bits }
+
+(* Expand the secret to [width_bits] pad bits with counter-mode HMAC. *)
+let derive_pad { width_bits } secret =
+  let nblocks = ((width_bits + 255) / 256) in
+  let rec blocks i acc =
+    if i >= nblocks then acc
+    else begin
+      let block = Sha256.hmac ~key:secret (Printf.sprintf "xor-pad-%d" i) in
+      blocks (i + 1) (Bignum.logor (Bignum.shift_left acc 256) (Bignum.of_bytes_be block))
+    end
+  in
+  let wide = blocks 0 Bignum.zero in
+  (* Truncate to exactly width_bits. *)
+  Bignum.shift_right wide ((nblocks * 256) - width_bits)
+
+let generate_key rng p =
+  let secret = Prng.bytes rng 32 in
+  { secret; pad = derive_pad p secret }
+
+let check_domain { width_bits } m =
+  if Bignum.sign m < 0 || Bignum.num_bits m > width_bits then
+    invalid_arg "Xor_pad: message outside pad width"
+
+let encrypt p { pad; _ } m =
+  check_domain p m;
+  Bignum.logxor m pad
+
+let decrypt = encrypt
+
+let encode p payload =
+  let h = Bignum.of_bytes_be (Sha256.digest payload) in
+  let width = p.width_bits in
+  if width >= 256 then h else Bignum.shift_right h (256 - width)

@@ -1,0 +1,55 @@
+type sensitivity = Plaintext | Ciphertext | Blinded | Share | Aggregate | Metadata
+
+let sensitivity_to_string = function
+  | Plaintext -> "plaintext"
+  | Ciphertext -> "ciphertext"
+  | Blinded -> "blinded"
+  | Share -> "share"
+  | Aggregate -> "aggregate"
+  | Metadata -> "metadata"
+
+type entry = { sensitivity : sensitivity; tag : string; value : string }
+
+type t = { mutable by_node : entry list Node_id.Map.t; mutable count : int }
+
+let create () = { by_node = Node_id.Map.empty; count = 0 }
+
+let record t ~node ~sensitivity ~tag value =
+  let entry = { sensitivity; tag; value } in
+  let existing =
+    Option.value ~default:[] (Node_id.Map.find_opt node t.by_node)
+  in
+  t.by_node <- Node_id.Map.add node (entry :: existing) t.by_node;
+  t.count <- t.count + 1
+
+let observations t ~node =
+  match Node_id.Map.find_opt node t.by_node with
+  | None -> []
+  | Some entries ->
+    List.rev_map (fun e -> (e.sensitivity, e.tag, e.value)) entries
+
+let saw t ~node ~sensitivity value =
+  match Node_id.Map.find_opt node t.by_node with
+  | None -> false
+  | Some entries ->
+    List.exists
+      (fun e -> e.sensitivity = sensitivity && String.equal e.value value)
+      entries
+
+let saw_plaintext t ~node value = saw t ~node ~sensitivity:Plaintext value
+
+let nodes_that_saw t ~sensitivity value =
+  Node_id.Map.fold
+    (fun node entries acc ->
+      if
+        List.exists
+          (fun e -> e.sensitivity = sensitivity && String.equal e.value value)
+          entries
+      then node :: acc
+      else acc)
+    t.by_node []
+  |> List.rev
+
+let plaintext_exposure t value = nodes_that_saw t ~sensitivity:Plaintext value
+
+let size t = t.count

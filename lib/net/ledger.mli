@@ -1,0 +1,49 @@
+(** Observation ledger: who saw what, at which sensitivity.
+
+    The paper's central claim is about *non-observation*: "no single DLA
+    node can have the full knowledge of the logs".  Protocol code in this
+    repository records every value a node handles together with its
+    sensitivity class; the test suite then asserts the claim directly —
+    e.g. that a foreign plaintext log attribute never appears in any DLA
+    node's [Plaintext] observations, only [Ciphertext] or [Aggregate]
+    ones.
+
+    This is instrumentation of the simulation, not part of the protocol:
+    a real deployment has no such ledger. *)
+
+type sensitivity =
+  | Plaintext  (** raw secret data — seeing a foreign one is a breach *)
+  | Ciphertext  (** commutatively/otherwise encrypted material *)
+  | Blinded  (** affine/monotone-transformed values *)
+  | Share  (** a single secret-sharing share *)
+  | Aggregate  (** an authorized final result (sum, intersection, ...) *)
+  | Metadata  (** counts, sizes, glsn's — the "secondary information"
+                  relaxed SMC (Definition 1) permits *)
+
+val sensitivity_to_string : sensitivity -> string
+
+type t
+
+val create : unit -> t
+
+val record :
+  t -> node:Node_id.t -> sensitivity:sensitivity -> tag:string -> string -> unit
+(** [record t ~node ~sensitivity ~tag value]: [node] has observed [value];
+    [tag] says in which protocol role (e.g. ["intersection:element"]). *)
+
+val observations :
+  t -> node:Node_id.t -> (sensitivity * string * string) list
+(** Everything a node saw, as [(sensitivity, tag, value)], oldest first. *)
+
+val saw : t -> node:Node_id.t -> sensitivity:sensitivity -> string -> bool
+(** Did this node observe this exact value at this sensitivity? *)
+
+val saw_plaintext : t -> node:Node_id.t -> string -> bool
+
+val nodes_that_saw : t -> sensitivity:sensitivity -> string -> Node_id.t list
+
+val plaintext_exposure : t -> string -> Node_id.t list
+(** All nodes that saw the value as [Plaintext] — the breach check. *)
+
+val size : t -> int
+(** Total number of recorded observations. *)

@@ -1,0 +1,103 @@
+open Numtheory
+
+type delivery = Delivered | Dropped of string
+
+type stats = {
+  messages : int;
+  bytes : int;
+  rounds : int;
+  virtual_time_ms : float;
+  by_label : (string * int) list;
+}
+
+exception Partitioned of { src : Node_id.t; dst : Node_id.t; reason : string }
+
+type t = {
+  rng : Prng.t;
+  latency_ms : Node_id.t -> Node_id.t -> float;
+  loss_rate : float;
+  ledger : Ledger.t;
+  mutable down : Node_id.Set.t;
+  mutable messages : int;
+  mutable bytes : int;
+  mutable rounds : int;
+  mutable virtual_time_ms : float;
+  mutable round_max_latency : float;
+  mutable by_label : (string, int) Hashtbl.t;
+}
+
+let create ?(seed = 0) ?(latency_ms = fun _ _ -> 1.0) ?(loss_rate = 0.0) () =
+  if loss_rate < 0.0 || loss_rate >= 1.0 then
+    invalid_arg "Network.create: loss_rate must be in [0, 1)";
+  {
+    rng = Prng.create ~seed;
+    latency_ms;
+    loss_rate;
+    ledger = Ledger.create ();
+    down = Node_id.Set.empty;
+    messages = 0;
+    bytes = 0;
+    rounds = 0;
+    virtual_time_ms = 0.0;
+    round_max_latency = 0.0;
+    by_label = Hashtbl.create 16;
+  }
+
+let ledger t = t.ledger
+
+let send t ~src ~dst ~label ~bytes =
+  if Node_id.Set.mem src t.down then Dropped "source down"
+  else if Node_id.Set.mem dst t.down then Dropped "destination down"
+  else if t.loss_rate > 0.0 && Prng.float t.rng < t.loss_rate then
+    Dropped "loss"
+  else begin
+    t.messages <- t.messages + 1;
+    t.bytes <- t.bytes + bytes;
+    let lat = t.latency_ms src dst in
+    if lat > t.round_max_latency then t.round_max_latency <- lat;
+    let prev = Option.value ~default:0 (Hashtbl.find_opt t.by_label label) in
+    Hashtbl.replace t.by_label label (prev + 1);
+    Delivered
+  end
+
+let send_exn t ~src ~dst ~label ~bytes =
+  match send t ~src ~dst ~label ~bytes with
+  | Delivered -> ()
+  | Dropped reason -> raise (Partitioned { src; dst; reason })
+
+let round t =
+  t.rounds <- t.rounds + 1;
+  t.virtual_time_ms <- t.virtual_time_ms +. t.round_max_latency;
+  t.round_max_latency <- 0.0
+
+let take_down t node = t.down <- Node_id.Set.add node t.down
+let bring_up t node = t.down <- Node_id.Set.remove node t.down
+let is_up t node = not (Node_id.Set.mem node t.down)
+
+let stats t =
+  let by_label =
+    Hashtbl.fold (fun label count acc -> (label, count) :: acc) t.by_label []
+    |> List.sort compare
+  in
+  {
+    messages = t.messages;
+    bytes = t.bytes;
+    rounds = t.rounds;
+    virtual_time_ms = t.virtual_time_ms;
+    by_label;
+  }
+
+let reset_stats t =
+  t.messages <- 0;
+  t.bytes <- 0;
+  t.rounds <- 0;
+  t.virtual_time_ms <- 0.0;
+  t.round_max_latency <- 0.0;
+  t.by_label <- Hashtbl.create 16
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "@[<v>messages: %d@ bytes: %d@ rounds: %d@ virtual time: %.1f ms@ %a@]"
+    s.messages s.bytes s.rounds s.virtual_time_ms
+    (Format.pp_print_list (fun fmt (l, c) -> Format.fprintf fmt "%s: %d" l c))
+    s.by_label

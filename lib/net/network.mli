@@ -1,0 +1,61 @@
+(** Simulated cluster network.
+
+    Deterministic, synchronous-orchestration network model: protocol code
+    calls {!send} for every message it passes between principals, and the
+    network accounts messages, bytes, per-label traffic and virtual time,
+    and applies fault injection (down nodes, probabilistic drops).
+
+    Protocols mark synchronization points with {!round}; the paper's
+    protocols are all ring- or star-shaped, so "rounds × latency" is the
+    faithful latency model for them. *)
+
+type t
+
+type delivery =
+  | Delivered
+  | Dropped of string  (** reason: "node down", "loss", ... *)
+
+type stats = {
+  messages : int;
+  bytes : int;
+  rounds : int;
+  virtual_time_ms : float;
+  by_label : (string * int) list;  (** message count per protocol label *)
+}
+
+val create :
+  ?seed:int ->
+  ?latency_ms:(Node_id.t -> Node_id.t -> float) ->
+  ?loss_rate:float ->
+  unit ->
+  t
+(** Default latency: 1.0 ms per hop, uniform.  Default loss rate 0. *)
+
+val ledger : t -> Ledger.t
+(** The shared observation ledger (see {!Ledger}). *)
+
+val send :
+  t -> src:Node_id.t -> dst:Node_id.t -> label:string -> bytes:int -> delivery
+(** Account one message.  Returns [Dropped _] if the destination is down
+    or the message was lost; the caller decides how the protocol reacts. *)
+
+val send_exn :
+  t -> src:Node_id.t -> dst:Node_id.t -> label:string -> bytes:int -> unit
+(** Like {!send} but raises {!Partitioned} on non-delivery — for protocol
+    phases that have no recovery path. *)
+
+exception Partitioned of { src : Node_id.t; dst : Node_id.t; reason : string }
+
+val round : t -> unit
+(** Mark the end of a communication round; advances virtual time by the
+    maximum latency charged since the previous round. *)
+
+val take_down : t -> Node_id.t -> unit
+val bring_up : t -> Node_id.t -> unit
+val is_up : t -> Node_id.t -> bool
+
+val stats : t -> stats
+val reset_stats : t -> unit
+(** Zero the counters but keep topology, faults and the ledger. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,52 @@
+(** Discrete-event message-passing simulator.
+
+    Where {!Network} models protocols as synchronous orchestration with
+    post-hoc accounting, [Sim] runs them {e asynchronously}: nodes
+    register message handlers, sends schedule deliveries after a latency
+    (with optional loss), timers fire callbacks, and {!run} drains the
+    event queue in virtual-time order.  Fully deterministic under a
+    seed.
+
+    Used to validate the synchronous abstraction: the async integrity
+    protocol ({!Dla.Async_integrity}) reproduces the synchronous
+    results, and additionally exercises timeout/failure paths the
+    synchronous model cannot express. *)
+
+type 'msg t
+
+val create :
+  ?seed:int ->
+  ?latency_ms:(Node_id.t -> Node_id.t -> float) ->
+  ?loss_rate:float ->
+  ?jitter_ms:float ->
+  unit ->
+  'msg t
+(** Defaults: 1.0 ms per hop, no loss, no jitter.  With [jitter_ms],
+    each delivery is delayed by an extra uniform [0, jitter_ms) — which
+    can reorder messages, so handlers must not assume FIFO links. *)
+
+val now : 'msg t -> float
+(** Current virtual time, ms. *)
+
+val on_message :
+  'msg t -> Node_id.t -> (src:Node_id.t -> 'msg -> unit) -> unit
+(** Install (or replace) a node's message handler.  Messages delivered
+    to a node without a handler are counted as dropped. *)
+
+val send : 'msg t -> src:Node_id.t -> dst:Node_id.t -> 'msg -> unit
+(** Schedule a delivery after the link latency; may be lost. *)
+
+val set_timer : 'msg t -> delay_ms:float -> (unit -> unit) -> unit
+(** Schedule a callback at [now + delay_ms]. *)
+
+val take_down : 'msg t -> Node_id.t -> unit
+(** Down nodes neither receive nor send; messages to them are dropped. *)
+
+val bring_up : 'msg t -> Node_id.t -> unit
+
+val run : ?until_ms:float -> 'msg t -> int
+(** Process events until the queue drains (or virtual time passes
+    [until_ms]); returns the number of events processed. *)
+
+val delivered : 'msg t -> int
+val dropped : 'msg t -> int

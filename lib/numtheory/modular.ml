@@ -1,0 +1,120 @@
+let normalize a ~m =
+  if Bignum.sign m <= 0 then invalid_arg "Modular: modulus must be positive"
+  else Bignum.erem a m
+
+let add a b ~m = normalize (Bignum.add a b) ~m
+let sub a b ~m = normalize (Bignum.sub a b) ~m
+let mul a b ~m = normalize (Bignum.mul a b) ~m
+
+let pow_classic b e ~m =
+  if Bignum.sign e < 0 then invalid_arg "Modular.pow: negative exponent"
+  else if Bignum.equal m Bignum.one then Bignum.zero
+  else begin
+    (* Left-to-right square-and-multiply over the bits of [e]. *)
+    let b = normalize b ~m in
+    let nbits = Bignum.num_bits e in
+    let acc = ref Bignum.one in
+    for i = nbits - 1 downto 0 do
+      acc := mul !acc !acc ~m;
+      if Bignum.test_bit e i then acc := mul !acc b ~m
+    done;
+    !acc
+  end
+
+(* One-slot context cache: crypto code exponentiates under the same
+   modulus many times in a row (a key's p, an accumulator's n, ...). *)
+let mont_cache : Montgomery.ctx option ref = ref None
+
+let mont_ctx m =
+  match !mont_cache with
+  | Some ctx when Bignum.equal (Montgomery.modulus ctx) m -> ctx
+  | Some _ | None ->
+    let ctx = Montgomery.create m in
+    mont_cache := Some ctx;
+    ctx
+
+let pow b e ~m =
+  if Bignum.sign e < 0 then invalid_arg "Modular.pow: negative exponent"
+  else if Bignum.equal m Bignum.one then Bignum.zero
+  else if
+    (* Montgomery pays off once the per-multiplication division savings
+       outweigh the one-time domain setup. *)
+    Bignum.is_odd m && Bignum.num_bits m >= 64 && Bignum.num_bits e >= 16
+  then Montgomery.pow (mont_ctx m) b e
+  else pow_classic b e ~m
+
+let rec gcd a b =
+  if Bignum.is_zero b then Bignum.abs a else gcd b (Bignum.rem a b)
+
+let extended_gcd a b =
+  (* Iterative extended Euclid; invariant r_i = a*x_i + b*y_i. *)
+  let rec go r0 x0 y0 r1 x1 y1 =
+    if Bignum.is_zero r1 then (r0, x0, y0)
+    else begin
+      let q, r2 = Bignum.div_rem r0 r1 in
+      go r1 x1 y1 r2
+        (Bignum.sub x0 (Bignum.mul q x1))
+        (Bignum.sub y0 (Bignum.mul q y1))
+    end
+  in
+  let g, x, y = go a Bignum.one Bignum.zero b Bignum.zero Bignum.one in
+  if Bignum.sign g < 0 then (Bignum.neg g, Bignum.neg x, Bignum.neg y)
+  else (g, x, y)
+
+let inverse a ~m =
+  let g, x, _ = extended_gcd (normalize a ~m) m in
+  if Bignum.equal g Bignum.one then Some (normalize x ~m) else None
+
+let inverse_exn a ~m =
+  match inverse a ~m with
+  | Some v -> v
+  | None -> invalid_arg "Modular.inverse_exn: element is not invertible"
+
+let crt congruences =
+  match congruences with
+  | [] -> invalid_arg "Modular.crt: empty system"
+  | (r0, m0) :: rest ->
+    let combine (r1, m1) (r2, m2) =
+      (* x = r1 + m1 * k with m1*k = r2 - r1 (mod m2). *)
+      let g, p, _ = extended_gcd m1 m2 in
+      if not (Bignum.equal g Bignum.one) then
+        invalid_arg "Modular.crt: moduli are not coprime"
+      else begin
+        let m = Bignum.mul m1 m2 in
+        let diff = Bignum.sub r2 r1 in
+        let k = normalize (Bignum.mul diff p) ~m:m2 in
+        (normalize (Bignum.add r1 (Bignum.mul m1 k)) ~m, m)
+      end
+    in
+    List.fold_left combine (normalize r0 ~m:m0, m0) rest
+
+let jacobi a n =
+  if Bignum.sign n <= 0 || Bignum.is_even n then
+    invalid_arg "Modular.jacobi: n must be odd and positive"
+  else begin
+    let rec go a n acc =
+      let a = Bignum.erem a n in
+      if Bignum.is_zero a then if Bignum.equal n Bignum.one then acc else 0
+      else begin
+        (* Pull out factors of two, flipping sign when n = ±3 mod 8. *)
+        let rec twos a acc =
+          if Bignum.is_even a then begin
+            let n_mod8 = Bignum.to_int (Bignum.logand n (Bignum.of_int 7)) in
+            let acc = if n_mod8 = 3 || n_mod8 = 5 then -acc else acc in
+            twos (Bignum.shift_right a 1) acc
+          end
+          else (a, acc)
+        in
+        let a, acc = twos a acc in
+        if Bignum.equal a Bignum.one then acc
+        else begin
+          (* Quadratic reciprocity flip. *)
+          let a_mod4 = Bignum.to_int (Bignum.logand a (Bignum.of_int 3)) in
+          let n_mod4 = Bignum.to_int (Bignum.logand n (Bignum.of_int 3)) in
+          let acc = if a_mod4 = 3 && n_mod4 = 3 then -acc else acc in
+          go n a acc
+        end
+      end
+    in
+    go a n 1
+  end

@@ -1,0 +1,44 @@
+(** Modular arithmetic over [Bignum.t].
+
+    All functions reduce into the canonical residue range [\[0, m)].
+    This layer is the workhorse of the Pohlig–Hellman commutative cipher
+    (modular exponentiation), Shamir reconstruction (modular inverse of
+    Lagrange denominators) and the one-way accumulator. *)
+
+val normalize : Bignum.t -> m:Bignum.t -> Bignum.t
+(** Canonical residue of any integer modulo [m > 0]. *)
+
+val add : Bignum.t -> Bignum.t -> m:Bignum.t -> Bignum.t
+val sub : Bignum.t -> Bignum.t -> m:Bignum.t -> Bignum.t
+val mul : Bignum.t -> Bignum.t -> m:Bignum.t -> Bignum.t
+
+val pow : Bignum.t -> Bignum.t -> m:Bignum.t -> Bignum.t
+(** [pow b e ~m] is [b^e mod m] for [e >= 0].  Dispatches to Montgomery
+    exponentiation for odd multi-limb moduli with non-trivial exponents
+    (the common cryptographic case) and falls back to classic
+    square-and-multiply otherwise.
+    @raise Invalid_argument on a negative exponent. *)
+
+val pow_classic : Bignum.t -> Bignum.t -> m:Bignum.t -> Bignum.t
+(** The division-based square-and-multiply path, exposed for the modexp
+    ablation bench and as the reference in tests. *)
+
+val gcd : Bignum.t -> Bignum.t -> Bignum.t
+
+val extended_gcd : Bignum.t -> Bignum.t -> Bignum.t * Bignum.t * Bignum.t
+(** [extended_gcd a b = (g, x, y)] with [g = gcd a b = a*x + b*y]. *)
+
+val inverse : Bignum.t -> m:Bignum.t -> Bignum.t option
+(** Multiplicative inverse mod [m], or [None] when [gcd a m <> 1]. *)
+
+val inverse_exn : Bignum.t -> m:Bignum.t -> Bignum.t
+(** @raise Invalid_argument when no inverse exists. *)
+
+val crt : (Bignum.t * Bignum.t) list -> Bignum.t * Bignum.t
+(** [crt \[(r1, m1); (r2, m2); ...\]] solves the simultaneous congruences
+    [x = ri mod mi] for pairwise-coprime moduli, returning
+    [(x, m1*m2*...)] with [0 <= x < product].
+    @raise Invalid_argument when moduli are not coprime. *)
+
+val jacobi : Bignum.t -> Bignum.t -> int
+(** Jacobi symbol [(a/n)] for odd positive [n]; result in [{-1, 0, 1}]. *)

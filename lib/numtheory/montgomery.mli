@@ -1,0 +1,26 @@
+(** Montgomery modular multiplication and exponentiation.
+
+    For an odd modulus [m] of k limbs, work in the residue
+    representation [x·R mod m] with [R = 2^(26k)]: each product is then
+    reduced with REDC (two multiplications, a mask and a shift) instead
+    of a Knuth division.  Exponentiation amortizes the one-time domain
+    setup over hundreds of multiplications, which speeds every
+    cryptographic primitive in this repository (Pohlig–Hellman,
+    accumulator, RSA, Paillier) — {!Modular.pow} dispatches here
+    automatically; the modexp ablation bench compares the two paths. *)
+
+type ctx
+
+val create : Bignum.t -> ctx
+(** Precompute the domain constants for an odd modulus [m > 1].
+    @raise Invalid_argument on even or tiny moduli. *)
+
+val modulus : ctx -> Bignum.t
+
+val pow : ctx -> Bignum.t -> Bignum.t -> Bignum.t
+(** [pow ctx b e] is [b^e mod m] for [e >= 0].
+    @raise Invalid_argument on negative exponents. *)
+
+val mul : ctx -> Bignum.t -> Bignum.t -> Bignum.t
+(** One modular multiplication through the Montgomery domain (includes
+    conversion; use {!pow} for chains). *)

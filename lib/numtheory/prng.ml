@@ -1,0 +1,73 @@
+(* SplitMix64 (Steele, Lea, Flood 2014).  Small state, good statistical
+   quality, and splittable — which is what lets each simulated node carry
+   its own independent stream derived from the experiment seed. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = mix (next_int64 t) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive"
+  else begin
+    (* Rejection sampling on the top 62 bits to avoid modulo bias. *)
+    let mask = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    if bound land (bound - 1) = 0 then mask land (bound - 1)
+    else begin
+      let limit = max_int - (max_int mod bound) in
+      let rec go v = if v < limit then v mod bound else go (Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)) in
+      go mask
+    end
+  end
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t =
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int v *. (1.0 /. 9007199254740992.0)
+
+let bits t n =
+  if n < 0 then invalid_arg "Prng.bits: negative width"
+  else begin
+    let rec go acc got =
+      if got >= n then Bignum.shift_right acc (got - n)
+      else begin
+        let chunk = Int64.to_int (Int64.shift_right_logical (next_int64 t) 16) in
+        go (Bignum.add_int (Bignum.shift_left acc 48) chunk) (got + 48)
+      end
+    in
+    go Bignum.zero 0
+  end
+
+let bignum_below t bound =
+  if Bignum.sign bound <= 0 then
+    invalid_arg "Prng.bignum_below: bound must be positive"
+  else begin
+    let width = Bignum.num_bits bound in
+    let rec go () =
+      let candidate = bits t width in
+      if Bignum.compare candidate bound < 0 then candidate else go ()
+    in
+    go ()
+  end
+
+let bignum_range t lo hi =
+  if Bignum.compare lo hi >= 0 then invalid_arg "Prng.bignum_range: empty range"
+  else Bignum.add lo (bignum_below t (Bignum.sub hi lo))
+
+let bytes t n =
+  String.init n (fun _ -> Char.chr (int t 256))

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random source (SplitMix64 core).
+
+    Used for simulation reproducibility and for the randomized parts of
+    the number-theoretic algorithms (Miller–Rabin witnesses, key and
+    prime generation).  Every experiment in this repository is seeded, so
+    runs are exactly repeatable. *)
+
+type t
+
+val create : seed:int -> t
+
+val copy : t -> t
+(** Independent generator with identical future output. *)
+
+val split : t -> t
+(** Derive an independent child stream (SplitMix "split"). *)
+
+val next_int64 : t -> int64
+(** Uniform over all 2^64 values. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bits : t -> int -> Bignum.t
+(** [bits t n] is a uniform [n]-bit magnitude (high bit not forced). *)
+
+val bignum_below : t -> Bignum.t -> Bignum.t
+(** Uniform in [\[0, bound)] by rejection sampling.
+    [bound] must be positive. *)
+
+val bignum_range : t -> Bignum.t -> Bignum.t -> Bignum.t
+(** [bignum_range t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bytes : t -> int -> string
+(** [bytes t n] is an [n]-byte uniformly random string. *)

@@ -1,0 +1,88 @@
+open Numtheory
+
+type party = { node : Net.Node_id.t; value : Bignum.t }
+
+type outcome = Total of Bignum.t | Timed_out of Net.Node_id.t list
+
+type msg =
+  | Deal of { dealer : Net.Node_id.t; share : Crypto.Shamir.share }
+  | Aggregate of Crypto.Shamir.share
+
+let run ?(seed = 0) ?(latency_ms = 1.0) ?(timeout_ms = 100.0) ?(down = [])
+    ~rng ~p ~k ~receiver parties =
+  let n = List.length parties in
+  if n < 2 then invalid_arg "Async_sum.run: need at least 2 parties";
+  if k < 1 || k > n then invalid_arg "Async_sum.run: threshold k outside [1, n]";
+  let nodes = List.map (fun party -> party.node) parties in
+  let xs = Crypto.Shamir.default_xs ~n in
+  let sim = Net.Sim.create ~seed ~latency_ms:(fun _ _ -> latency_ms) () in
+  List.iter (Net.Sim.take_down sim) down;
+  let outcome = ref (Timed_out []) in
+  let finished = ref false in
+  let finish_time = ref 0.0 in
+  (* Per-node protocol state, captured by the handlers. *)
+  let received : (string, (Net.Node_id.t * Crypto.Shamir.share) list) Hashtbl.t
+      =
+    Hashtbl.create 8
+  in
+  let seen_dealers : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let collected = ref [] in
+  let node_handler node ~src:_ msg =
+    match msg with
+    | Deal { dealer; share } ->
+      let key = Net.Node_id.to_string node in
+      Hashtbl.replace seen_dealers (Net.Node_id.to_string dealer) ();
+      let shares =
+        (dealer, share) :: Option.value ~default:[] (Hashtbl.find_opt received key)
+      in
+      Hashtbl.replace received key shares;
+      if List.length shares = n then begin
+        (* Full column: forward the aggregate share to the receiver. *)
+        let aggregate =
+          Crypto.Shamir.sum_shares ~p (List.map snd shares)
+        in
+        Net.Sim.send sim ~src:node ~dst:receiver (Aggregate aggregate)
+      end
+    | Aggregate _ -> ()
+  in
+  let receiver_handler ~src:_ msg =
+    match msg with
+    | Aggregate share ->
+      if not !finished then begin
+        collected := share :: !collected;
+        if List.length !collected = k then begin
+          finished := true;
+          finish_time := Net.Sim.now sim;
+          outcome := Total (Crypto.Shamir.reconstruct ~p !collected)
+        end
+      end
+    | Deal _ -> ()
+  in
+  List.iter (fun node -> Net.Sim.on_message sim node (node_handler node)) nodes;
+  Net.Sim.on_message sim receiver receiver_handler;
+  (* Kickoff: every live dealer splits its value and deals. *)
+  List.iter
+    (fun party ->
+      if not (List.exists (Net.Node_id.equal party.node) down) then begin
+        let shares = Crypto.Shamir.split rng ~p ~k ~xs ~secret:party.value in
+        List.iter2
+          (fun dst share ->
+            Net.Sim.send sim ~src:party.node ~dst
+              (Deal { dealer = party.node; share }))
+          nodes shares
+      end)
+    parties;
+  Net.Sim.set_timer sim ~delay_ms:timeout_ms (fun () ->
+      if not !finished then begin
+        finished := true;
+        finish_time := Net.Sim.now sim;
+        let missing =
+          List.filter
+            (fun node ->
+              not (Hashtbl.mem seen_dealers (Net.Node_id.to_string node)))
+            nodes
+        in
+        outcome := Timed_out missing
+      end);
+  ignore (Net.Sim.run sim);
+  (!outcome, !finish_time)

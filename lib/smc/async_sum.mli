@@ -1,0 +1,32 @@
+(** Asynchronous secure sum (§3.5) on the discrete-event simulator.
+
+    The same Shamir protocol as {!Sum.run}, written as message handlers
+    on {!Net.Sim}: dealing, column aggregation and collection all happen
+    as deliveries arrive, with no global synchronization.  The receiver
+    reconstructs as soon as [k] aggregate shares are in, and a timeout
+    converts missing dealers into an explicit failure naming them —
+    validating the synchronous abstraction and adding the
+    failure-attribution the synchronous model cannot express. *)
+
+open Numtheory
+
+type party = { node : Net.Node_id.t; value : Bignum.t }
+
+type outcome =
+  | Total of Bignum.t
+  | Timed_out of Net.Node_id.t list
+      (** dealers whose shares never arrived anywhere *)
+
+val run :
+  ?seed:int ->
+  ?latency_ms:float ->
+  ?timeout_ms:float ->
+  ?down:Net.Node_id.t list ->
+  rng:Prng.t ->
+  p:Bignum.t ->
+  k:int ->
+  receiver:Net.Node_id.t ->
+  party list ->
+  outcome * float
+(** Returns the outcome and the virtual completion time (ms).
+    @raise Invalid_argument like {!Sum.run}. *)

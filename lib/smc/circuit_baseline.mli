@@ -1,0 +1,35 @@
+(** Classical circuit-style secure sum — the cost comparator.
+
+    §3 of the paper argues that classical multiparty private computation
+    ([9]–[18]: boolean-circuit evaluation over bitwise shares) is "too
+    costly to be useful for practical systems", which motivates the
+    relaxed model.  To reproduce that claim quantitatively we implement a
+    representative circuit protocol: GMW-style XOR bit-sharing among n
+    parties with dealer-assisted Beaver triples for AND gates, evaluating
+    a ripple-carry adder tree for the sum.
+
+    Per AND gate: one triple dealt (n messages) plus two masked-bit
+    openings (2·n·(n-1) messages).  Summing n values of w bits costs
+    (n-1)·w AND gates — the quadratic-in-n, linear-in-width blowup the
+    paper contrasts against the O(n²) *total* messages of the Shamir
+    secure sum.  The benches print both side by side (experiment P1). *)
+
+open Numtheory
+
+type party = { node : Net.Node_id.t; value : Bignum.t }
+
+val secure_sum :
+  net:Net.Network.t ->
+  rng:Prng.t ->
+  dealer:Net.Node_id.t ->
+  receiver:Net.Node_id.t ->
+  width:int ->
+  party list ->
+  Bignum.t
+(** Sum modulo 2^[width].  Each input must fit in [width] bits.
+    @raise Invalid_argument on out-of-range inputs or fewer than
+    2 parties. *)
+
+val and_gate_messages : n:int -> int
+(** Messages one AND gate costs with [n] parties (triple + openings);
+    exposed for the analytic columns of the cost bench. *)

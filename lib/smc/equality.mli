@@ -1,0 +1,51 @@
+(** Secure equality checking =ₛ (paper §3.2).
+
+    Randomized-mapping variant: the two holders agree on a secret random
+    affine bijection [y ↦ (a·y + b) mod p] and submit only transformed
+    values to a blind TTP, which compares them and returns the verdict.
+    The TTP learns one bit (plus the agreed modulus) and never sees the
+    originals. *)
+
+open Numtheory
+
+val via_ttp :
+  net:Net.Network.t ->
+  rng:Prng.t ->
+  p:Bignum.t ->
+  ttp:Net.Node_id.t ->
+  left:Net.Node_id.t * Bignum.t ->
+  right:Net.Node_id.t * Bignum.t ->
+  bool
+(** Values must lie in [\[0, p)]. @raise Invalid_argument otherwise. *)
+
+val via_intersection :
+  net:Net.Network.t ->
+  scheme:Crypto.Commutative.scheme ->
+  left:Net.Node_id.t * string ->
+  right:Net.Node_id.t * string ->
+  bool
+(** The paper's alternative: secure set intersection on singleton sets
+    ("when the set size of S_i = 1 ... could be used for secure equality
+    comparison"). *)
+
+val via_mapping_table :
+  net:Net.Network.t ->
+  rng:Prng.t ->
+  ttp:Net.Node_id.t ->
+  domain:string list ->
+  left:Net.Node_id.t * string ->
+  right:Net.Node_id.t * string ->
+  bool
+(** §3.2 verbatim: "two nodes securely agree upon a random mapping
+    table, which transforms (X_R, X_M) to a number space (Y_R, Y_M)",
+    then affine-blind the mapped numbers and let the TTP compare.  The
+    shared [domain] enumerates the values' finite universe (both values
+    must belong to it).
+    @raise Invalid_argument if a value is outside the domain. *)
+
+val naive :
+  net:Net.Network.t ->
+  coordinator:Net.Node_id.t ->
+  left:Net.Node_id.t * Bignum.t ->
+  right:Net.Node_id.t * Bignum.t ->
+  bool

@@ -1,0 +1,38 @@
+(** Distributed majority agreement (paper §2: "DLA nodes use secure
+    multiparty computations, threshold signature and {e distributed
+    majority agreement} to provide trusted and reliable auditing").
+
+    Commit-then-reveal voting among the DLA nodes:
+
+    + every node broadcasts a hash commitment to its vote;
+    + after all commitments are in, every node broadcasts its opening;
+    + openings that fail against the committed value are discarded and
+      their senders flagged — a node cannot change its vote after seeing
+      the others' commitments, and any attempt is publicly attributable.
+
+    This is the cluster's decision primitive: an audit verdict stands
+    only when a majority of mutually-monitoring nodes back it. *)
+
+type vote = Approve | Reject
+
+val vote_to_string : vote -> string
+
+type outcome = {
+  verdict : vote option;  (** [None] on a tie among valid votes *)
+  approvals : int;
+  rejections : int;
+  flagged : Net.Node_id.t list;  (** nodes whose opening failed *)
+}
+
+val run :
+  net:Net.Network.t ->
+  rng:Numtheory.Prng.t ->
+  votes:(Net.Node_id.t * vote) list ->
+  ?cheaters:(Net.Node_id.t * vote) list ->
+  unit ->
+  outcome
+(** Run one agreement round.  [cheaters] lists nodes that attempt to
+    open a *different* vote than they committed (the listed vote is the
+    one they try to switch to); the protocol flags and excludes them.
+    @raise Invalid_argument with fewer than 2 voters or duplicate
+    voters. *)

@@ -1,0 +1,36 @@
+(** Yao's millionaire protocol (the paper's ref [10], FOCS 1982).
+
+    The classical two-party comparison the paper cites as the origin of
+    multiparty private computation: Alice and Bob learn who is richer
+    and nothing else.  Textbook construction over RSA:
+
+    + Bob encrypts a random [x] under Alice's public key and sends
+      [E_A(x) − j] (his wealth [j] blinded into the ciphertext);
+    + Alice decrypts the [N] candidates [D_A(m + u)], reduces them by a
+      random prime into distinguishable residues, adds 1 to the residues
+      above her own wealth [i], and returns the sequence;
+    + Bob looks up position [j]: it still matches [x mod p] iff
+      [i < j]... i.e. the comparison bit pops out for Bob alone, who
+      announces it.
+
+    Wealth values must lie in the small public domain [1..domain] — the
+    protocol is linear in the domain size, which is exactly the cost
+    blow-up (O(N) decryptions and O(N) transferred residues per single
+    comparison) that motivates the paper's relaxed blinded-TTP
+    comparison (§3.3); the cost bench puts them side by side. *)
+
+open Numtheory
+
+val run :
+  net:Net.Network.t ->
+  rng:Prng.t ->
+  ?bits:int ->
+  domain:int ->
+  alice:Net.Node_id.t * int ->
+  bob:Net.Node_id.t * int ->
+  unit ->
+  bool
+(** [run ... ~alice:(a, i) ~bob:(b, j)] is [true] iff [i >= j] ("Alice
+    is at least as rich").  [bits] sizes Alice's RSA modulus (default
+    192).  @raise Invalid_argument if a wealth is outside
+    [\[1, domain\]] or the domain is smaller than 2. *)

@@ -1,0 +1,75 @@
+open Numtheory
+
+let transfer ~net ~rng ?(bits = 192) ~sender:(sender_node, m0, m1)
+    ~receiver ~choice () =
+  let secret = Crypto.Rsa.generate rng ~bits () in
+  let public = Crypto.Rsa.public secret in
+  let n = public.Crypto.Rsa.n in
+  let check m =
+    if Bignum.sign m < 0 || Bignum.compare m n >= 0 then
+      invalid_arg "Oblivious_transfer: message outside [0, n)"
+  in
+  check m0;
+  check m1;
+  let ledger = Net.Network.ledger net in
+  let wire = Proto_util.bignum_wire_size in
+  (* 1. Sender publishes the key and the two random points. *)
+  let x0 = Prng.bignum_below rng n and x1 = Prng.bignum_below rng n in
+  Net.Network.send_exn net ~src:sender_node ~dst:receiver ~label:"ot:setup"
+    ~bytes:(wire n + wire x0 + wire x1);
+  Net.Network.round net;
+  (* 2. Receiver blinds its choice. *)
+  let k = Prng.bignum_below rng n in
+  let xb = if choice then x1 else x0 in
+  let v = Modular.add xb (Crypto.Rsa.encrypt_raw public k) ~m:n in
+  Net.Network.send_exn net ~src:receiver ~dst:sender_node ~label:"ot:choice"
+    ~bytes:(wire v);
+  Net.Ledger.record ledger ~node:sender_node ~sensitivity:Net.Ledger.Blinded
+    ~tag:"ot:choice" (Bignum.to_hex v);
+  Net.Network.round net;
+  (* 3. Sender cannot tell which k is real; it masks both messages. *)
+  let k0 = Crypto.Rsa.decrypt_raw secret (Modular.sub v x0 ~m:n) in
+  let k1 = Crypto.Rsa.decrypt_raw secret (Modular.sub v x1 ~m:n) in
+  let c0 = Modular.add m0 k0 ~m:n and c1 = Modular.add m1 k1 ~m:n in
+  Net.Network.send_exn net ~src:sender_node ~dst:receiver ~label:"ot:masked"
+    ~bytes:(wire c0 + wire c1);
+  List.iter
+    (fun c ->
+      Net.Ledger.record ledger ~node:receiver
+        ~sensitivity:Net.Ledger.Ciphertext ~tag:"ot:masked" (Bignum.to_hex c))
+    [ c0; c1 ];
+  Net.Network.round net;
+  (* 4. Receiver unmasks its slot. *)
+  let cb = if choice then c1 else c0 in
+  let m = Modular.sub cb k ~m:n in
+  Net.Ledger.record ledger ~node:receiver ~sensitivity:Net.Ledger.Aggregate
+    ~tag:"ot:received" (Bignum.to_hex m);
+  m
+
+let transfer_strings ~net ~rng ?(bits = 192) ~sender:(sender_node, s0, s1)
+    ~receiver ~choice () =
+  (* Length-prefix so the byte decoding is unambiguous. *)
+  let encode s =
+    Bignum.of_bytes_be (Printf.sprintf "%c%s" (Char.chr (String.length s)) s)
+  in
+  let decode v =
+    let bytes = Bignum.to_bytes_be v in
+    if bytes = "" then ""
+    else String.sub bytes 1 (Char.code bytes.[0])
+  in
+  if String.length s0 > 20 || String.length s1 > 20 then
+    invalid_arg "Oblivious_transfer.transfer_strings: payload too long";
+  decode
+    (transfer ~net ~rng ~bits
+       ~sender:(sender_node, encode s0, encode s1)
+       ~receiver ~choice ())
+
+let and_gate ~net ~rng ?(bits = 128) ~left:(left_node, a)
+    ~right:(right_node, b) () =
+  let bit v = if v then Bignum.one else Bignum.zero in
+  let result =
+    transfer ~net ~rng ~bits
+      ~sender:(left_node, bit (a && false), bit (a && true))
+      ~receiver:right_node ~choice:b ()
+  in
+  Bignum.equal result Bignum.one

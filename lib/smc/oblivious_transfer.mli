@@ -1,0 +1,57 @@
+(** 1-out-of-2 oblivious transfer (the primitive behind the paper's ref
+    [11], the OT-based bitwise AND/NOT protocol).
+
+    The sender holds two messages; the receiver obtains exactly the one
+    it chose, the sender never learns which, and the other message stays
+    hidden.  Textbook RSA construction (Even–Goldreich–Lempel, honest-
+    but-curious):
+
+    + sender publishes an RSA key and two random group elements x₀, x₁;
+    + receiver blinds its choice: v = x_b + k^e for random k;
+    + sender derives k₀ = (v − x₀)^d and k₁ = (v − x₁)^d — one equals k,
+      the other is noise it cannot distinguish — and returns
+      m₀ + k₀, m₁ + k₁;
+    + receiver subtracts k from slot b.
+
+    Messages are group elements in [\[0, n)]; use {!transfer_strings}
+    for byte payloads. *)
+
+open Numtheory
+
+val transfer :
+  net:Net.Network.t ->
+  rng:Prng.t ->
+  ?bits:int ->
+  sender:Net.Node_id.t * Bignum.t * Bignum.t ->
+  receiver:Net.Node_id.t ->
+  choice:bool ->
+  unit ->
+  Bignum.t
+(** [transfer ~sender:(s, m0, m1) ~receiver ~choice ()] delivers [m1] if
+    [choice] else [m0].  [bits] sizes the RSA modulus (default 192); the
+    messages must fit below it.  @raise Invalid_argument otherwise. *)
+
+val transfer_strings :
+  net:Net.Network.t ->
+  rng:Prng.t ->
+  ?bits:int ->
+  sender:Net.Node_id.t * string * string ->
+  receiver:Net.Node_id.t ->
+  choice:bool ->
+  unit ->
+  string
+(** Byte-string payloads (must be shorter than the modulus). *)
+
+val and_gate :
+  net:Net.Network.t ->
+  rng:Prng.t ->
+  ?bits:int ->
+  left:Net.Node_id.t * bool ->
+  right:Net.Node_id.t * bool ->
+  unit ->
+  bool
+(** The ref [11] application: two parties compute the AND of their
+    private bits with one OT — the sender offers [(a ∧ false, a ∧ true)]
+    and the receiver selects with its own bit.  The receiver learns the
+    conjunction (which, per the truth table, is all an AND can avoid
+    leaking); the sender learns nothing. *)

@@ -1,0 +1,34 @@
+open Numtheory
+
+let bignum_wire_size v = String.length (Bignum.to_bytes_be (Bignum.abs v))
+
+let ring_next ring node =
+  let rec go = function
+    | [] -> invalid_arg "Proto_util.ring_next: node not in ring"
+    | [ last ] ->
+      if Net.Node_id.equal last node then List.hd ring
+      else invalid_arg "Proto_util.ring_next: node not in ring"
+    | x :: (y :: _ as rest) ->
+      if Net.Node_id.equal x node then y else go rest
+  in
+  if ring = [] then invalid_arg "Proto_util.ring_next: empty ring" else go ring
+
+let shuffle rng items =
+  let arr = Array.of_list items in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Prng.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let send_bignums net ~src ~dst ~label values =
+  let bytes = List.fold_left (fun acc v -> acc + bignum_wire_size v) 0 values in
+  Net.Network.send_exn net ~src ~dst ~label ~bytes;
+  let ledger = Net.Network.ledger net in
+  List.iter
+    (fun v ->
+      Net.Ledger.record ledger ~node:dst ~sensitivity:Net.Ledger.Ciphertext
+        ~tag:label (Bignum.to_hex v))
+    values

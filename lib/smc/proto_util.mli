@@ -1,0 +1,25 @@
+(** Shared plumbing for the relaxed-SMC protocols (paper §3). *)
+
+open Numtheory
+
+val bignum_wire_size : Bignum.t -> int
+(** Bytes a group element occupies on the wire (minimal big-endian). *)
+
+val ring_next : Net.Node_id.t list -> Net.Node_id.t -> Net.Node_id.t
+(** Successor in ring order; the list must contain the node.
+    @raise Invalid_argument otherwise. *)
+
+val shuffle : Prng.t -> 'a list -> 'a list
+(** Fisher–Yates; used to unlink decoded set elements from their owners
+    in the secure-union decode phase. *)
+
+val send_bignums :
+  Net.Network.t ->
+  src:Net.Node_id.t ->
+  dst:Net.Node_id.t ->
+  label:string ->
+  Bignum.t list ->
+  unit
+(** Account one message carrying the given group elements and record a
+    [Ciphertext] observation of each at the destination.
+    @raise Net.Network.Partitioned on non-delivery. *)

@@ -1,0 +1,118 @@
+open Numtheory
+
+type party = { node : Net.Node_id.t; value : Bignum.t }
+
+type verdict = {
+  max_holder : Net.Node_id.t;
+  min_holder : Net.Node_id.t;
+  ranks : (Net.Node_id.t * int) list;
+}
+
+let verdict_of_values values =
+  (* values : (node, comparable) list; rank 1 = smallest, ties share. *)
+  let sorted = List.sort (fun (_, a) (_, b) -> Bignum.compare a b) values in
+  let ranks =
+    let rec go idx prev acc = function
+      | [] -> List.rev acc
+      | (node, v) :: rest ->
+        let rank =
+          match prev with
+          | Some (pv, prank) when Bignum.equal pv v -> prank
+          | _ -> idx
+        in
+        go (idx + 1) (Some (v, rank)) ((node, rank) :: acc) rest
+    in
+    go 1 None [] sorted
+  in
+  let min_holder = fst (List.hd sorted) in
+  let max_holder =
+    (* Last in sort order; for ties any maximal holder is acceptable. *)
+    fst (List.nth sorted (List.length sorted - 1))
+  in
+  { max_holder; min_holder; ranks }
+
+let broadcast_negotiation net nodes =
+  (* Pairwise agreement on the shared transform, modeled as a ring pass. *)
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      Net.Network.send_exn net ~src:a ~dst:b ~label:"ranking:negotiate"
+        ~bytes:16;
+      go rest
+    | _ -> ()
+  in
+  go nodes;
+  Net.Network.round net
+
+let run ~net ~rng ~ttp parties =
+  if List.length parties < 2 then
+    invalid_arg "Ranking.run: need at least 2 parties";
+  let ledger = Net.Network.ledger net in
+  let nodes = List.map (fun party -> party.node) parties in
+  broadcast_negotiation net nodes;
+  let blind = Crypto.Blinding.generate_monotone rng ~bits:64 in
+  let blinded =
+    List.map
+      (fun party ->
+        Net.Ledger.record ledger ~node:party.node
+          ~sensitivity:Net.Ledger.Plaintext ~tag:"ranking:own-value"
+          (Bignum.to_string party.value);
+        let w = Crypto.Blinding.apply_monotone blind party.value in
+        Net.Network.send_exn net ~src:party.node ~dst:ttp
+          ~label:"ranking:submit" ~bytes:(Proto_util.bignum_wire_size w);
+        Net.Ledger.record ledger ~node:ttp ~sensitivity:Net.Ledger.Blinded
+          ~tag:"ranking:submit" (Bignum.to_string w);
+        (party.node, w))
+      parties
+  in
+  Net.Network.round net;
+  let verdict = verdict_of_values blinded in
+  (* The TTP announces holders and ranks (identities only, no values). *)
+  List.iter
+    (fun node ->
+      Net.Network.send_exn net ~src:ttp ~dst:node ~label:"ranking:verdict"
+        ~bytes:(4 * List.length parties);
+      Net.Ledger.record ledger ~node ~sensitivity:Net.Ledger.Aggregate
+        ~tag:"ranking:verdict"
+        (Net.Node_id.to_string verdict.max_holder))
+    nodes;
+  Net.Network.round net;
+  verdict
+
+let comparisons ~net ~rng ~ttp ~left:(lnode, lval) ~right:(rnode, rval) =
+  let ledger = Net.Network.ledger net in
+  Net.Network.send_exn net ~src:lnode ~dst:rnode ~label:"compare:negotiate"
+    ~bytes:16;
+  Net.Network.round net;
+  let blind = Crypto.Blinding.generate_monotone rng ~bits:64 in
+  let wl = Crypto.Blinding.apply_monotone blind lval in
+  let wr = Crypto.Blinding.apply_monotone blind rval in
+  List.iter
+    (fun (src, w) ->
+      Net.Network.send_exn net ~src ~dst:ttp ~label:"compare:submit"
+        ~bytes:(Proto_util.bignum_wire_size w);
+      Net.Ledger.record ledger ~node:ttp ~sensitivity:Net.Ledger.Blinded
+        ~tag:"compare:submit" (Bignum.to_string w))
+    [ (lnode, wl); (rnode, wr) ];
+  Net.Network.round net;
+  let verdict = Bignum.compare wl wr in
+  List.iter
+    (fun dst ->
+      Net.Network.send_exn net ~src:ttp ~dst ~label:"compare:verdict" ~bytes:1)
+    [ lnode; rnode ];
+  Net.Network.round net;
+  verdict
+
+let naive ~net ~coordinator parties =
+  let ledger = Net.Network.ledger net in
+  List.iter
+    (fun party ->
+      if not (Net.Node_id.equal party.node coordinator) then
+        Net.Network.send_exn net ~src:party.node ~dst:coordinator
+          ~label:"ranking:naive"
+          ~bytes:(Proto_util.bignum_wire_size party.value);
+      Net.Ledger.record ledger ~node:coordinator
+        ~sensitivity:Net.Ledger.Plaintext ~tag:"ranking:naive"
+        (Bignum.to_string party.value))
+    parties;
+  Net.Network.round net;
+  verdict_of_values (List.map (fun party -> (party.node, party.value)) parties)

@@ -1,0 +1,163 @@
+open Numtheory
+
+type party = { node : Net.Node_id.t; set : string list }
+
+type result = {
+  intersection : string list;
+  encrypted_by_all : (Net.Node_id.t * Bignum.t list) list;
+}
+
+module String_set = Set.Make (String)
+
+let dedupe items = String_set.elements (String_set.of_list items)
+
+(* The shared ring-encryption pass: every set ends up encrypted under
+   every party's key and collected at the receiver.  Returns the
+   parties' deduplicated plaintexts (for owner-side resolution) and the
+   fully-encrypted sets keyed by origin. *)
+let ring_encrypt ~net ~scheme ~receiver parties =
+  let ledger = Net.Network.ledger net in
+  let ring = List.map (fun p -> p.node) parties in
+  let keypairs =
+    List.map (fun p -> (p.node, scheme.Crypto.Commutative.fresh_keypair ())) parties
+  in
+  let keypair_of node =
+    snd (List.find (fun (n, _) -> Net.Node_id.equal n node) keypairs)
+  in
+  (* Each party owns its (deduplicated) plaintext set and records it. *)
+  let own_sets =
+    List.map
+      (fun p ->
+        let set = dedupe p.set in
+        List.iter
+          (fun e ->
+            Net.Ledger.record ledger ~node:p.node
+              ~sensitivity:Net.Ledger.Plaintext ~tag:"intersection:own-set" e)
+          set;
+        (p.node, set))
+      parties
+  in
+  (* First encryption layer is local: origin encrypts its own encoding. *)
+  let initial =
+    List.map
+      (fun (node, set) ->
+        let kp = keypair_of node in
+        let cts =
+          List.map
+            (fun e -> kp.Crypto.Commutative.enc (scheme.Crypto.Commutative.encode e))
+            set
+        in
+        (node, node, cts))
+      own_sets
+  in
+  (* n-1 relay hops: holder forwards; next node adds its layer. *)
+  let n = List.length parties in
+  let rec hops state hop =
+    if hop >= n then state
+    else begin
+      let state =
+        List.map
+          (fun (origin, holder, cts) ->
+            let next = Proto_util.ring_next ring holder in
+            Proto_util.send_bignums net ~src:holder ~dst:next
+              ~label:"intersection:relay" cts;
+            let kp = keypair_of next in
+            (origin, next, List.map kp.Crypto.Commutative.enc cts))
+          state
+      in
+      Net.Network.round net;
+      hops state (hop + 1)
+    end
+  in
+  let final = hops initial 1 in
+  (* Ship every fully-encrypted set to the receiver. *)
+  let encrypted_by_all =
+    List.map
+      (fun (origin, holder, cts) ->
+        if not (Net.Node_id.equal holder receiver) then
+          Proto_util.send_bignums net ~src:holder ~dst:receiver
+            ~label:"intersection:collect" cts;
+        (origin, cts))
+      final
+  in
+  Net.Network.round net;
+  (own_sets, encrypted_by_all)
+
+(* Equal fully-encrypted values <=> equal plaintexts (commutativity +
+   injectivity, eqs 6-7): intersect on hex images. *)
+let common_ciphertexts encrypted_by_all =
+  let hex_sets =
+    List.map
+      (fun (_, cts) -> String_set.of_list (List.map Bignum.to_hex cts))
+      encrypted_by_all
+  in
+  match hex_sets with
+  | [] -> String_set.empty
+  | first :: rest -> List.fold_left String_set.inter first rest
+
+let run ~net ~scheme ~receiver parties =
+  if List.length parties < 2 then
+    invalid_arg "Set_intersection.run: need at least 2 parties";
+  if not (List.exists (fun p -> Net.Node_id.equal p.node receiver) parties)
+  then invalid_arg "Set_intersection.run: receiver must be a party";
+  let ledger = Net.Network.ledger net in
+  let own_sets, encrypted_by_all = ring_encrypt ~net ~scheme ~receiver parties in
+  let common = common_ciphertexts encrypted_by_all in
+  (* The receiver resolves plaintexts through its own correspondence. *)
+  let receiver_plain =
+    snd (List.find (fun (n', _) -> Net.Node_id.equal n' receiver) own_sets)
+  in
+  let receiver_cts =
+    snd
+      (List.find
+         (fun (n', _) -> Net.Node_id.equal n' receiver)
+         encrypted_by_all)
+  in
+  let intersection =
+    List.filter_map
+      (fun (plain, ct) ->
+        if String_set.mem (Bignum.to_hex ct) common then Some plain else None)
+      (List.combine receiver_plain receiver_cts)
+    |> List.sort compare
+  in
+  List.iter
+    (fun e ->
+      Net.Ledger.record ledger ~node:receiver ~sensitivity:Net.Ledger.Aggregate
+        ~tag:"intersection:result" e)
+    intersection;
+  { intersection; encrypted_by_all }
+
+let cardinality ~net ~scheme ~receiver parties =
+  if List.length parties < 2 then
+    invalid_arg "Set_intersection.cardinality: need at least 2 parties";
+  let _, encrypted_by_all = ring_encrypt ~net ~scheme ~receiver parties in
+  let count = String_set.cardinal (common_ciphertexts encrypted_by_all) in
+  Net.Ledger.record (Net.Network.ledger net) ~node:receiver
+    ~sensitivity:Net.Ledger.Aggregate ~tag:"intersection:cardinality"
+    (string_of_int count);
+  count
+
+let naive ~net ~coordinator parties =
+  let ledger = Net.Network.ledger net in
+  let sets =
+    List.map
+      (fun p ->
+        let set = dedupe p.set in
+        if not (Net.Node_id.equal p.node coordinator) then begin
+          let bytes = List.fold_left (fun a e -> a + String.length e) 0 set in
+          Net.Network.send_exn net ~src:p.node ~dst:coordinator
+            ~label:"intersection:naive" ~bytes
+        end;
+        List.iter
+          (fun e ->
+            Net.Ledger.record ledger ~node:coordinator
+              ~sensitivity:Net.Ledger.Plaintext ~tag:"intersection:naive" e)
+          set;
+        String_set.of_list set)
+      parties
+  in
+  Net.Network.round net;
+  match sets with
+  | [] -> []
+  | first :: rest ->
+    String_set.elements (List.fold_left String_set.inter first rest)

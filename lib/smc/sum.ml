@@ -1,0 +1,137 @@
+open Numtheory
+
+type party = { node : Net.Node_id.t; value : Bignum.t }
+
+let check_inputs ~p ~k parties =
+  let n = List.length parties in
+  if n < 2 then invalid_arg "Sum: need at least 2 parties";
+  if k < 1 || k > n then invalid_arg "Sum: threshold k outside [1, n]";
+  List.iter
+    (fun party ->
+      if Bignum.sign party.value < 0 || Bignum.compare party.value p >= 0 then
+        invalid_arg "Sum: value outside [0, p)")
+    parties
+
+let share_tag = "sum:share"
+
+let run_general ~net ~rng ~p ~k ~receiver ~weight_of parties =
+  check_inputs ~p ~k parties;
+  let ledger = Net.Network.ledger net in
+  let n = List.length parties in
+  let nodes = List.map (fun party -> party.node) parties in
+  let xs = Crypto.Shamir.default_xs ~n in
+  (* Round 1: P_i splits its secret and deals the j-th share to P_j. *)
+  let dealt =
+    List.map
+      (fun party ->
+        Net.Ledger.record ledger ~node:party.node
+          ~sensitivity:Net.Ledger.Plaintext ~tag:"sum:own-value"
+          (Bignum.to_string party.value);
+        let shares =
+          Crypto.Shamir.split rng ~p ~k ~xs ~secret:party.value
+          |> List.map (Crypto.Shamir.scale_share ~p (weight_of party.node))
+        in
+        List.iter2
+          (fun dst (share : Crypto.Shamir.share) ->
+            if not (Net.Node_id.equal party.node dst) then
+              Net.Network.send_exn net ~src:party.node ~dst ~label:share_tag
+                ~bytes:(Proto_util.bignum_wire_size share.y);
+            Net.Ledger.record ledger ~node:dst ~sensitivity:Net.Ledger.Share
+              ~tag:share_tag (Bignum.to_string share.y))
+          nodes shares;
+        shares)
+      parties
+  in
+  Net.Network.round net;
+  (* Round 2: P_j sums its column — a share of F(z) = Σ f_i(z). *)
+  let columns =
+    List.mapi
+      (fun j node ->
+        let column = List.map (fun shares -> List.nth shares j) dealt in
+        (node, Crypto.Shamir.sum_shares ~p column))
+      nodes
+  in
+  (* Round 3: first k parties forward their aggregate share. *)
+  let selected = List.filteri (fun i _ -> i < k) columns in
+  let collected =
+    List.map
+      (fun (node, (share : Crypto.Shamir.share)) ->
+        if not (Net.Node_id.equal node receiver) then
+          Net.Network.send_exn net ~src:node ~dst:receiver ~label:"sum:aggregate"
+            ~bytes:(Proto_util.bignum_wire_size share.y);
+        Net.Ledger.record ledger ~node:receiver ~sensitivity:Net.Ledger.Share
+          ~tag:"sum:aggregate" (Bignum.to_string share.y);
+        share)
+      selected
+  in
+  Net.Network.round net;
+  let total = Crypto.Shamir.reconstruct ~p collected in
+  Net.Ledger.record ledger ~node:receiver ~sensitivity:Net.Ledger.Aggregate
+    ~tag:"sum:result" (Bignum.to_string total);
+  total
+
+let run ~net ~rng ~p ~k ~receiver parties =
+  run_general ~net ~rng ~p ~k ~receiver ~weight_of:(fun _ -> Bignum.one) parties
+
+let run_weighted ~net ~rng ~p ~k ~receiver ~weights parties =
+  let weight_of node =
+    match List.find_opt (fun (n, _) -> Net.Node_id.equal n node) weights with
+    | Some (_, w) -> Modular.normalize w ~m:p
+    | None -> Bignum.one
+  in
+  run_general ~net ~rng ~p ~k ~receiver ~weight_of parties
+
+let run_ttp_coordinated ~net ~rng ~public ~secret ~coordinator ~receiver
+    parties =
+  if List.length parties < 2 then invalid_arg "Sum: need at least 2 parties";
+  let ledger = Net.Network.ledger net in
+  (* Round 1: each party sends one ciphertext to the coordinator. *)
+  let ciphertexts =
+    List.map
+      (fun party ->
+        Net.Ledger.record ledger ~node:party.node
+          ~sensitivity:Net.Ledger.Plaintext ~tag:"sum:own-value"
+          (Bignum.to_string party.value);
+        let c = Crypto.Paillier.encrypt rng public party.value in
+        Net.Network.send_exn net ~src:party.node ~dst:coordinator
+          ~label:"sum:paillier-ct"
+          ~bytes:(Proto_util.bignum_wire_size c);
+        Net.Ledger.record ledger ~node:coordinator
+          ~sensitivity:Net.Ledger.Ciphertext ~tag:"sum:paillier-ct"
+          (Bignum.to_hex c);
+        c)
+      parties
+  in
+  Net.Network.round net;
+  (* The blind coordinator folds homomorphically — one multiplication per
+     party, no key material. *)
+  let folded =
+    match ciphertexts with
+    | [] -> assert false
+    | first :: rest -> List.fold_left (Crypto.Paillier.add public) first rest
+  in
+  Net.Network.send_exn net ~src:coordinator ~dst:receiver
+    ~label:"sum:paillier-total" ~bytes:(Proto_util.bignum_wire_size folded);
+  Net.Network.round net;
+  let total = Crypto.Paillier.decrypt public secret folded in
+  Net.Ledger.record ledger ~node:receiver ~sensitivity:Net.Ledger.Aggregate
+    ~tag:"sum:result" (Bignum.to_string total);
+  total
+
+let naive ~net ~coordinator parties =
+  let ledger = Net.Network.ledger net in
+  let total =
+    List.fold_left
+      (fun acc party ->
+        if not (Net.Node_id.equal party.node coordinator) then
+          Net.Network.send_exn net ~src:party.node ~dst:coordinator
+            ~label:"sum:naive"
+            ~bytes:(Proto_util.bignum_wire_size party.value);
+        Net.Ledger.record ledger ~node:coordinator
+          ~sensitivity:Net.Ledger.Plaintext ~tag:"sum:naive"
+          (Bignum.to_string party.value);
+        Bignum.add acc party.value)
+      Bignum.zero parties
+  in
+  Net.Network.round net;
+  total

@@ -1,0 +1,57 @@
+(** Secure sum Σₛ and weighted sum (paper §3.5).
+
+    Each party P_i hides its value a_i in a random degree-(k-1)
+    polynomial f_i with f_i(0) = a_i and sends the share f_i(x_j) to
+    every P_j.  Each P_j locally sums the shares it received — a share of
+    F = Σ f_i — and forwards it to the receiver, which reconstructs
+    F(0) = Σ a_i from any k shares.  No subset of fewer than k parties
+    learns anything about a foreign a_i. *)
+
+open Numtheory
+
+type party = { node : Net.Node_id.t; value : Bignum.t }
+
+val run :
+  net:Net.Network.t ->
+  rng:Prng.t ->
+  p:Bignum.t ->
+  k:int ->
+  receiver:Net.Node_id.t ->
+  party list ->
+  Bignum.t
+(** Σ values mod [p].  [k] is the reconstruction threshold, [1 <= k <= n].
+    Values must lie in [\[0, p)]; pick [p] well above any reachable sum.
+    @raise Invalid_argument on bad [k] or out-of-range values. *)
+
+val run_weighted :
+  net:Net.Network.t ->
+  rng:Prng.t ->
+  p:Bignum.t ->
+  k:int ->
+  receiver:Net.Node_id.t ->
+  weights:(Net.Node_id.t * Bignum.t) list ->
+  party list ->
+  Bignum.t
+(** Σ αᵢ·aᵢ mod [p] with public weights αᵢ (§3.5, final paragraph).
+    Parties without a listed weight default to weight 1. *)
+
+val run_ttp_coordinated :
+  net:Net.Network.t ->
+  rng:Prng.t ->
+  public:Crypto.Paillier.public ->
+  secret:Crypto.Paillier.secret ->
+  coordinator:Net.Node_id.t ->
+  receiver:Net.Node_id.t ->
+  party list ->
+  Bignum.t
+(** The §3 TTP-coordinated variant ("the cost … will be greatly reduced
+    if a TTP can coordinate the computation"): each party Paillier-
+    encrypts its value under the receiver's key and sends one ciphertext
+    to the blind coordinator, which homomorphically folds them and
+    forwards a single ciphertext to the receiver.  n+1 messages total
+    (vs. the Shamir protocol's ~n²); the coordinator sees only
+    ciphertexts.  Values must lie in [\[0, n)]. *)
+
+val naive :
+  net:Net.Network.t -> coordinator:Net.Node_id.t -> party list -> Bignum.t
+(** Non-private baseline: plaintext values shipped to a coordinator. *)

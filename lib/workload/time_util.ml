@@ -1,0 +1,61 @@
+(* Days-from-civil per Howard Hinnant's algorithms: exact for the whole
+   proleptic Gregorian calendar, no tables. *)
+
+let days_from_civil ~year ~month ~day =
+  let y = if month <= 2 then year - 1 else year in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (month + 9) mod 12 in
+  let doy = (((153 * mp) + 2) / 5) + day - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let civil_from_days z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let day = doy - (((153 * mp) + 2) / 5) + 1 in
+  let month = if mp < 10 then mp + 3 else mp - 9 in
+  let year = if month <= 2 then y + 1 else y in
+  (year, month, day)
+
+let epoch_of_civil ~year ~month ~day ~hour ~minute ~second =
+  if
+    month < 1 || month > 12 || day < 1 || day > 31 || hour < 0 || hour > 23
+    || minute < 0 || minute > 59 || second < 0 || second > 60
+  then invalid_arg "Time_util.epoch_of_civil: field out of range"
+  else begin
+    let days = days_from_civil ~year ~month ~day in
+    (days * 86400) + (hour * 3600) + (minute * 60) + second
+  end
+
+let civil_of_epoch epoch =
+  let days = if epoch >= 0 then epoch / 86400 else (epoch - 86399) / 86400 in
+  let secs = epoch - (days * 86400) in
+  let year, month, day = civil_from_days days in
+  (year, month, day, secs / 3600, secs / 60 mod 60, secs mod 60)
+
+let parse_paper s =
+  match String.split_on_char '/' s with
+  | [ hms; mm; dd; yyyy ] -> (
+    match String.split_on_char ':' hms with
+    | [ h; m; sec ] -> (
+      match
+        ( int_of_string_opt h, int_of_string_opt m, int_of_string_opt sec,
+          int_of_string_opt mm, int_of_string_opt dd, int_of_string_opt yyyy )
+      with
+      | Some hour, Some minute, Some second, Some month, Some day, Some year ->
+        let year = if year < 100 then 2000 + year else year in
+        epoch_of_civil ~year ~month ~day ~hour ~minute ~second
+      | _ -> invalid_arg "Time_util.parse_paper: non-numeric field")
+    | _ -> invalid_arg "Time_util.parse_paper: bad time-of-day")
+  | _ -> invalid_arg "Time_util.parse_paper: bad shape"
+
+let format_paper epoch =
+  let year, month, day, hour, minute, second = civil_of_epoch epoch in
+  Printf.sprintf "%02d:%02d:%02d/%02d/%02d/%04d" hour minute second month day
+    year

@@ -1,0 +1,21 @@
+(** Civil-time ↔ epoch-seconds conversion (no [Unix] dependency).
+
+    The paper's Table 1 timestamps read "20:18:35/05/12/2002"
+    (hh:mm:ss/mm/dd/yyyy); log records store epoch seconds
+    ([Value.Time]) so that range predicates work, and render back in
+    the paper's format. *)
+
+val epoch_of_civil :
+  year:int -> month:int -> day:int -> hour:int -> minute:int -> second:int -> int
+(** Proleptic-Gregorian civil time (UTC) to Unix epoch seconds.
+    @raise Invalid_argument on out-of-range fields. *)
+
+val civil_of_epoch : int -> int * int * int * int * int * int
+(** Inverse: [(year, month, day, hour, minute, second)]. *)
+
+val parse_paper : string -> int
+(** Parse "hh:mm:ss/mm/dd/yyyy" (2-digit years mean 20yy).
+    @raise Invalid_argument on malformed input. *)
+
+val format_paper : int -> string
+(** Render epoch seconds in the paper's format with a 4-digit year. *)

@@ -1,0 +1,336 @@
+(* Tests for the discrete-event simulator substrate (event queue, engine)
+   and the asynchronous §4.1 integrity circulation built on it —
+   including the agreement property between the synchronous and
+   asynchronous implementations. *)
+
+open Dla
+
+let d = Attribute.defined
+let u = Attribute.undefined
+
+(* ------------------------------------------------------------------ *)
+(* Event queue                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_queue_ordering () =
+  let q = Net.Event_queue.create () in
+  Net.Event_queue.push q ~time:3.0 "c";
+  Net.Event_queue.push q ~time:1.0 "a";
+  Net.Event_queue.push q ~time:2.0 "b";
+  let drain () =
+    let rec go acc =
+      match Net.Event_queue.pop q with
+      | None -> List.rev acc
+      | Some (_, x) -> go (x :: acc)
+    in
+    go []
+  in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (drain ())
+
+let test_queue_fifo_ties () =
+  let q = Net.Event_queue.create () in
+  List.iter (fun x -> Net.Event_queue.push q ~time:5.0 x) [ "1"; "2"; "3" ];
+  let rec drain acc =
+    match Net.Event_queue.pop q with
+    | None -> List.rev acc
+    | Some (_, x) -> drain (x :: acc)
+  in
+  Alcotest.(check (list string)) "FIFO among ties" [ "1"; "2"; "3" ] (drain [])
+
+let test_queue_validation () =
+  let q = Net.Event_queue.create () in
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Event_queue.push: bad time") (fun () ->
+      Net.Event_queue.push q ~time:(-1.0) ());
+  Alcotest.(check bool) "empty" true (Net.Event_queue.is_empty q);
+  Alcotest.(check bool) "pop empty" true (Net.Event_queue.pop q = None)
+
+let prop_queue_sorts =
+  QCheck.Test.make ~name:"event queue pops in sorted order" ~count:100
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 100) (QCheck.int_range 0 1000))
+    (fun times ->
+      let q = Net.Event_queue.create () in
+      List.iter (fun t -> Net.Event_queue.push q ~time:(float_of_int t) t) times;
+      let rec drain acc =
+        match Net.Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (_, x) -> drain (x :: acc)
+      in
+      drain [] = List.stable_sort compare times)
+
+(* ------------------------------------------------------------------ *)
+(* Sim engine                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_ping_pong () =
+  let sim = Net.Sim.create () in
+  let a = Net.Node_id.Dla 0 and b = Net.Node_id.Dla 1 in
+  let log = ref [] in
+  Net.Sim.on_message sim a (fun ~src:_ n ->
+      log := ("a", n) :: !log;
+      if n < 3 then Net.Sim.send sim ~src:a ~dst:b (n + 1));
+  Net.Sim.on_message sim b (fun ~src:_ n ->
+      log := ("b", n) :: !log;
+      Net.Sim.send sim ~src:b ~dst:a (n + 1));
+  Net.Sim.send sim ~src:a ~dst:b 0;
+  let events = Net.Sim.run sim in
+  Alcotest.(check bool) "events processed" true (events >= 4);
+  Alcotest.(check (list (pair string int)))
+    "conversation"
+    [ ("b", 0); ("a", 1); ("b", 2); ("a", 3) ]
+    (List.rev !log);
+  (* Latency 1ms per hop: 4 deliveries -> 4ms. *)
+  Alcotest.(check (float 1e-9)) "virtual time" 4.0 (Net.Sim.now sim)
+
+let test_sim_timers_and_down () =
+  let sim = Net.Sim.create () in
+  let fired = ref [] in
+  Net.Sim.set_timer sim ~delay_ms:5.0 (fun () -> fired := 5 :: !fired);
+  Net.Sim.set_timer sim ~delay_ms:2.0 (fun () -> fired := 2 :: !fired);
+  ignore (Net.Sim.run sim);
+  Alcotest.(check (list int)) "timer order" [ 2; 5 ] (List.rev !fired);
+  let sim = Net.Sim.create () in
+  let got = ref false in
+  let a = Net.Node_id.Dla 0 and b = Net.Node_id.Dla 1 in
+  Net.Sim.on_message sim b (fun ~src:_ () -> got := true);
+  Net.Sim.take_down sim b;
+  Net.Sim.send sim ~src:a ~dst:b ();
+  ignore (Net.Sim.run sim);
+  Alcotest.(check bool) "down node got nothing" false !got;
+  Alcotest.(check int) "dropped" 1 (Net.Sim.dropped sim)
+
+let test_sim_until () =
+  let sim = Net.Sim.create () in
+  let fired = ref 0 in
+  Net.Sim.set_timer sim ~delay_ms:1.0 (fun () -> incr fired);
+  Net.Sim.set_timer sim ~delay_ms:50.0 (fun () -> incr fired);
+  ignore (Net.Sim.run ~until_ms:10.0 sim);
+  Alcotest.(check int) "only early timer" 1 !fired
+
+let test_sim_determinism () =
+  let run () =
+    let sim = Net.Sim.create ~seed:7 ~loss_rate:0.3 () in
+    let a = Net.Node_id.Dla 0 and b = Net.Node_id.Dla 1 in
+    let count = ref 0 in
+    Net.Sim.on_message sim b (fun ~src:_ () -> incr count);
+    for _ = 1 to 50 do
+      Net.Sim.send sim ~src:a ~dst:b ()
+    done;
+    ignore (Net.Sim.run sim);
+    !count
+  in
+  Alcotest.(check int) "same seed same outcome" (run ()) (run ());
+  Alcotest.(check bool) "loss actually drops" true (run () < 50)
+
+(* ------------------------------------------------------------------ *)
+(* Async integrity                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let populated_cluster () =
+  let cluster = Cluster.create ~seed:70 Fragmentation.paper_partition in
+  let ticket =
+    Cluster.issue_ticket cluster ~id:"T" ~principal:(Net.Node_id.User 1)
+      ~rights:[ Ticket.Read; Ticket.Write ] ~ttl:86400
+  in
+  let glsns =
+    List.map
+      (fun time ->
+        match
+          Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
+            ~attributes:
+              [ (d "time", Value.Time time); (d "id", Value.Str "U1");
+                (u 2, Value.Money (time * 2))
+              ]
+        with
+        | Ok glsn -> glsn
+        | Error e -> Alcotest.failf "submit: %s" e)
+      [ 100; 200; 300 ]
+  in
+  (cluster, glsns)
+
+let test_async_intact () =
+  let cluster, glsns = populated_cluster () in
+  let verdict, time =
+    Async_integrity.check_record cluster ~initiator:(Net.Node_id.Dla 0)
+      (List.hd glsns)
+  in
+  Alcotest.(check string) "intact" "intact"
+    (Async_integrity.verdict_to_string verdict);
+  (* Ring of 4 at 1ms/hop plus the kick-off delivery: 5 hops = 5ms. *)
+  Alcotest.(check (float 1e-9)) "latency" 5.0 time
+
+let test_async_matches_sync () =
+  let cluster, glsns = populated_cluster () in
+  (* Tamper one record; both implementations must agree on every glsn. *)
+  let victim = List.nth glsns 1 in
+  let store = Cluster.store_of cluster (Net.Node_id.Dla 1) in
+  ignore (Storage.tamper_set store ~glsn:victim ~attr:(u 2) (Value.Money 1));
+  List.iter
+    (fun glsn ->
+      let sync_ok =
+        Integrity.check_record cluster ~initiator:(Net.Node_id.Dla 0) glsn
+        = Ok ()
+      in
+      let async_verdict, _ =
+        Async_integrity.check_record cluster ~initiator:(Net.Node_id.Dla 0)
+          glsn
+      in
+      let async_ok = async_verdict = Async_integrity.Intact in
+      Alcotest.(check bool) (Glsn.to_string glsn) sync_ok async_ok)
+    glsns
+
+let test_async_timeout_on_dead_node () =
+  let cluster, glsns = populated_cluster () in
+  let verdict, time =
+    Async_integrity.check_record cluster ~down:[ Net.Node_id.Dla 2 ]
+      ~timeout_ms:50.0 ~initiator:(Net.Node_id.Dla 0) (List.hd glsns)
+  in
+  (match verdict with
+  | Async_integrity.Timed_out (Some last) ->
+    (* P1 was the last to forward; the break is at its successor P2. *)
+    Alcotest.(check string) "last forwarder" "P1" (Net.Node_id.to_string last)
+  | other ->
+    Alcotest.failf "expected timeout, got %s"
+      (Async_integrity.verdict_to_string other));
+  Alcotest.(check (float 1e-9)) "timeout time" 50.0 time
+
+let test_async_missing_fragment_times_out () =
+  let cluster, glsns = populated_cluster () in
+  let victim = List.hd glsns in
+  let store = Cluster.store_of cluster (Net.Node_id.Dla 3) in
+  ignore (Storage.tamper_delete store ~glsn:victim);
+  let verdict, _ =
+    Async_integrity.check_record cluster ~timeout_ms:30.0
+      ~initiator:(Net.Node_id.Dla 0) victim
+  in
+  match verdict with
+  | Async_integrity.Timed_out _ -> ()
+  | other ->
+    Alcotest.failf "expected timeout, got %s"
+      (Async_integrity.verdict_to_string other)
+
+
+(* ------------------------------------------------------------------ *)
+(* Async secure sum                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let sum_p = Numtheory.Bignum.of_string "2305843009213693951"
+
+let async_parties values =
+  List.mapi
+    (fun i v ->
+      { Smc.Async_sum.node = Net.Node_id.Dla i;
+        value = Numtheory.Bignum.of_int v })
+    values
+
+let test_async_sum_total () =
+  let outcome, time =
+    Smc.Async_sum.run ~rng:(Numtheory.Prng.create ~seed:80) ~p:sum_p ~k:3
+      ~receiver:Net.Node_id.Auditor
+      (async_parties [ 10; 20; 30; 40 ])
+  in
+  (match outcome with
+  | Smc.Async_sum.Total total ->
+    Alcotest.(check int) "sum" 100 (Numtheory.Bignum.to_int total)
+  | Smc.Async_sum.Timed_out _ -> Alcotest.fail "unexpected timeout");
+  (* Deal hop + aggregate hop at 1ms links. *)
+  Alcotest.(check (float 1e-9)) "two hops" 2.0 time
+
+let test_async_sum_matches_sync () =
+  let values = [ 7; 11; 13 ] in
+  let sync =
+    let net = Net.Network.create () in
+    Smc.Sum.run ~net ~rng:(Numtheory.Prng.create ~seed:81) ~p:sum_p ~k:2
+      ~receiver:Net.Node_id.Auditor
+      (List.mapi
+         (fun i v ->
+           { Smc.Sum.node = Net.Node_id.Dla i;
+             value = Numtheory.Bignum.of_int v })
+         values)
+  in
+  match
+    Smc.Async_sum.run ~rng:(Numtheory.Prng.create ~seed:82) ~p:sum_p ~k:2
+      ~receiver:Net.Node_id.Auditor (async_parties values)
+  with
+  | Smc.Async_sum.Total total, _ ->
+    Alcotest.(check bool) "agree" true (Numtheory.Bignum.equal sync total)
+  | Smc.Async_sum.Timed_out _, _ -> Alcotest.fail "unexpected timeout"
+
+let test_async_sum_dead_dealer_attributed () =
+  match
+    Smc.Async_sum.run ~down:[ Net.Node_id.Dla 2 ] ~timeout_ms:25.0
+      ~rng:(Numtheory.Prng.create ~seed:83) ~p:sum_p ~k:3
+      ~receiver:Net.Node_id.Auditor
+      (async_parties [ 1; 2; 3; 4 ])
+  with
+  | Smc.Async_sum.Timed_out missing, time ->
+    Alcotest.(check (list string)) "missing dealer" [ "P2" ]
+      (List.map Net.Node_id.to_string missing);
+    Alcotest.(check (float 1e-9)) "at the timeout" 25.0 time
+  | Smc.Async_sum.Total _, _ ->
+    Alcotest.fail "sum should not complete without P2's shares"
+
+
+let test_sim_jitter_reorders () =
+  let sim = Net.Sim.create ~seed:5 ~jitter_ms:10.0 () in
+  let a = Net.Node_id.Dla 0 and b = Net.Node_id.Dla 1 in
+  let order = ref [] in
+  Net.Sim.on_message sim b (fun ~src:_ n -> order := n :: !order);
+  for i = 1 to 20 do
+    Net.Sim.send sim ~src:a ~dst:b i
+  done;
+  ignore (Net.Sim.run sim);
+  let received = List.rev !order in
+  Alcotest.(check int) "all delivered" 20 (List.length received);
+  Alcotest.(check bool) "jitter reorders" true
+    (received <> List.init 20 (fun i -> i + 1))
+
+let test_async_sum_under_jitter () =
+  (* The share-dealing protocol is order-insensitive: jittered links must
+     not change the total.  (Jitter is exercised through a jittered Sim
+     inside Async_sum via its seed-controlled engine; here we emulate by
+     running with many seeds.) *)
+  List.iter
+    (fun seed ->
+      match
+        Smc.Async_sum.run ~seed ~rng:(Numtheory.Prng.create ~seed) ~p:sum_p
+          ~k:2 ~receiver:Net.Node_id.Auditor
+          (async_parties [ 3; 5; 8 ])
+      with
+      | Smc.Async_sum.Total total, _ ->
+        Alcotest.(check int) (string_of_int seed) 16
+          (Numtheory.Bignum.to_int total)
+      | Smc.Async_sum.Timed_out _, _ -> Alcotest.fail "timeout")
+    [ 1; 2; 3; 4; 5 ]
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [ ( "event-queue",
+        Alcotest.test_case "ordering" `Quick test_queue_ordering
+        :: Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties
+        :: Alcotest.test_case "validation" `Quick test_queue_validation
+        :: qt [ prop_queue_sorts ] );
+      ( "engine",
+        [ Alcotest.test_case "ping pong" `Quick test_sim_ping_pong;
+          Alcotest.test_case "timers and down nodes" `Quick test_sim_timers_and_down;
+          Alcotest.test_case "until" `Quick test_sim_until;
+          Alcotest.test_case "determinism" `Quick test_sim_determinism;
+          Alcotest.test_case "jitter reorders" `Quick test_sim_jitter_reorders
+        ] );
+      ( "async-sum",
+        [ Alcotest.test_case "total" `Quick test_async_sum_total;
+          Alcotest.test_case "matches sync" `Quick test_async_sum_matches_sync;
+          Alcotest.test_case "dead dealer attributed" `Quick
+            test_async_sum_dead_dealer_attributed;
+          Alcotest.test_case "order-insensitive" `Quick test_async_sum_under_jitter
+        ] );
+      ( "async-integrity",
+        [ Alcotest.test_case "intact" `Quick test_async_intact;
+          Alcotest.test_case "matches sync" `Quick test_async_matches_sync;
+          Alcotest.test_case "timeout on dead node" `Quick
+            test_async_timeout_on_dead_node;
+          Alcotest.test_case "missing fragment" `Quick
+            test_async_missing_fragment_times_out
+        ] )
+    ]
