@@ -22,7 +22,8 @@ let () =
     List.map
       (fun (time, amount) ->
         match
-          Cluster.submit cluster ~ticket ~origin:user
+          Cluster.to_result
+          @@ Cluster.submit cluster ~ticket ~origin:user
             ~attributes:
               [ (d "time", Value.Time time); (d "id", Value.Str "U1");
                 (d "tid", Value.Str "T0000009");

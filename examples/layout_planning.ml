@@ -54,8 +54,9 @@ let () =
   List.iter
     (fun row ->
       match
-        Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
-          ~attributes:row
+        Cluster.to_result
+          (Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
+             ~attributes:row)
       with
       | Ok _ -> ()
       | Error e -> failwith e)

@@ -28,7 +28,9 @@ let () =
         (u 3, Value.Str memo)
       ]
     in
-    match Cluster.submit cluster ~ticket ~origin:user ~attributes with
+    match
+      Cluster.to_result (Cluster.submit cluster ~ticket ~origin:user ~attributes)
+    with
     | Ok glsn -> Printf.printf "logged %s (%s, %.2f)\n" (Glsn.to_string glsn) id amount
     | Error e -> failwith e
   in

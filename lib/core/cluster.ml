@@ -1,21 +1,35 @@
 open Numtheory
 
+type durability = Strict | Degraded
+
+type submit_outcome =
+  | Committed of Glsn.t
+  | Committed_degraded of Glsn.t * Net.Node_id.t list
+  | Rejected of string
+
 type t = {
   net : Net.Network.t;
+  retry : Net.Retry.t;
   fragmentation : Fragmentation.t;
   stores : (Net.Node_id.t * Storage.t) list;
   allocator : Glsn.Allocator.t;
   ticket_authority : Ticket.Authority.t;
   accumulator : Crypto.Accumulator.params;
   rng : Prng.t;
+  hint_keys : (Net.Node_id.t * string) list;
+      (* per-target handoff keys: a parked fragment is sealed so only
+         its destination node can open it *)
   mutable clock : int;
   mutable origins : Net.Node_id.t Glsn.Map.t;
 }
 
-let create ?(seed = 0) ?net ?(accumulator_bits = 128) ?glsn_start fragmentation
-    =
+let create ?(seed = 0) ?net ?retry ?(accumulator_bits = 128) ?glsn_start
+    fragmentation =
   let rng = Prng.create ~seed in
   let net = match net with Some n -> n | None -> Net.Network.create ~seed () in
+  let retry =
+    match retry with Some r -> r | None -> Net.Retry.create ~seed net
+  in
   let stores =
     List.map
       (fun node ->
@@ -24,19 +38,32 @@ let create ?(seed = 0) ?net ?(accumulator_bits = 128) ?glsn_start fragmentation
             ~supported:(Fragmentation.supported_by fragmentation node) ))
       (Fragmentation.nodes fragmentation)
   in
+  let hint_master = Prng.bytes rng 32 in
+  let hint_keys =
+    List.map
+      (fun node ->
+        ( node,
+          Crypto.Hkdf.derive ~ikm:hint_master
+            ~info:("handoff:" ^ Net.Node_id.to_string node)
+            ~length:32 ))
+      (Fragmentation.nodes fragmentation)
+  in
   {
     net;
+    retry;
     fragmentation;
     stores;
     allocator = Glsn.Allocator.create ?start:glsn_start ();
     ticket_authority = Ticket.Authority.create ~key:(Prng.bytes rng 32);
     accumulator = Crypto.Accumulator.generate rng ~bits:accumulator_bits;
     rng;
+    hint_keys;
     clock = 0;
     origins = Glsn.Map.empty;
   }
 
 let net t = t.net
+let retry t = t.retry
 let fragmentation t = t.fragmentation
 let nodes t = List.map fst t.stores
 
@@ -49,7 +76,11 @@ let stores t = List.map snd t.stores
 let accumulator_params t = t.accumulator
 let rng t = t.rng
 let now t = t.clock
-let advance_time t seconds = t.clock <- t.clock + seconds
+
+let advance_time t seconds =
+  t.clock <- t.clock + seconds;
+  (* Wall-clock passage ages circuit-breaker cooldowns too. *)
+  Net.Retry.tick t.retry (1000.0 *. float_of_int seconds)
 
 let issue_ticket t ~id ~principal ~rights ~ttl =
   Ticket.Authority.issue t.ticket_authority ~id ~principal ~rights
@@ -68,19 +99,74 @@ let fragment_size fragment =
       + String.length (Value.to_wire v) + 2)
     8 fragment
 
-let submit t ~ticket ~origin ~attributes =
-  match
-    Ticket.Authority.verify t.ticket_authority ticket ~now:t.clock
-  with
-  | Error reason -> Error ("ticket rejected: " ^ reason)
+let hint_key_of t node =
+  snd (List.find (fun (n, _) -> Net.Node_id.equal n node) t.hint_keys)
+
+let seal_hint t ~target ~glsn wire =
+  Crypto.Aead.seal ~key:(hint_key_of t target)
+    ~nonce:(Crypto.Chacha20.nonce_of_string (Glsn.to_string glsn))
+    ~ad:(Glsn.to_string glsn) wire
+
+let open_hint t ~target ~glsn blob =
+  Crypto.Aead.open_ ~key:(hint_key_of t target)
+    ~nonce:(Crypto.Chacha20.nonce_of_string (Glsn.to_string glsn))
+    ~ad:(Glsn.to_string glsn) blob
+
+(* Commit one fragment into its home store, with the legitimate
+   own-column ledger observations. *)
+let commit_fragment t ~node ~glsn ~fragment ~digest ~witness ~ticket_id =
+  let ledger = Net.Network.ledger t.net in
+  let store = store_of t node in
+  Storage.store store ~glsn ~fragment;
+  Storage.store_digest store ~glsn digest;
+  Storage.store_witness store ~glsn witness;
+  Access_control.grant (Storage.acl store) ~ticket_id glsn;
+  (* The node legitimately observes its own columns. *)
+  List.iter
+    (fun (a, v) ->
+      Net.Ledger.record ledger ~node ~sensitivity:Net.Ledger.Plaintext
+        ~tag:"store:fragment"
+        (Printf.sprintf "%s=%s" (Attribute.to_string a) (Value.to_string v)))
+    fragment;
+  Net.Ledger.record ledger ~node ~sensitivity:Net.Ledger.Metadata
+    ~tag:"store:glsn" (Glsn.to_string glsn)
+
+(* First ring successor of [target] that is a live candidate for
+   holding a parked hint. *)
+let hint_holder_for t ~target =
+  let ring = List.map fst t.stores in
+  let n = List.length ring in
+  let rec walk = function
+    | [] -> None
+    | candidate :: rest ->
+      if
+        (not (Net.Node_id.equal candidate target))
+        && Net.Network.is_up t.net candidate
+        && Net.Retry.reachable t.retry candidate
+      then Some candidate
+      else walk rest
+  in
+  let rec index i = function
+    | [] -> None
+    | node :: rest ->
+      if Net.Node_id.equal node target then Some i else index (i + 1) rest
+  in
+  match index 0 ring with
+  | None -> None
+  | Some base ->
+    walk (List.init (n - 1) (fun k -> List.nth ring ((base + k + 1) mod n)))
+
+let submit ?(durability = Degraded) t ~ticket ~origin ~attributes =
+  match Ticket.Authority.verify t.ticket_authority ticket ~now:t.clock with
+  | Error reason -> Rejected ("ticket rejected: " ^ reason)
   | Ok () ->
     if not (Net.Node_id.equal ticket.Ticket.principal origin) then
-      Error "ticket rejected: principal mismatch"
+      Rejected "ticket rejected: principal mismatch"
     else if
       not
         (Ticket.Authority.authorizes t.ticket_authority ticket ~now:t.clock
            Ticket.Write)
-    then Error "ticket rejected: no write right"
+    then Rejected "ticket rejected: no write right"
     else begin
       let universe = Fragmentation.universe t.fragmentation in
       match
@@ -89,10 +175,13 @@ let submit t ~ticket ~origin ~attributes =
           attributes
       with
       | Some (a, _) ->
-        Error
+        Rejected
           (Printf.sprintf "no DLA node supports attribute %s"
              (Attribute.to_string a))
       | None ->
+        (* Stage: compute everything the placement needs before a single
+           message moves or a single row is written, so a mid-placement
+           failure can never leave a torn record. *)
         let glsn = Glsn.Allocator.next t.allocator in
         let record = Log_record.make ~glsn ~origin ~attributes in
         let fragments = Fragmentation.fragment t.fragmentation record in
@@ -108,32 +197,165 @@ let submit t ~ticket ~origin ~attributes =
         in
         let digest = Crypto.Accumulator.accumulate_all t.accumulator wires in
         let witnesses = Crypto.Accumulator.witnesses t.accumulator wires in
-        List.iter2
-          (fun (node, fragment) (_, witness) ->
-            Net.Network.send_exn t.net ~src:origin ~dst:node
-              ~label:"log:fragment"
-              ~bytes:(fragment_size fragment + 16 (* digest share *));
-            let store = store_of t node in
-            Storage.store store ~glsn ~fragment;
-            Storage.store_digest store ~glsn digest;
-            Storage.store_witness store ~glsn witness;
-            Access_control.grant (Storage.acl store)
-              ~ticket_id:ticket.Ticket.id glsn;
-            (* The node legitimately observes its own columns. *)
+        let staged =
+          List.map2
+            (fun (node, fragment) (_, witness) -> (node, fragment, witness))
+            fragments witnesses
+        in
+        (* Deliver: attempt every fragment send (with retry/backoff)
+           before committing anything. *)
+        let delivered, failed =
+          List.partition
+            (fun (node, fragment, _) ->
+              match
+                Net.Retry.send t.retry ~src:origin ~dst:node
+                  ~label:"log:fragment"
+                  ~bytes:(fragment_size fragment + 16 (* digest share *))
+              with
+              | Net.Retry.Sent _ -> true
+              | Net.Retry.Gave_up _ -> false)
+            staged
+        in
+        let commit_delivered () =
+          List.iter
+            (fun (node, fragment, witness) ->
+              commit_fragment t ~node ~glsn ~fragment ~digest ~witness
+                ~ticket_id:ticket.Ticket.id)
+            delivered
+        in
+        let finish outcome =
+          t.origins <- Glsn.Map.add glsn origin t.origins;
+          Net.Network.round t.net;
+          outcome
+        in
+        match (failed, durability) with
+        | [], _ ->
+          commit_delivered ();
+          finish (Committed glsn)
+        | _ :: _, Strict ->
+          (* Nothing was committed: the staged placement is simply
+             abandoned (the glsn stays burned but appears nowhere). *)
+          Net.Network.round t.net;
+          Rejected
+            (Printf.sprintf "placement failed at %s"
+               (String.concat ","
+                  (List.map
+                     (fun (node, _, _) -> Net.Node_id.to_string node)
+                     failed)))
+        | _ :: _, Degraded -> (
+          (* Park every undeliverable fragment on a live ring successor,
+             sealed under the target's handoff key so the holder gains
+             ciphertext only.  All-or-nothing: if any fragment cannot be
+             parked either, reject the whole placement. *)
+          let parked =
+            List.map
+              (fun (target, fragment, witness) ->
+                match hint_holder_for t ~target with
+                | None -> None
+                | Some holder ->
+                  let wire = Log_record.fragment_wire ~glsn fragment in
+                  let blob = seal_hint t ~target ~glsn wire in
+                  (match
+                     Net.Retry.send t.retry ~src:origin ~dst:holder
+                       ~label:"log:hint" ~bytes:(String.length blob + 16)
+                   with
+                  | Net.Retry.Gave_up _ -> None
+                  | Net.Retry.Sent _ ->
+                    Some (holder, target, blob, witness)))
+              failed
+          in
+          if List.exists Option.is_none parked then begin
+            Net.Network.round t.net;
+            Rejected
+              (Printf.sprintf "placement failed at %s and no handoff successor"
+                 (String.concat ","
+                    (List.map
+                       (fun (node, _, _) -> Net.Node_id.to_string node)
+                       failed)))
+          end
+          else begin
+            commit_delivered ();
             List.iter
-              (fun (a, v) ->
-                Net.Ledger.record ledger ~node
-                  ~sensitivity:Net.Ledger.Plaintext ~tag:"store:fragment"
-                  (Printf.sprintf "%s=%s" (Attribute.to_string a)
-                     (Value.to_string v)))
-              fragment;
-            Net.Ledger.record ledger ~node ~sensitivity:Net.Ledger.Metadata
-              ~tag:"store:glsn" (Glsn.to_string glsn))
-          fragments witnesses;
-        t.origins <- Glsn.Map.add glsn origin t.origins;
-        Net.Network.round t.net;
-        Ok glsn
+              (function
+                | None -> assert false
+                | Some (holder, target, blob, witness) ->
+                  Net.Ledger.record ledger ~node:holder
+                    ~sensitivity:Net.Ledger.Ciphertext ~tag:"park:hint"
+                    (Crypto.Sha256.digest_hex blob);
+                  Storage.park_hint (store_of t holder)
+                    {
+                      Storage.hint_target = target;
+                      hint_glsn = glsn;
+                      hint_blob = blob;
+                      hint_digest = digest;
+                      hint_witness = witness;
+                      hint_ticket = ticket.Ticket.id;
+                    })
+              parked;
+            finish
+              (Committed_degraded
+                 ( glsn,
+                   List.map (fun (node, _, _) -> node) failed
+                   |> List.sort_uniq Net.Node_id.compare ))
+          end)
     end
+
+let to_result = function
+  | Committed glsn | Committed_degraded (glsn, _) -> Ok glsn
+  | Rejected reason -> Error reason
+
+let pending_hints t =
+  List.concat_map
+    (fun (holder, store) ->
+      List.map
+        (fun h -> (holder, h.Storage.hint_target, h.Storage.hint_glsn))
+        (Storage.hints store))
+    t.stores
+
+let drain_hints t =
+  let ledger = Net.Network.ledger t.net in
+  let delivered = ref [] in
+  List.iter
+    (fun (holder, holder_store) ->
+      List.iter
+        (fun target ->
+          if
+            (not (Net.Node_id.equal holder target))
+            && Net.Network.is_up t.net target
+          then
+            List.iter
+              (fun hint ->
+                let target = hint.Storage.hint_target in
+                let glsn = hint.Storage.hint_glsn in
+                match
+                  Net.Retry.send t.retry ~src:holder ~dst:target
+                    ~label:"log:hint-drain"
+                    ~bytes:(String.length hint.Storage.hint_blob + 16)
+                with
+                | Net.Retry.Gave_up _ ->
+                  (* Still unreachable: park it again. *)
+                  Storage.park_hint holder_store hint
+                | Net.Retry.Sent _ -> (
+                  match open_hint t ~target ~glsn hint.Storage.hint_blob with
+                  | None -> Storage.park_hint holder_store hint
+                  | Some wire ->
+                    let glsn', fragment = Log_record.fragment_of_wire wire in
+                    if Glsn.equal glsn glsn' then begin
+                      commit_fragment t ~node:target ~glsn ~fragment
+                        ~digest:hint.Storage.hint_digest
+                        ~witness:hint.Storage.hint_witness
+                        ~ticket_id:hint.Storage.hint_ticket;
+                      Net.Ledger.record ledger ~node:target
+                        ~sensitivity:Net.Ledger.Metadata ~tag:"drain:hint"
+                        (Glsn.to_string glsn);
+                      delivered := (target, glsn) :: !delivered
+                    end
+                    else Storage.park_hint holder_store hint))
+              (Storage.take_hints_for holder_store ~target))
+        (List.map fst t.stores))
+    t.stores;
+  Net.Network.round t.net;
+  List.rev !delivered
 
 let record_of t glsn =
   let fragments =
@@ -148,22 +370,45 @@ let record_of t glsn =
     in
     Some (Log_record.make ~glsn ~origin ~attributes)
 
-let submit_transaction t ~ticket ~origin ~tsn ~ttn ~events =
-  let rec go acc = function
+(* Undo every trace of a placement — committed rows, ACL grants, parked
+   hints, origin bookkeeping.  Used by submit_transaction so a rejected
+   later event does not leave earlier events stored. *)
+let rollback t ~ticket_id glsn =
+  List.iter
+    (fun (_, store) ->
+      ignore (Storage.remove store ~glsn);
+      Access_control.revoke (Storage.acl store) ~ticket_id glsn;
+      Storage.drop_hints store ~glsn)
+    t.stores;
+  t.origins <- Glsn.Map.remove glsn t.origins
+
+let submit_transaction ?durability t ~ticket ~origin ~tsn ~ttn ~events =
+  let rec go acc degraded = function
     | [] ->
-      let records =
-        List.rev_map
-          (fun glsn ->
-            match record_of t glsn with Some r -> r | None -> assert false)
-          acc
-      in
-      Ok (Log_record.Transaction.make ~tsn ~ttn ~records)
+      let records = List.rev_map snd acc in
+      Ok
+        ( Log_record.Transaction.make ~tsn ~ttn ~records,
+          List.sort_uniq Net.Node_id.compare degraded )
     | attributes :: rest -> (
-      match submit t ~ticket ~origin ~attributes with
-      | Ok glsn -> go (glsn :: acc) rest
-      | Error m -> Error m)
+      match submit ?durability t ~ticket ~origin ~attributes with
+      | Committed glsn ->
+        (* The submitted attributes are in hand: reassembling via
+           record_of would under-report parked (degraded) fragments. *)
+        go ((glsn, Log_record.make ~glsn ~origin ~attributes) :: acc) degraded
+          rest
+      | Committed_degraded (glsn, down) ->
+        go
+          ((glsn, Log_record.make ~glsn ~origin ~attributes) :: acc)
+          (down @ degraded) rest
+      | Rejected m ->
+        (* Crash-safe: roll the earlier events of this transaction back
+           so no prefix survives a torn transaction. *)
+        List.iter
+          (fun (glsn, _) -> rollback t ~ticket_id:ticket.Ticket.id glsn)
+          acc;
+        Error m)
   in
-  go [] events
+  go [] [] events
 
 let all_glsns t =
   List.fold_left

@@ -1,26 +1,54 @@
 (** The DLA cluster (paper §2 Figure 2, §4).
 
-    Owns the simulated network, the per-node fragment stores, the glsn
-    allocation service, the ticket authority and the shared accumulator
-    parameters.  The {!submit} flow is the paper's distributed logging
-    path: ticket check → glsn assignment → fragmentation → per-node
-    storage + ACL update → integrity-digest deposit. *)
+    Owns the simulated network, its retry/failure-detector layer, the
+    per-node fragment stores, the glsn allocation service, the ticket
+    authority and the shared accumulator parameters.  The {!submit} flow
+    is the paper's distributed logging path: ticket check → glsn
+    assignment → fragmentation → per-node storage + ACL update →
+    integrity-digest deposit — restructured as {e stage-then-commit} so
+    a node failure mid-placement can never leave a torn record. *)
 
 open Numtheory
 
 type t
 
+(** What {!submit} does when a fragment's home node stays unreachable
+    after retries. *)
+type durability =
+  | Strict  (** abandon the whole placement: {!Rejected}, nothing stored *)
+  | Degraded
+      (** park the undeliverable fragment on a live ring successor
+          (hinted handoff, sealed under the target's key) and commit the
+          rest: {!Committed_degraded} *)
+
+type submit_outcome =
+  | Committed of Glsn.t  (** every fragment reached its home node *)
+  | Committed_degraded of Glsn.t * Net.Node_id.t list
+      (** committed, but the listed nodes' fragments are parked on ring
+          successors awaiting {!drain_hints} *)
+  | Rejected of string
+      (** ticket/attribute rejection, or placement failure (nothing was
+          stored anywhere) *)
+
 val create :
   ?seed:int ->
   ?net:Net.Network.t ->
+  ?retry:Net.Retry.t ->
   ?accumulator_bits:int ->
   ?glsn_start:int ->
   Fragmentation.t ->
   t
 (** [glsn_start] overrides the allocator's first glsn (snapshot import
-    uses it to reproduce an exported numbering). *)
+    uses it to reproduce an exported numbering).  [retry] overrides the
+    default retry/backoff policy (by default a {!Net.Retry.t} with the
+    default policy is created over [net], seeded with [seed]). *)
 
 val net : t -> Net.Network.t
+
+val retry : t -> Net.Retry.t
+(** The cluster's retry layer / failure detector — ask it who is
+    currently reachable. *)
+
 val fragmentation : t -> Fragmentation.t
 val nodes : t -> Net.Node_id.t list
 val store_of : t -> Net.Node_id.t -> Storage.t
@@ -34,6 +62,7 @@ val now : t -> int
 (** Virtual cluster time (seconds), used for ticket expiry. *)
 
 val advance_time : t -> int -> unit
+(** Also ages the retry layer's circuit-breaker cooldowns. *)
 
 val issue_ticket :
   t ->
@@ -49,31 +78,64 @@ val verify_ticket : t -> Ticket.t -> (unit, string) result
 val ticket_authorizes : t -> Ticket.t -> Ticket.right -> bool
 
 val submit :
+  ?durability:durability ->
   t ->
   ticket:Ticket.t ->
   origin:Net.Node_id.t ->
   attributes:(Attribute.t * Value.t) list ->
-  (Glsn.t, string) result
-(** Log one event.  Fails (with a reason) when the ticket is invalid,
-    expired, lacks [Write], names a different principal, or the record
-    uses an attribute no DLA node supports. *)
+  submit_outcome
+(** Log one event, crash-safely ([durability] defaults to [Degraded]).
+
+    The placement is staged first (glsn, fragments, digest, witnesses),
+    then delivery is attempted to every home node under the cluster's
+    retry policy, and only then is anything committed.  Outcomes:
+
+    - every fragment delivered → [Committed];
+    - some home nodes unreachable, [Degraded] → their fragments are
+      parked (AEAD-sealed) on live ring successors → [Committed_degraded]
+      naming the down nodes;
+    - some home nodes unreachable, [Strict] — or no live successor can
+      hold the hint → [Rejected]: {e nothing} is stored anywhere (the
+      allocated glsn is burned but appears in no store);
+    - invalid/expired ticket, wrong principal, missing write right, or
+      an attribute no node supports → [Rejected]. *)
+
+val to_result : submit_outcome -> (Glsn.t, string) result
+(** Collapse an outcome for callers that only need the glsn: both
+    committed outcomes are [Ok]. *)
+
+val drain_hints : t -> (Net.Node_id.t * Glsn.t) list
+(** Deliver parked fragments whose target is back up: the holder ships
+    the sealed blob to the target, which opens it with its own handoff
+    key and stores fragment + digest + witness + ACL grant exactly as a
+    direct placement would.  Returns the (target, glsn) pairs delivered;
+    hints whose target is still unreachable stay parked. *)
+
+val pending_hints : t -> (Net.Node_id.t * Net.Node_id.t * Glsn.t) list
+(** Currently parked fragments as [(holder, target, glsn)]. *)
 
 val submit_transaction :
+  ?durability:durability ->
   t ->
   ticket:Ticket.t ->
   origin:Net.Node_id.t ->
   tsn:int ->
   ttn:int ->
   events:(Attribute.t * Value.t) list list ->
-  (Log_record.Transaction.t, string) result
-(** Log a multi-event transaction (eq 1); adds [tid]/[tsn] bookkeeping
+  (Log_record.Transaction.t * Net.Node_id.t list, string) result
+(** Log a multi-event transaction (eq 1); [tid]/[tsn] bookkeeping
     attributes are the caller's business — this just submits each event
-    under the same ticket and groups the results. *)
+    under the same ticket and groups the results.  Crash-safe: if a
+    later event is rejected, the earlier events of this transaction are
+    rolled back (fragments, digests, witnesses, ACL grants and parked
+    hints all removed) before the error is returned.  The node list
+    aggregates any degraded placements. *)
 
 val record_of : t -> Glsn.t -> Log_record.t option
 (** Reassemble a full record from all fragments — a *cluster-collusion*
     operation used by tests and the centralized baseline; it is exactly
-    what no single node can do alone. *)
+    what no single node can do alone.  A record with parked (not yet
+    drained) fragments reassembles partially. *)
 
 val all_glsns : t -> Glsn.t list
 val record_count : t -> int

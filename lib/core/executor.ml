@@ -2,13 +2,37 @@ open Numtheory
 
 type delivery = Glsns | Count_only
 
+type failure_mode = Fail | Degrade
+
+type coverage = {
+  complete : bool;
+  unreachable : Net.Node_id.t list;
+  skipped_atoms : int;
+  skipped_clauses : int;
+  evaluated_clauses : int;
+  total_clauses : int;
+  repaired : (Net.Node_id.t * Glsn.t) list;
+}
+
 type report = {
   criteria : Query.t;
   plan : Planner.t;
   matching : Glsn.t list;
   count : int;
   c_auditing : float;
+  coverage : coverage;
 }
+
+let full_coverage ~total_clauses =
+  {
+    complete = true;
+    unreachable = [];
+    skipped_atoms = 0;
+    skipped_clauses = 0;
+    evaluated_clauses = total_clauses;
+    total_clauses;
+    repaired = [];
+  }
 
 (* Order-preserving numeric embedding for blinded comparison.  Numeric
    kinds embed as their integer value; strings embed as big-endian bytes
@@ -129,39 +153,108 @@ let eval_cross_atom cluster ~ttp ~clause_home (atom : Query.atom) ~left ~right
   Net.Network.round net;
   satisfied
 
-let eval_clause cluster ~ttp (clause : Planner.planned_clause) =
+(* Degraded-coverage bookkeeping shared by one run. *)
+type degrade_ctx = {
+  mutable down : Net.Node_id.Set.t;
+  mutable n_skipped_atoms : int;
+  mutable n_skipped_clauses : int;
+}
+
+let mark_unreachable ctx nodes =
+  List.iter (fun n -> ctx.down <- Net.Node_id.Set.add n ctx.down) nodes
+
+(* Evaluate one clause at [home] (its planned home, or a stand-in when
+   degraded — glsn sets are Definition-1 metadata, so re-homing the
+   union never widens plaintext observation).  [available] decides which
+   nodes can serve; atoms whose nodes cannot are skipped and recorded. *)
+let eval_clause cluster ~ttp ~catch_partition ~available ~ctx ~home
+    (clause : Planner.planned_clause) =
   let net = Cluster.net cluster in
-  let home = clause.Planner.clause_home in
   List.fold_left
     (fun acc { Planner.atom; home = atom_home } ->
-      let set =
+      let eval () =
         match atom_home with
         | Planner.Local node ->
-          let set = eval_local_atom (Cluster.store_of cluster node) atom in
-          if not (Net.Node_id.equal node home) then begin
-            send_glsn_set net ~src:node ~dst:home ~label:"query:local-result"
-              set;
-            Net.Network.round net
-          end;
-          set
+          if not (available node) then begin
+            ctx.n_skipped_atoms <- ctx.n_skipped_atoms + 1;
+            mark_unreachable ctx [ node ];
+            None
+          end
+          else begin
+            let set = eval_local_atom (Cluster.store_of cluster node) atom in
+            if not (Net.Node_id.equal node home) then begin
+              send_glsn_set net ~src:node ~dst:home ~label:"query:local-result"
+                set;
+              Net.Network.round net
+            end;
+            Some set
+          end
         | Planner.Cross { left; right } -> (
           match atom.Query.rhs with
           | Query.Attr rhs_attr ->
-            eval_cross_atom cluster ~ttp ~clause_home:home atom ~left ~right
-              rhs_attr
+            let down = List.filter (fun n -> not (available n)) [ left; right ] in
+            if down <> [] then begin
+              ctx.n_skipped_atoms <- ctx.n_skipped_atoms + 1;
+              mark_unreachable ctx down;
+              None
+            end
+            else
+              Some
+                (eval_cross_atom cluster ~ttp ~clause_home:home atom ~left
+                   ~right rhs_attr)
           | Query.Const _ -> assert false (* planner never crosses a const *))
       in
-      Glsn.Set.union acc set)
+      let set =
+        (* Under degraded execution a mid-protocol drop (loss) converts
+           into a skipped atom instead of an aborted audit. *)
+        if catch_partition then
+          try eval () with
+          | Net.Network.Partitioned { dst; _ } ->
+            ctx.n_skipped_atoms <- ctx.n_skipped_atoms + 1;
+            mark_unreachable ctx [ dst ];
+            None
+        else eval ()
+      in
+      match set with None -> acc | Some set -> Glsn.Set.union acc set)
     Glsn.Set.empty clause.Planner.atoms
 
 let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
-    ?(optimize = false) ~auditor criteria =
+    ?(optimize = false) ?(on_failure = Fail) ?replication ~auditor criteria =
   let normalized = Query.normalize criteria in
   match Planner.plan (Cluster.fragmentation cluster) normalized with
   | Error _ as e -> e
   | Ok plan ->
     let net = Cluster.net cluster in
     let ledger = Net.Network.ledger net in
+    let available node =
+      match on_failure with
+      | Fail -> true (* unavailability surfaces as Partitioned, as before *)
+      | Degrade -> Net.Network.is_up net node
+    in
+    (* Failover step: a node that is back up but lost rows (crash then
+       recover) is repaired from its sealed replicas before it serves
+       the audit — recovery targets the owner itself, so no other node's
+       observations widen. *)
+    let repaired =
+      match (on_failure, replication) with
+      | Degrade, Some replication ->
+        let glsn_count = List.length (Cluster.all_glsns cluster) in
+        List.concat_map
+          (fun node ->
+            let store = Cluster.store_of cluster node in
+            if
+              Net.Network.is_up net node
+              && Storage.record_count store < glsn_count
+            then
+              Replication.repair_node ~retry:(Cluster.retry cluster)
+                replication cluster ~node
+            else [])
+          (Cluster.nodes cluster)
+      | _ -> []
+    in
+    let ctx =
+      { down = Net.Node_id.Set.empty; n_skipped_atoms = 0; n_skipped_clauses = 0 }
+    in
     (* Evaluate every clause, collecting its glsn set at its home.  The
        optimizer runs cheap local clauses first and stops at the first
        empty set (the conjunction can no longer match anything). *)
@@ -175,15 +268,44 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
         local @ cross
       else plan.Planner.clauses
     in
+    let stand_in_home clause =
+      let home = clause.Planner.clause_home in
+      if available home then Some home
+      else List.find_opt available (Cluster.nodes cluster)
+    in
     let clause_sets =
       let rec eval acc = function
         | [] -> List.rev acc
-        | clause :: rest ->
-          let set = eval_clause cluster ~ttp clause in
-          if optimize && Glsn.Set.is_empty set then
-            (* Short-circuit: one empty clause empties the conjunction. *)
-            [ (clause.Planner.clause_home, set) ]
-          else eval ((clause.Planner.clause_home, set) :: acc) rest
+        | clause :: rest -> (
+          match stand_in_home clause with
+          | None ->
+            (* No live node can even assemble the union: the clause is
+               uncovered. *)
+            ctx.n_skipped_clauses <- ctx.n_skipped_clauses + 1;
+            mark_unreachable ctx [ clause.Planner.clause_home ];
+            eval acc rest
+          | Some home ->
+            let before_skipped = ctx.n_skipped_atoms in
+            let set =
+              eval_clause cluster ~ttp
+                ~catch_partition:(on_failure = Degrade)
+                ~available ~ctx ~home clause
+            in
+            let all_atoms_skipped =
+              ctx.n_skipped_atoms - before_skipped
+              >= List.length clause.Planner.atoms
+            in
+            if all_atoms_skipped then begin
+              (* An entirely unevaluated disjunction is unknowable — drop
+                 it from the conjunction rather than intersecting with a
+                 spurious empty set; the coverage report names it. *)
+              ctx.n_skipped_clauses <- ctx.n_skipped_clauses + 1;
+              eval acc rest
+            end
+            else if optimize && Glsn.Set.is_empty set then
+              (* Short-circuit: one empty clause empties the conjunction. *)
+              [ (home, set) ]
+            else eval ((home, set) :: acc) rest)
       in
       eval [] ordered_clauses
     in
@@ -257,6 +379,23 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
       | Glsns -> Glsn.Set.elements final_set
       | Count_only -> []
     in
+    let total_clauses = List.length plan.Planner.clauses in
+    let coverage =
+      if
+        ctx.n_skipped_atoms = 0 && ctx.n_skipped_clauses = 0
+        && Net.Node_id.Set.is_empty ctx.down
+      then { (full_coverage ~total_clauses) with repaired }
+      else
+        {
+          complete = false;
+          unreachable = Net.Node_id.Set.elements ctx.down;
+          skipped_atoms = ctx.n_skipped_atoms;
+          skipped_clauses = ctx.n_skipped_clauses;
+          evaluated_clauses = total_clauses - ctx.n_skipped_clauses;
+          total_clauses;
+          repaired;
+        }
+    in
     Ok
       {
         criteria;
@@ -264,4 +403,5 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
         matching;
         count = Glsn.Set.cardinal final_set;
         c_auditing;
+        coverage;
       }

@@ -26,6 +26,29 @@ type delivery =
           "number of specific services used" without learning which
           records matched *)
 
+(** What to do when a node an atom needs is down. *)
+type failure_mode =
+  | Fail  (** raise {!Net.Network.Partitioned}, as the plain path does *)
+  | Degrade
+      (** never raise: recovered-but-wiped nodes are first repaired from
+          replicas (when a {!Replication.t} is supplied), atoms whose
+          homes stay down are skipped, and the report's {!coverage}
+          says exactly what was and was not evaluated.  Failover never
+          widens any node's observations: repair targets only the
+          owner of the lost rows (replicas stay ciphertext to their
+          holders), clause re-homing moves glsn-set metadata only. *)
+
+type coverage = {
+  complete : bool;  (** [true] iff nothing was skipped *)
+  unreachable : Net.Node_id.t list;  (** nodes that could not serve *)
+  skipped_atoms : int;
+  skipped_clauses : int;  (** clauses with no evaluable atom, dropped *)
+  evaluated_clauses : int;
+  total_clauses : int;
+  repaired : (Net.Node_id.t * Glsn.t) list;
+      (** rows restored from replicas before evaluation *)
+}
+
 type report = {
   criteria : Query.t;
   plan : Planner.t;
@@ -33,6 +56,9 @@ type report = {
       (** sorted ascending; empty under [Count_only] (see [count]) *)
   count : int;  (** cardinality of the result set *)
   c_auditing : float;  (** eq 11, from the plan's s, t, q *)
+  coverage : coverage;
+      (** which clauses were evaluated and which records were
+          unreachable; [complete = true] on the fault-free path *)
 }
 
 val run :
@@ -40,6 +66,8 @@ val run :
   ?ttp:Net.Node_id.t ->
   ?delivery:delivery ->
   ?optimize:bool ->
+  ?on_failure:failure_mode ->
+  ?replication:Replication.t ->
   auditor:Net.Node_id.t ->
   Query.t ->
   (report, string) result
@@ -51,4 +79,11 @@ val run :
     short-circuits as soon as any clause produces an empty glsn set —
     the conjunction is then empty without paying for the remaining
     (possibly TTP-heavy) clauses.  Answers are identical either way
-    (property-tested). *)
+    (property-tested).
+
+    [on_failure] defaults to [Fail] (exact historical behaviour).  With
+    [Degrade], the audit always returns a report; when nodes were down
+    the result is computed over the clauses that could be evaluated and
+    [coverage] discloses the gap — the answer is exact again once the
+    nodes recover (after [drain_hints]/repair), which the chaos suite
+    asserts. *)

@@ -41,28 +41,52 @@ let successors nodes node count =
   let arr = Array.of_list nodes in
   let n = Array.length arr in
   let rec index i =
-    if Net.Node_id.equal arr.(i) node then i else index (i + 1)
+    if i >= n then
+      invalid_arg
+        (Printf.sprintf "Replication.successors: %s is not a ring member"
+           (Net.Node_id.to_string node))
+    else if Net.Node_id.equal arr.(i) node then i
+    else index (i + 1)
   in
   let base = index 0 in
   List.init count (fun k -> arr.((base + k + 1) mod n))
 
-let replicate_fragment t cluster ~owner ~glsn fragment =
+(* Deliver one accounting message; with a retry layer, loss is retried
+   and a persistent failure reported instead of raised. *)
+let deliver ?retry net ~src ~dst ~label ~bytes =
+  match retry with
+  | None ->
+    Net.Network.send_exn net ~src ~dst ~label ~bytes;
+    true
+  | Some retry -> (
+    match Net.Retry.send retry ~src ~dst ~label ~bytes with
+    | Net.Retry.Sent _ -> true
+    | Net.Retry.Gave_up _ -> false)
+
+let replicate_fragment ?retry t cluster ~owner ~glsn fragment =
   let net = Cluster.net cluster in
   let ledger = Net.Network.ledger net in
   let wire = Log_record.fragment_wire ~glsn fragment in
   let blob = seal (key_of t owner) ~glsn:(Glsn.to_string glsn) wire in
-  List.iter
-    (fun holder ->
-      Net.Network.send_exn net ~src:owner ~dst:holder ~label:"replicate:blob"
-        ~bytes:(String.length blob);
-      Net.Ledger.record ledger ~node:holder ~sensitivity:Net.Ledger.Ciphertext
-        ~tag:"replicate:blob" (Crypto.Sha256.digest_hex blob);
-      Storage.store_replica
-        (Cluster.store_of cluster holder)
-        ~owner ~glsn ~blob)
+  List.fold_left
+    (fun placed holder ->
+      if
+        deliver ?retry net ~src:owner ~dst:holder ~label:"replicate:blob"
+          ~bytes:(String.length blob)
+      then begin
+        Net.Ledger.record ledger ~node:holder
+          ~sensitivity:Net.Ledger.Ciphertext ~tag:"replicate:blob"
+          (Crypto.Sha256.digest_hex blob);
+        Storage.store_replica
+          (Cluster.store_of cluster holder)
+          ~owner ~glsn ~blob;
+        placed + 1
+      end
+      else placed)
+    0
     (successors (Cluster.nodes cluster) owner t.degree)
 
-let replicate_all t cluster =
+let replicate_all ?retry t cluster =
   let placed = ref 0 in
   List.iter
     (fun owner ->
@@ -72,58 +96,68 @@ let replicate_all t cluster =
           match Storage.fragment_of store glsn with
           | None -> ()
           | Some fragment ->
-            replicate_fragment t cluster ~owner ~glsn fragment;
-            placed := !placed + t.degree)
+            placed :=
+              !placed + replicate_fragment ?retry t cluster ~owner ~glsn fragment)
         (Storage.glsns store))
     (Cluster.nodes cluster);
   Net.Network.round (Cluster.net cluster);
   !placed
 
-let repair t cluster =
+let repair_owner ?retry t cluster ~all_glsns owner =
   let net = Cluster.net cluster in
-  let all_glsns = Cluster.all_glsns cluster in
+  let store = Cluster.store_of cluster owner in
   let repaired = ref [] in
   List.iter
-    (fun owner ->
-      let store = Cluster.store_of cluster owner in
-      List.iter
-        (fun glsn ->
-          if Storage.fragment_of store glsn = None then begin
-            (* Ask each successor in turn for the blob. *)
-            let holders = successors (Cluster.nodes cluster) owner t.degree in
-            let blob =
-              List.find_map
-                (fun holder ->
-                  match
-                    Storage.replica_of
-                      (Cluster.store_of cluster holder)
-                      ~owner glsn
-                  with
-                  | None -> None
-                  | Some blob ->
-                    Net.Network.send_exn net ~src:owner ~dst:holder
-                      ~label:"repair:request" ~bytes:8;
-                    Net.Network.send_exn net ~src:holder ~dst:owner
-                      ~label:"repair:blob" ~bytes:(String.length blob);
-                    Some blob)
-                holders
-            in
-            match blob with
-            | None -> ()
-            | Some blob -> (
+    (fun glsn ->
+      if Storage.fragment_of store glsn = None then begin
+        (* Ask each successor in turn for the blob. *)
+        let holders = successors (Cluster.nodes cluster) owner t.degree in
+        let blob =
+          List.find_map
+            (fun holder ->
               match
-                open_blob (key_of t owner) ~glsn:(Glsn.to_string glsn) blob
+                Storage.replica_of (Cluster.store_of cluster holder) ~owner glsn
               with
-              | None -> () (* wrong key or corrupt: MAC rejects it *)
-              | Some wire -> (
-                match Log_record.fragment_of_wire wire with
-                | glsn', fragment when Glsn.equal glsn glsn' ->
-                  Storage.store store ~glsn ~fragment;
-                  repaired := (owner, glsn) :: !repaired
-                | _ -> ()
-                | exception Invalid_argument _ -> ()))
-          end)
-        all_glsns)
-    (Cluster.nodes cluster);
-  Net.Network.round net;
+              | None -> None
+              | Some blob ->
+                if
+                  deliver ?retry net ~src:owner ~dst:holder
+                    ~label:"repair:request" ~bytes:8
+                  && deliver ?retry net ~src:holder ~dst:owner
+                       ~label:"repair:blob" ~bytes:(String.length blob)
+                then Some blob
+                else None)
+            holders
+        in
+        match blob with
+        | None -> ()
+        | Some blob -> (
+          match open_blob (key_of t owner) ~glsn:(Glsn.to_string glsn) blob with
+          | None -> () (* wrong key or corrupt: MAC rejects it *)
+          | Some wire -> (
+            match Log_record.fragment_of_wire wire with
+            | glsn', fragment when Glsn.equal glsn glsn' ->
+              Storage.store store ~glsn ~fragment;
+              repaired := (owner, glsn) :: !repaired
+            | _ -> ()
+            | exception Invalid_argument _ -> ()))
+      end)
+    all_glsns;
   List.rev !repaired
+
+let repair_node ?retry t cluster ~node =
+  let repaired =
+    repair_owner ?retry t cluster ~all_glsns:(Cluster.all_glsns cluster) node
+  in
+  Net.Network.round (Cluster.net cluster);
+  repaired
+
+let repair ?retry t cluster =
+  let all_glsns = Cluster.all_glsns cluster in
+  let repaired =
+    List.concat_map
+      (fun owner -> repair_owner ?retry t cluster ~all_glsns owner)
+      (Cluster.nodes cluster)
+  in
+  Net.Network.round (Cluster.net cluster);
+  repaired

@@ -104,7 +104,9 @@ let import ?(seed = 0) ~fragmentation data =
           | [] -> Ok cluster
           | (glsn, origin, ticket_id, attributes) :: rest -> (
             let ticket = ticket_for ticket_id origin in
-            match Cluster.submit cluster ~ticket ~origin ~attributes with
+            match
+              Cluster.to_result (Cluster.submit cluster ~ticket ~origin ~attributes)
+            with
             | Error e ->
               Error
                 (Printf.sprintf "replay of %s failed: %s" (Glsn.to_string glsn)

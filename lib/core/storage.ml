@@ -1,5 +1,14 @@
 open Numtheory
 
+type hint = {
+  hint_target : Net.Node_id.t;
+  hint_glsn : Glsn.t;
+  hint_blob : string;
+  hint_digest : Bignum.t;
+  hint_witness : Bignum.t;
+  hint_ticket : string;
+}
+
 type t = {
   node : Net.Node_id.t;
   supported : Attribute.Set.t;
@@ -8,6 +17,7 @@ type t = {
   mutable witnesses : Bignum.t Glsn.Map.t;
   mutable replicas : (string * string) list Glsn.Map.t;
       (* glsn -> (owner name, encrypted blob) *)
+  mutable hints : hint list;  (* newest first *)
   acl : Access_control.t;
 }
 
@@ -19,6 +29,7 @@ let create ~node ~supported =
     digests = Glsn.Map.empty;
     witnesses = Glsn.Map.empty;
     replicas = Glsn.Map.empty;
+    hints = [];
     acl = Access_control.create ();
   }
 
@@ -40,6 +51,13 @@ let store_digest t ~glsn digest =
 
 let store_witness t ~glsn witness =
   t.witnesses <- Glsn.Map.add glsn witness t.witnesses
+
+let remove t ~glsn =
+  let present = Glsn.Map.mem glsn t.rows || Glsn.Map.mem glsn t.digests in
+  t.rows <- Glsn.Map.remove glsn t.rows;
+  t.digests <- Glsn.Map.remove glsn t.digests;
+  t.witnesses <- Glsn.Map.remove glsn t.witnesses;
+  present
 
 let fragment_of t glsn = Glsn.Map.find_opt glsn t.rows
 let digest_of t glsn = Glsn.Map.find_opt glsn t.digests
@@ -71,6 +89,22 @@ let replica_of t ~owner glsn =
 
 let replica_count t =
   Glsn.Map.fold (fun _ blobs acc -> acc + List.length blobs) t.replicas 0
+
+let park_hint t hint = t.hints <- hint :: t.hints
+
+let hints t = List.rev t.hints
+
+let hint_count t = List.length t.hints
+
+let take_hints_for t ~target =
+  let mine, rest =
+    List.partition (fun h -> Net.Node_id.equal h.hint_target target) t.hints
+  in
+  t.hints <- rest;
+  List.rev mine
+
+let drop_hints t ~glsn =
+  t.hints <- List.filter (fun h -> not (Glsn.equal h.hint_glsn glsn)) t.hints
 
 let tamper_set t ~glsn ~attr value =
   match Glsn.Map.find_opt glsn t.rows with

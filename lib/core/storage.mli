@@ -28,6 +28,12 @@ val store_witness : t -> glsn:Glsn.t -> Bignum.t -> unit
     {e other} nodes' fragments, ref [27]) so the node can later prove
     its fragment in isolation. *)
 
+val remove : t -> glsn:Glsn.t -> bool
+(** Roll back a stored row: drop the fragment, digest and witness for
+    this glsn (crash-safe submit uses it to undo a torn placement).
+    Returns whether anything was removed.  The ACL entry is revoked by
+    the caller, which knows the ticket id. *)
+
 val fragment_of : t -> Glsn.t -> (Attribute.t * Value.t) list option
 val digest_of : t -> Glsn.t -> Bignum.t option
 val witness_of : t -> Glsn.t -> Bignum.t option
@@ -59,6 +65,37 @@ val store_replica :
 val replica_of : t -> owner:Net.Node_id.t -> Glsn.t -> string option
 
 val replica_count : t -> int
+
+(** {1 Hinted handoff}
+
+    When a fragment's home node is down at submit time, the crash-safe
+    submit path parks the fragment — AEAD-sealed under the {e target}'s
+    handoff key, so the holder observes ciphertext only — on a ring
+    successor together with the record's digest, the target's witness
+    and the authorizing ticket id.  [Cluster.drain_hints] delivers the
+    parked fragments once the target is back. *)
+
+type hint = {
+  hint_target : Net.Node_id.t;  (** the down node this is destined for *)
+  hint_glsn : Glsn.t;
+  hint_blob : string;  (** fragment wire, sealed under the target's key *)
+  hint_digest : Bignum.t;
+  hint_witness : Bignum.t;
+  hint_ticket : string;  (** ticket id to grant on delivery *)
+}
+
+val park_hint : t -> hint -> unit
+val hints : t -> hint list
+(** Oldest first. *)
+
+val hint_count : t -> int
+
+val take_hints_for : t -> target:Net.Node_id.t -> hint list
+(** Remove and return this node's parked hints for one target, oldest
+    first. *)
+
+val drop_hints : t -> glsn:Glsn.t -> unit
+(** Discard parked hints for a rolled-back glsn. *)
 
 (** {1 Fault injection} *)
 

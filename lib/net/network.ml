@@ -6,8 +6,10 @@ type stats = {
   messages : int;
   bytes : int;
   rounds : int;
+  dropped : int;
   virtual_time_ms : float;
   by_label : (string * int) list;
+  dropped_by_label : (string * int) list;
 }
 
 exception Partitioned of { src : Node_id.t; dst : Node_id.t; reason : string }
@@ -21,9 +23,11 @@ type t = {
   mutable messages : int;
   mutable bytes : int;
   mutable rounds : int;
+  mutable dropped : int;
   mutable virtual_time_ms : float;
   mutable round_max_latency : float;
   mutable by_label : (string, int) Hashtbl.t;
+  mutable dropped_by_label : (string, int) Hashtbl.t;
 }
 
 let create ?(seed = 0) ?(latency_ms = fun _ _ -> 1.0) ?(loss_rate = 0.0) () =
@@ -38,25 +42,35 @@ let create ?(seed = 0) ?(latency_ms = fun _ _ -> 1.0) ?(loss_rate = 0.0) () =
     messages = 0;
     bytes = 0;
     rounds = 0;
+    dropped = 0;
     virtual_time_ms = 0.0;
     round_max_latency = 0.0;
     by_label = Hashtbl.create 16;
+    dropped_by_label = Hashtbl.create 16;
   }
 
 let ledger t = t.ledger
 
+let bump table label =
+  let prev = Option.value ~default:0 (Hashtbl.find_opt table label) in
+  Hashtbl.replace table label (prev + 1)
+
+let drop t ~label reason =
+  t.dropped <- t.dropped + 1;
+  bump t.dropped_by_label label;
+  Dropped reason
+
 let send t ~src ~dst ~label ~bytes =
-  if Node_id.Set.mem src t.down then Dropped "source down"
-  else if Node_id.Set.mem dst t.down then Dropped "destination down"
+  if Node_id.Set.mem src t.down then drop t ~label "source down"
+  else if Node_id.Set.mem dst t.down then drop t ~label "destination down"
   else if t.loss_rate > 0.0 && Prng.float t.rng < t.loss_rate then
-    Dropped "loss"
+    drop t ~label "loss"
   else begin
     t.messages <- t.messages + 1;
     t.bytes <- t.bytes + bytes;
     let lat = t.latency_ms src dst in
     if lat > t.round_max_latency then t.round_max_latency <- lat;
-    let prev = Option.value ~default:0 (Hashtbl.find_opt t.by_label label) in
-    Hashtbl.replace t.by_label label (prev + 1);
+    bump t.by_label label;
     Delivered
   end
 
@@ -70,34 +84,46 @@ let round t =
   t.virtual_time_ms <- t.virtual_time_ms +. t.round_max_latency;
   t.round_max_latency <- 0.0
 
+let charge_wait_ms t ms =
+  if ms > 0.0 then t.virtual_time_ms <- t.virtual_time_ms +. ms
+
+let virtual_time_ms t = t.virtual_time_ms
+
 let take_down t node = t.down <- Node_id.Set.add node t.down
 let bring_up t node = t.down <- Node_id.Set.remove node t.down
 let is_up t node = not (Node_id.Set.mem node t.down)
+let down_nodes t = Node_id.Set.elements t.down
+
+let sorted_bindings table =
+  Hashtbl.fold (fun label count acc -> (label, count) :: acc) table []
+  |> List.sort compare
 
 let stats t =
-  let by_label =
-    Hashtbl.fold (fun label count acc -> (label, count) :: acc) t.by_label []
-    |> List.sort compare
-  in
   {
     messages = t.messages;
     bytes = t.bytes;
     rounds = t.rounds;
+    dropped = t.dropped;
     virtual_time_ms = t.virtual_time_ms;
-    by_label;
+    by_label = sorted_bindings t.by_label;
+    dropped_by_label = sorted_bindings t.dropped_by_label;
   }
 
 let reset_stats t =
   t.messages <- 0;
   t.bytes <- 0;
   t.rounds <- 0;
+  t.dropped <- 0;
   t.virtual_time_ms <- 0.0;
   t.round_max_latency <- 0.0;
-  t.by_label <- Hashtbl.create 16
+  t.by_label <- Hashtbl.create 16;
+  t.dropped_by_label <- Hashtbl.create 16
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
-    "@[<v>messages: %d@ bytes: %d@ rounds: %d@ virtual time: %.1f ms@ %a@]"
-    s.messages s.bytes s.rounds s.virtual_time_ms
+    "@[<v>messages: %d@ bytes: %d@ rounds: %d@ dropped: %d@ virtual time: \
+     %.1f ms@ %a@]"
+    s.messages s.bytes s.rounds s.dropped s.virtual_time_ms
     (Format.pp_print_list (fun fmt (l, c) -> Format.fprintf fmt "%s: %d" l c))
-    s.by_label
+    (s.by_label
+    @ List.map (fun (l, c) -> (l ^ " [dropped]", c)) s.dropped_by_label)

@@ -16,11 +16,15 @@ type delivery =
   | Dropped of string  (** reason: "node down", "loss", ... *)
 
 type stats = {
-  messages : int;
+  messages : int;  (** delivered messages *)
   bytes : int;
   rounds : int;
+  dropped : int;  (** non-delivered sends (down nodes + loss) *)
   virtual_time_ms : float;
-  by_label : (string * int) list;  (** message count per protocol label *)
+  by_label : (string * int) list;  (** delivered count per protocol label *)
+  dropped_by_label : (string * int) list;
+      (** drop count per protocol label — offered minus delivered traffic
+          for the fault experiments *)
 }
 
 val create :
@@ -37,7 +41,8 @@ val ledger : t -> Ledger.t
 val send :
   t -> src:Node_id.t -> dst:Node_id.t -> label:string -> bytes:int -> delivery
 (** Account one message.  Returns [Dropped _] if the destination is down
-    or the message was lost; the caller decides how the protocol reacts. *)
+    or the message was lost; the caller decides how the protocol reacts.
+    Non-deliveries are counted in {!stats}' [dropped] fields. *)
 
 val send_exn :
   t -> src:Node_id.t -> dst:Node_id.t -> label:string -> bytes:int -> unit
@@ -50,9 +55,20 @@ val round : t -> unit
 (** Mark the end of a communication round; advances virtual time by the
     maximum latency charged since the previous round. *)
 
+val charge_wait_ms : t -> float -> unit
+(** Advance virtual time by a pure wait (retry backoff, cooldown):
+    time passes but no messages move.  Negative/zero charges are
+    ignored. *)
+
+val virtual_time_ms : t -> float
+(** Current virtual clock (same value as [stats].virtual_time_ms). *)
+
 val take_down : t -> Node_id.t -> unit
 val bring_up : t -> Node_id.t -> unit
 val is_up : t -> Node_id.t -> bool
+
+val down_nodes : t -> Node_id.t list
+(** Currently crashed nodes, sorted. *)
 
 val stats : t -> stats
 val reset_stats : t -> unit

@@ -125,7 +125,10 @@ let populate cluster config =
         let ticket =
           snd (List.find (fun (n, _) -> Net.Node_id.equal n origin) tickets)
         in
-        match Cluster.submit cluster ~ticket ~origin ~attributes:attrs with
+        match
+          Cluster.to_result
+            (Cluster.submit cluster ~ticket ~origin ~attributes:attrs)
+        with
         | Ok glsn -> glsn
         | Error e -> invalid_arg ("Ecommerce.populate: " ^ e))
       stream

@@ -128,9 +128,10 @@ let populate cluster config =
           match origin with Net.Node_id.User i -> i | _ -> 0
         in
         match
-          Cluster.submit cluster
-            ~ticket:(ticket_for origin host)
-            ~origin ~attributes:attrs
+          Cluster.to_result
+            (Cluster.submit cluster
+               ~ticket:(ticket_for origin host)
+               ~origin ~attributes:attrs)
         with
         | Ok glsn -> glsn
         | Error e -> invalid_arg ("Intrusion.populate: " ^ e))

@@ -110,9 +110,10 @@ let populate cluster config =
       (fun (attrs, origin) ->
         let branch = match origin with Net.Node_id.User b -> b | _ -> 0 in
         match
-          Cluster.submit cluster
-            ~ticket:(ticket_for origin branch)
-            ~origin ~attributes:attrs
+          Cluster.to_result
+            (Cluster.submit cluster
+               ~ticket:(ticket_for origin branch)
+               ~origin ~attributes:attrs)
         with
         | Ok glsn -> glsn
         | Error e -> invalid_arg ("Library.populate: " ^ e))

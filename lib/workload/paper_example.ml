@@ -61,8 +61,9 @@ let build ?(seed = 0) () =
       (fun index row ->
         let ticket = List.assoc (ticket_of_row index) tickets in
         match
-          Cluster.submit cluster ~ticket ~origin:(origin_of_row row)
-            ~attributes:row
+          Cluster.to_result
+            (Cluster.submit cluster ~ticket ~origin:(origin_of_row row)
+               ~attributes:row)
         with
         | Ok glsn -> glsn
         | Error e -> invalid_arg ("Paper_example.build: " ^ e))

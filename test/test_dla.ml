@@ -293,8 +293,9 @@ let paper_attributes time =
 let test_cluster_submit_and_reassemble () =
   let cluster, ticket = build_cluster () in
   match
-    Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
-      ~attributes:(paper_attributes 1000)
+    Cluster.to_result
+      (Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
+         ~attributes:(paper_attributes 1000))
   with
   | Error e -> Alcotest.fail e
   | Ok glsn ->
@@ -319,8 +320,9 @@ let test_cluster_rejects_bad_tickets () =
   let cluster, ticket = build_cluster () in
   (* Wrong principal. *)
   (match
-     Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 2)
-       ~attributes:(paper_attributes 1)
+     Cluster.to_result
+       (Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 2)
+          ~attributes:(paper_attributes 1))
    with
   | Error e ->
     Alcotest.(check string) "principal" "ticket rejected: principal mismatch" e
@@ -328,8 +330,9 @@ let test_cluster_rejects_bad_tickets () =
   (* Expired. *)
   Cluster.advance_time cluster 7200;
   (match
-     Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
-       ~attributes:(paper_attributes 1)
+     Cluster.to_result
+       (Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
+          ~attributes:(paper_attributes 1))
    with
   | Error e -> Alcotest.(check string) "expired" "ticket rejected: expired" e
   | Ok _ -> Alcotest.fail "expected rejection");
@@ -339,8 +342,9 @@ let test_cluster_rejects_bad_tickets () =
       ~rights:[ Ticket.Read ] ~ttl:3600
   in
   (match
-     Cluster.submit cluster ~ticket:read_only ~origin:(Net.Node_id.User 1)
-       ~attributes:(paper_attributes 1)
+     Cluster.to_result
+       (Cluster.submit cluster ~ticket:read_only ~origin:(Net.Node_id.User 1)
+          ~attributes:(paper_attributes 1))
    with
   | Error e ->
     Alcotest.(check string) "read-only" "ticket rejected: no write right" e
@@ -351,8 +355,9 @@ let test_cluster_rejects_bad_tickets () =
       ~rights:[ Ticket.Write ] ~ttl:3600
   in
   match
-    Cluster.submit cluster ~ticket:ticket2 ~origin:(Net.Node_id.User 1)
-      ~attributes:[ (d "salary", Value.Money 1) ]
+    Cluster.to_result
+      (Cluster.submit cluster ~ticket:ticket2 ~origin:(Net.Node_id.User 1)
+         ~attributes:[ (d "salary", Value.Money 1) ])
   with
   | Error e ->
     Alcotest.(check string) "unknown attr"
@@ -364,8 +369,9 @@ let test_cluster_fragment_isolation () =
      ledger contains a full record. *)
   let cluster, ticket = build_cluster () in
   (match
-     Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
-       ~attributes:(paper_attributes 1000)
+     Cluster.to_result
+       (Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
+          ~attributes:(paper_attributes 1000))
    with
   | Ok _ -> ()
   | Error e -> Alcotest.fail e);
@@ -391,7 +397,7 @@ let test_transaction_submission () =
       ~events:[ paper_attributes 1000; paper_attributes 1010 ]
   with
   | Error e -> Alcotest.fail e
-  | Ok txn ->
+  | Ok (txn, _) ->
     Alcotest.(check int) "two events" 2
       (List.length txn.Log_record.Transaction.records);
     Alcotest.(check int) "tsn" 1 txn.Log_record.Transaction.tsn;
@@ -409,8 +415,9 @@ let populated_cluster () =
     List.map
       (fun time ->
         match
-          Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
-            ~attributes:(paper_attributes time)
+          Cluster.to_result
+            (Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
+               ~attributes:(paper_attributes time))
         with
         | Ok glsn -> glsn
         | Error e -> Alcotest.failf "submit: %s" e)
@@ -522,8 +529,9 @@ let test_accumulator_witness_algebra () =
 let test_retrieval_owner_can_fetch () =
   let cluster, ticket = build_cluster () in
   match
-    Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
-      ~attributes:(paper_attributes 1000)
+    Cluster.to_result
+      (Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
+         ~attributes:(paper_attributes 1000))
   with
   | Error e -> Alcotest.fail e
   | Ok glsn -> (
@@ -540,8 +548,9 @@ let test_retrieval_owner_can_fetch () =
 let test_retrieval_projection () =
   let cluster, ticket = build_cluster () in
   match
-    Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
-      ~attributes:(paper_attributes 1000)
+    Cluster.to_result
+      (Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
+         ~attributes:(paper_attributes 1000))
   with
   | Error e -> Alcotest.fail e
   | Ok glsn -> (
@@ -560,8 +569,9 @@ let test_retrieval_denied () =
   let cluster, ticket = build_cluster () in
   let glsn =
     match
-      Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
-        ~attributes:(paper_attributes 1000)
+      Cluster.to_result
+        (Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
+           ~attributes:(paper_attributes 1000))
     with
     | Ok glsn -> glsn
     | Error e -> Alcotest.failf "submit: %s" e

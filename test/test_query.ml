@@ -422,8 +422,9 @@ let prop_executor_random_partition =
       List.iter
         (fun row ->
           match
-            Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
-              ~attributes:row
+            Cluster.to_result
+              (Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
+                 ~attributes:row)
           with
           | Ok _ -> ()
           | Error e -> failwith e)

@@ -81,12 +81,13 @@ let rules_cluster () =
   in
   let submit ~time ~tid ~memo ~amount =
     match
-      Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
-        ~attributes:
-          [ (d "time", Value.Time time); (d "id", Value.Str "U1");
-            (d "tid", Value.Str tid); (u 2, Value.Money amount);
-            (u 3, Value.Str memo)
-          ]
+      Cluster.to_result
+        (Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
+           ~attributes:
+             [ (d "time", Value.Time time); (d "id", Value.Str "U1");
+               (d "tid", Value.Str tid); (u 2, Value.Money amount);
+               (u 3, Value.Str memo)
+             ])
     with
     | Ok glsn -> glsn
     | Error e -> Alcotest.failf "submit: %s" e
@@ -374,11 +375,12 @@ let build_member ~name ~seed ~udp_events =
   in
   for i = 1 to udp_events do
     match
-      Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
-        ~attributes:
-          [ (d "time", Value.Time (1000 + i)); (d "id", Value.Str "U1");
-            (d "protocl", Value.Str "UDP"); (u 1, Value.Int i)
-          ]
+      Cluster.to_result
+        (Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
+           ~attributes:
+             [ (d "time", Value.Time (1000 + i)); (d "id", Value.Str "U1");
+               (d "protocl", Value.Str "UDP"); (u 1, Value.Int i)
+             ])
     with
     | Ok _ -> ()
     | Error e -> Alcotest.failf "submit: %s" e
@@ -492,11 +494,12 @@ let archive_cluster () =
   in
   let submit time =
     match
-      Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
-        ~attributes:
-          [ (d "time", Value.Time time); (d "id", Value.Str "U1");
-            (u 2, Value.Money (time * 3))
-          ]
+      Cluster.to_result
+        (Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
+           ~attributes:
+             [ (d "time", Value.Time time); (d "id", Value.Str "U1");
+               (u 2, Value.Money (time * 3))
+             ])
     with
     | Ok glsn -> glsn
     | Error e -> Alcotest.failf "submit: %s" e
@@ -771,8 +774,9 @@ let test_layout_greedy_improves () =
   List.iter
     (fun row ->
       match
-        Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
-          ~attributes:row
+        Cluster.to_result
+          (Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
+             ~attributes:row)
       with
       | Ok _ -> ()
       | Error e -> Alcotest.fail e)

@@ -136,11 +136,12 @@ let populated_cluster () =
     List.map
       (fun time ->
         match
-          Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
-            ~attributes:
-              [ (d "time", Value.Time time); (d "id", Value.Str "U1");
-                (u 2, Value.Money (time * 2))
-              ]
+          Cluster.to_result
+            (Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
+               ~attributes:
+                 [ (d "time", Value.Time time); (d "id", Value.Str "U1");
+                   (u 2, Value.Money (time * 2))
+                 ])
         with
         | Ok glsn -> glsn
         | Error e -> Alcotest.failf "submit: %s" e)
