@@ -1,0 +1,84 @@
+(* Compare two metrics JSON files produced by `main.exe --metrics-out`.
+
+   Usage: diff_metrics BASELINE CURRENT [--threshold PCT]
+
+   Prints one line per counter whose value drifted, and exits non-zero
+   when any counter moved by more than the threshold (default 10%) —
+   the CI job runs this with continue-on-error so drift warns without
+   blocking. *)
+
+let threshold = ref 10.0
+
+let read_counters path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  match Obs.Json.parse text with
+  | Error e -> failwith (Printf.sprintf "%s: %s" path e)
+  | Ok doc -> (
+    match Obs.Json.member "counters" doc with
+    | Some (Obs.Json.Obj fields) ->
+      List.filter_map
+        (fun (name, v) ->
+          match Obs.Json.to_num v with
+          | Some n -> Some (name, int_of_float n)
+          | None -> None)
+        fields
+    | _ -> failwith (Printf.sprintf "%s: no counters object" path))
+
+let () =
+  let positional = ref [] in
+  let argv = Sys.argv in
+  let i = ref 1 in
+  while !i < Array.length argv do
+    (match argv.(!i) with
+    | "--threshold" when !i + 1 < Array.length argv ->
+      incr i;
+      threshold := float_of_string argv.(!i)
+    | arg -> positional := arg :: !positional);
+    incr i
+  done;
+  match List.rev !positional with
+  | [ baseline_path; current_path ] ->
+    let baseline = read_counters baseline_path in
+    let current = read_counters current_path in
+    let names =
+      List.sort_uniq compare (List.map fst baseline @ List.map fst current)
+    in
+    let worst = ref 0.0 in
+    let drifted = ref 0 in
+    List.iter
+      (fun name ->
+        let b = Option.value ~default:0 (List.assoc_opt name baseline) in
+        let c = Option.value ~default:0 (List.assoc_opt name current) in
+        if b <> c then begin
+          let pct =
+            if b = 0 then infinity
+            else 100.0 *. Float.abs (float_of_int (c - b)) /. float_of_int b
+          in
+          incr drifted;
+          if pct > !worst then worst := pct;
+          Printf.printf "%-40s %10d -> %10d  (%+d, %s)\n" name b c (c - b)
+            (if pct = infinity then "new/removed"
+             else Printf.sprintf "%.1f%%" pct)
+        end)
+      names;
+    if !drifted = 0 then begin
+      Printf.printf "no counter drift (%d counters compared)\n"
+        (List.length names);
+      exit 0
+    end
+    else if !worst > !threshold then begin
+      Printf.printf "DRIFT: %d counter(s) changed, worst %.1f%% > %.1f%%\n"
+        !drifted !worst !threshold;
+      exit 1
+    end
+    else begin
+      Printf.printf "%d counter(s) changed, all within %.1f%% threshold\n"
+        !drifted !threshold;
+      exit 0
+    end
+  | _ ->
+    prerr_endline "usage: diff_metrics BASELINE CURRENT [--threshold PCT]";
+    exit 2

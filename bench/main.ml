@@ -13,6 +13,7 @@ open Bench_util
 
 let skip_timing = ref false
 let only = ref None
+let metrics_out = ref None
 
 let auditor = Net.Node_id.Auditor
 
@@ -1386,6 +1387,8 @@ let () =
         exit 0
       | "--only" when i + 1 < Array.length Sys.argv ->
         only := Some Sys.argv.(i + 1)
+      | "--metrics-out" when i + 1 < Array.length Sys.argv ->
+        metrics_out := Some Sys.argv.(i + 1)
       | _ -> ())
     Sys.argv;
   let to_run =
@@ -1398,5 +1401,22 @@ let () =
       (String.concat ", " (List.map fst experiments));
     exit 1
   end;
-  List.iter (fun (_, fn) -> fn ()) to_run;
+  List.iter
+    (fun (name, fn) ->
+      (* Per-experiment metrics: reset the global registry around each
+         run so every BENCH_<id>.json holds that experiment's counters
+         alone, comparable run-to-run (everything is seeded, so the
+         files are byte-stable — the CI baseline diff relies on it). *)
+      if !metrics_out <> None then begin
+        Obs.Metrics.reset ();
+        Obs.Trace.reset ()
+      end;
+      fn ();
+      match !metrics_out with
+      | None -> ()
+      | Some dir ->
+        let path = Filename.concat dir ("BENCH_" ^ name ^ ".json") in
+        Obs.Sink.write_file ~path (Obs.Sink.json_of ~experiment:name ());
+        Printf.printf "[metrics] wrote %s\n" path)
+    to_run;
   print_newline ()

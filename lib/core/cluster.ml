@@ -156,7 +156,7 @@ let hint_holder_for t ~target =
   | Some base ->
     walk (List.init (n - 1) (fun k -> List.nth ring ((base + k + 1) mod n)))
 
-let submit ?(durability = Degraded) t ~ticket ~origin ~attributes =
+let submit_unobserved ~durability t ~ticket ~origin ~attributes =
   match Ticket.Authority.verify t.ticket_authority ticket ~now:t.clock with
   | Error reason -> Rejected ("ticket rejected: " ^ reason)
   | Ok () ->
@@ -225,7 +225,7 @@ let submit ?(durability = Degraded) t ~ticket ~origin ~attributes =
         in
         let finish outcome =
           t.origins <- Glsn.Map.add glsn origin t.origins;
-          Net.Network.round t.net;
+          Net.Network.round ~label:"log" t.net;
           outcome
         in
         match (failed, durability) with
@@ -235,7 +235,7 @@ let submit ?(durability = Degraded) t ~ticket ~origin ~attributes =
         | _ :: _, Strict ->
           (* Nothing was committed: the staged placement is simply
              abandoned (the glsn stays burned but appears nowhere). *)
-          Net.Network.round t.net;
+          Net.Network.round ~label:"log" t.net;
           Rejected
             (Printf.sprintf "placement failed at %s"
                (String.concat ","
@@ -265,7 +265,7 @@ let submit ?(durability = Degraded) t ~ticket ~origin ~attributes =
               failed
           in
           if List.exists Option.is_none parked then begin
-            Net.Network.round t.net;
+            Net.Network.round ~label:"log" t.net;
             Rejected
               (Printf.sprintf "placement failed at %s and no handoff successor"
                  (String.concat ","
@@ -300,6 +300,19 @@ let submit ?(durability = Degraded) t ~ticket ~origin ~attributes =
           end)
     end
 
+(* Every placement runs inside a span clocked on the network's virtual
+   time, and lands in exactly one of three outcome counters — the same
+   commit/degraded/rejected split the availability experiments plot. *)
+let submit ?(durability = Degraded) t ~ticket ~origin ~attributes =
+  Obs.Trace.set_clock (fun () -> Net.Network.virtual_time_ms t.net);
+  Obs.Trace.with_span "cluster.submit" (fun () ->
+      let outcome = submit_unobserved ~durability t ~ticket ~origin ~attributes in
+      (match outcome with
+      | Committed _ -> Obs.Metrics.incr "cluster.submit.committed"
+      | Committed_degraded _ -> Obs.Metrics.incr "cluster.submit.degraded"
+      | Rejected _ -> Obs.Metrics.incr "cluster.submit.rejected");
+      outcome)
+
 let to_result = function
   | Committed glsn | Committed_degraded (glsn, _) -> Ok glsn
   | Rejected reason -> Error reason
@@ -313,6 +326,8 @@ let pending_hints t =
     t.stores
 
 let drain_hints t =
+  Obs.Trace.set_clock (fun () -> Net.Network.virtual_time_ms t.net);
+  Obs.Trace.with_span "cluster.drain" (fun () ->
   let ledger = Net.Network.ledger t.net in
   let delivered = ref [] in
   List.iter
@@ -334,10 +349,13 @@ let drain_hints t =
                 with
                 | Net.Retry.Gave_up _ ->
                   (* Still unreachable: park it again. *)
+                  Obs.Metrics.incr "cluster.drain.reparked";
                   Storage.park_hint holder_store hint
                 | Net.Retry.Sent _ -> (
                   match open_hint t ~target ~glsn hint.Storage.hint_blob with
-                  | None -> Storage.park_hint holder_store hint
+                  | None ->
+                    Obs.Metrics.incr "cluster.drain.reparked";
+                    Storage.park_hint holder_store hint
                   | Some wire ->
                     let glsn', fragment = Log_record.fragment_of_wire wire in
                     if Glsn.equal glsn glsn' then begin
@@ -350,12 +368,16 @@ let drain_hints t =
                         (Glsn.to_string glsn);
                       delivered := (target, glsn) :: !delivered
                     end
-                    else Storage.park_hint holder_store hint))
+                    else begin
+                      Obs.Metrics.incr "cluster.drain.reparked";
+                      Storage.park_hint holder_store hint
+                    end))
               (Storage.take_hints_for holder_store ~target))
         (List.map fst t.stores))
     t.stores;
-  Net.Network.round t.net;
-  List.rev !delivered
+  Net.Network.round ~label:"log" t.net;
+  Obs.Metrics.incr ~by:(List.length !delivered) "cluster.drain.delivered";
+  List.rev !delivered)
 
 let record_of t glsn =
   let fragments =
@@ -374,6 +396,7 @@ let record_of t glsn =
    hints, origin bookkeeping.  Used by submit_transaction so a rejected
    later event does not leave earlier events stored. *)
 let rollback t ~ticket_id glsn =
+  Obs.Metrics.incr "cluster.rollback";
   List.iter
     (fun (_, store) ->
       ignore (Storage.remove store ~glsn);

@@ -105,7 +105,7 @@ let eval_cross_atom cluster ~ttp ~clause_home (atom : Query.atom) ~left ~right
   (* Homes agree on the secret transform (one negotiation message). *)
   Net.Network.send_exn net ~src:left ~dst:right ~label:"query:negotiate"
     ~bytes:16;
-  Net.Network.round net;
+  Net.Network.round ~label:"query" net;
   let blind = Crypto.Blinding.generate_monotone (Cluster.rng cluster) ~bits:64 in
   let pad =
     max (value_pad (List.map snd left_col)) (value_pad (List.map snd right_col))
@@ -134,7 +134,7 @@ let eval_cross_atom cluster ~ttp ~clause_home (atom : Query.atom) ~left ~right
   in
   let left_blinded = blind_column left left_col in
   let right_blinded = blind_column right right_col in
-  Net.Network.round net;
+  Net.Network.round ~label:"query" net;
   let satisfied =
     List.fold_left
       (fun acc (glsn, kind_l, wl) ->
@@ -150,7 +150,7 @@ let eval_cross_atom cluster ~ttp ~clause_home (atom : Query.atom) ~left ~right
   in
   send_glsn_set net ~src:ttp ~dst:clause_home ~label:"query:cross-result"
     satisfied;
-  Net.Network.round net;
+  Net.Network.round ~label:"query" net;
   satisfied
 
 (* Degraded-coverage bookkeeping shared by one run. *)
@@ -170,17 +170,20 @@ let mark_unreachable ctx nodes =
 let eval_clause cluster ~ttp ~catch_partition ~available ~ctx ~home
     (clause : Planner.planned_clause) =
   let net = Cluster.net cluster in
+  Obs.Trace.with_span "executor.clause" @@ fun () ->
   List.fold_left
     (fun acc { Planner.atom; home = atom_home } ->
       let eval () =
         match atom_home with
         | Planner.Local node ->
           if not (available node) then begin
+            Obs.Metrics.incr "executor.atoms.skipped";
             ctx.n_skipped_atoms <- ctx.n_skipped_atoms + 1;
             mark_unreachable ctx [ node ];
             None
           end
           else begin
+            Obs.Metrics.incr "executor.atoms.local";
             let set = eval_local_atom (Cluster.store_of cluster node) atom in
             if not (Net.Node_id.equal node home) then begin
               send_glsn_set net ~src:node ~dst:home ~label:"query:local-result"
@@ -194,14 +197,17 @@ let eval_clause cluster ~ttp ~catch_partition ~available ~ctx ~home
           | Query.Attr rhs_attr ->
             let down = List.filter (fun n -> not (available n)) [ left; right ] in
             if down <> [] then begin
-              ctx.n_skipped_atoms <- ctx.n_skipped_atoms + 1;
+              Obs.Metrics.incr "executor.atoms.skipped";
+            ctx.n_skipped_atoms <- ctx.n_skipped_atoms + 1;
               mark_unreachable ctx down;
               None
             end
-            else
+            else begin
+              Obs.Metrics.incr "executor.atoms.cross";
               Some
                 (eval_cross_atom cluster ~ttp ~clause_home:home atom ~left
                    ~right rhs_attr)
+            end
           | Query.Const _ -> assert false (* planner never crosses a const *))
       in
       let set =
@@ -210,6 +216,7 @@ let eval_clause cluster ~ttp ~catch_partition ~available ~ctx ~home
         if catch_partition then
           try eval () with
           | Net.Network.Partitioned { dst; _ } ->
+            Obs.Metrics.incr "executor.atoms.skipped";
             ctx.n_skipped_atoms <- ctx.n_skipped_atoms + 1;
             mark_unreachable ctx [ dst ];
             None
@@ -224,6 +231,9 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
   match Planner.plan (Cluster.fragmentation cluster) normalized with
   | Error _ as e -> e
   | Ok plan ->
+    Obs.Trace.set_clock (fun () ->
+        Net.Network.virtual_time_ms (Cluster.net cluster));
+    Obs.Trace.with_span "executor.audit" @@ fun () ->
     let net = Cluster.net cluster in
     let ledger = Net.Network.ledger net in
     let available node =
@@ -252,6 +262,7 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
           (Cluster.nodes cluster)
       | _ -> []
     in
+    Obs.Metrics.incr ~by:(List.length repaired) "executor.repaired";
     let ctx =
       { down = Net.Node_id.Set.empty; n_skipped_atoms = 0; n_skipped_clauses = 0 }
     in
@@ -281,6 +292,7 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
           | None ->
             (* No live node can even assemble the union: the clause is
                uncovered. *)
+            Obs.Metrics.incr "executor.clauses.skipped";
             ctx.n_skipped_clauses <- ctx.n_skipped_clauses + 1;
             mark_unreachable ctx [ clause.Planner.clause_home ];
             eval acc rest
@@ -299,7 +311,8 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
               (* An entirely unevaluated disjunction is unknowable — drop
                  it from the conjunction rather than intersecting with a
                  spurious empty set; the coverage report names it. *)
-              ctx.n_skipped_clauses <- ctx.n_skipped_clauses + 1;
+              Obs.Metrics.incr "executor.clauses.skipped";
+            ctx.n_skipped_clauses <- ctx.n_skipped_clauses + 1;
               eval acc rest
             end
             else if optimize && Glsn.Set.is_empty set then
@@ -369,7 +382,7 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
       Net.Ledger.record ledger ~node:auditor ~sensitivity:Net.Ledger.Aggregate
         ~tag:"query:final-count"
         (string_of_int (Glsn.Set.cardinal final_set)));
-    Net.Network.round net;
+    Net.Network.round ~label:"query" net;
     let s = float_of_int plan.Planner.total_atoms in
     let t = float_of_int plan.Planner.cross_atoms in
     let q = float_of_int plan.Planner.conjuncts in

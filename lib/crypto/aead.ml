@@ -16,12 +16,14 @@ let one_time_key ~key ~nonce =
   String.sub (Chacha20.block ~key ~nonce ~counter:0) 0 32
 
 let seal ~key ~nonce ~ad plaintext =
+  Obs.Metrics.incr "crypto.aead.seal";
   let ciphertext = Chacha20.encrypt ~key ~nonce ~counter:1 plaintext in
   let otk = one_time_key ~key ~nonce in
   let tag = Poly1305.mac ~key:otk (mac_data ~ad ~ciphertext) in
   ciphertext ^ tag
 
 let open_ ~key ~nonce ~ad sealed =
+  Obs.Metrics.incr "crypto.aead.open";
   if String.length sealed < 16 then None
   else begin
     let clen = String.length sealed - 16 in

@@ -13,6 +13,7 @@ let generate_affine rng ~p =
     }
 
 let apply_affine { a; b; p } y =
+  Obs.Metrics.incr "crypto.blind.affine";
   Modular.add (Modular.mul a y ~m:p) b ~m:p
 
 type monotone = { scale : Bignum.t; offset : Bignum.t }
@@ -26,4 +27,5 @@ let generate_monotone rng ~bits =
     }
 
 let apply_monotone { scale; offset } y =
+  Obs.Metrics.incr "crypto.blind.monotone";
   Bignum.add (Bignum.mul scale y) offset

@@ -8,16 +8,33 @@ type scheme = {
   encode : string -> Bignum.t;
 }
 
+(* Every keypair counts its layer operations scheme-agnostically, so
+   the §3 set-protocol cost formulas (n²·m encryptions for ∩ₛ, plus
+   n·u decryptions for ∪ₛ) are assertable whatever cipher backs the
+   run. *)
+let counted { enc; dec } =
+  {
+    enc =
+      (fun x ->
+        Obs.Metrics.incr "crypto.commutative.enc";
+        enc x);
+    dec =
+      (fun x ->
+        Obs.Metrics.incr "crypto.commutative.dec";
+        dec x);
+  }
+
 let pohlig_hellman rng params =
   {
     name = "pohlig-hellman";
     fresh_keypair =
       (fun () ->
         let key = Pohlig_hellman.generate_key rng params in
-        {
-          enc = Pohlig_hellman.encrypt params key;
-          dec = Pohlig_hellman.decrypt params key;
-        });
+        counted
+          {
+            enc = Pohlig_hellman.encrypt params key;
+            dec = Pohlig_hellman.decrypt params key;
+          });
     encode = Pohlig_hellman.encode params;
   }
 
@@ -27,6 +44,7 @@ let xor_pad rng params =
     fresh_keypair =
       (fun () ->
         let key = Xor_pad.generate_key rng params in
-        { enc = Xor_pad.encrypt params key; dec = Xor_pad.decrypt params key });
+        counted
+          { enc = Xor_pad.encrypt params key; dec = Xor_pad.decrypt params key });
     encode = Xor_pad.encode params;
   }

@@ -38,14 +38,20 @@ let encrypt rng { n; n_squared } m =
     if Bignum.equal (Modular.gcd r n) Bignum.one then r else random_unit ()
   in
   let r = random_unit () in
+  Obs.Metrics.incr ~by:2 "crypto.modexp";
   let gm = Modular.pow (Bignum.succ n) m ~m:n_squared in
   let rn = Modular.pow r n ~m:n_squared in
   Modular.mul gm rn ~m:n_squared
 
 let decrypt { n; n_squared } secret c =
+  Obs.Metrics.incr "crypto.modexp";
   let x = Modular.pow c secret.lambda ~m:n_squared in
   Modular.mul (l_function ~n x) secret.mu ~m:n
 
-let add { n_squared; _ } c1 c2 = Modular.mul c1 c2 ~m:n_squared
+let add { n_squared; _ } c1 c2 =
+  Obs.Metrics.incr "crypto.paillier.add";
+  Modular.mul c1 c2 ~m:n_squared
 
-let scale { n_squared; _ } c ~by = Modular.pow c by ~m:n_squared
+let scale { n_squared; _ } c ~by =
+  Obs.Metrics.incr "crypto.modexp";
+  Modular.pow c by ~m:n_squared

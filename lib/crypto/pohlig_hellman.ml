@@ -26,10 +26,12 @@ let check_domain p m =
 
 let encrypt { p } { e; _ } m =
   check_domain p m;
+  Obs.Metrics.incr "crypto.modexp";
   Modular.pow m e ~m:p
 
 let decrypt { p } { d; _ } c =
   check_domain p c;
+  Obs.Metrics.incr "crypto.modexp";
   Modular.pow c d ~m:p
 
 let encode { p } payload =

@@ -5,6 +5,7 @@ type share = { x : Bignum.t; y : Bignum.t }
 let default_xs ~n = List.init n (fun i -> Bignum.of_int (i + 1))
 
 let poly_eval ~p coeffs x =
+  Obs.Metrics.incr "crypto.shamir.eval";
   (* Horner, most-significant coefficient first. *)
   List.fold_left
     (fun acc c -> Modular.add (Modular.mul acc x ~m:p) c ~m:p)
@@ -34,6 +35,7 @@ let reconstruct ~p shares =
     let sorted = List.sort_uniq Bignum.compare xs in
     if List.length sorted <> List.length xs then
       invalid_arg "Shamir.reconstruct: duplicate x-coordinates";
+    Obs.Metrics.incr "crypto.shamir.interpolate";
     (* F(0) = Σ_i y_i Π_{j≠i} x_j / (x_j - x_i)  (mod p) *)
     List.fold_left
       (fun acc si ->

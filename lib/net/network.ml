@@ -58,6 +58,8 @@ let bump table label =
 let drop t ~label reason =
   t.dropped <- t.dropped + 1;
   bump t.dropped_by_label label;
+  Obs.Metrics.incr "net.drops";
+  Obs.Metrics.incr ("net.drop." ^ label);
   Dropped reason
 
 let send t ~src ~dst ~label ~bytes =
@@ -71,6 +73,10 @@ let send t ~src ~dst ~label ~bytes =
     let lat = t.latency_ms src dst in
     if lat > t.round_max_latency then t.round_max_latency <- lat;
     bump t.by_label label;
+    Obs.Metrics.incr "net.msgs";
+    Obs.Metrics.incr ~by:bytes "net.bytes";
+    Obs.Metrics.incr ("net.msg." ^ label);
+    Obs.Metrics.incr ~by:bytes ("net.bytes." ^ label);
     Delivered
   end
 
@@ -79,8 +85,13 @@ let send_exn t ~src ~dst ~label ~bytes =
   | Delivered -> ()
   | Dropped reason -> raise (Partitioned { src; dst; reason })
 
-let round t =
+let round ?label t =
   t.rounds <- t.rounds + 1;
+  Obs.Metrics.incr "net.rounds";
+  (match label with
+  | Some l -> Obs.Metrics.incr ("net.rounds." ^ l)
+  | None -> ());
+  Obs.Metrics.observe "net.round_ms" t.round_max_latency;
   t.virtual_time_ms <- t.virtual_time_ms +. t.round_max_latency;
   t.round_max_latency <- 0.0
 

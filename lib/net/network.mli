@@ -51,9 +51,12 @@ val send_exn :
 
 exception Partitioned of { src : Node_id.t; dst : Node_id.t; reason : string }
 
-val round : t -> unit
+val round : ?label:string -> t -> unit
 (** Mark the end of a communication round; advances virtual time by the
-    maximum latency charged since the previous round. *)
+    maximum latency charged since the previous round.  [label] (the
+    protocol name, e.g. ["sum"]) additionally bumps the per-protocol
+    ["net.rounds.<label>"] counter in {!Obs.Metrics.global}, which is
+    what the paper-conformance cost tests assert against. *)
 
 val charge_wait_ms : t -> float -> unit
 (** Advance virtual time by a pure wait (retry backoff, cooldown):

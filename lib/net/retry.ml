@@ -86,6 +86,7 @@ let suspects t =
 
 let reinstate t dst =
   let b = breaker t dst in
+  if b.is_open then Obs.Metrics.incr "retry.breaker.closed";
   b.is_open <- false;
   b.consecutive_failures <- 0
 
@@ -93,6 +94,7 @@ let tick t ms = Network.charge_wait_ms t.net ms
 
 let note_success t dst =
   let b = breaker t dst in
+  if b.is_open then Obs.Metrics.incr "retry.breaker.closed";
   b.is_open <- false;
   b.consecutive_failures <- 0
 
@@ -101,11 +103,14 @@ let note_failure t dst =
   b.consecutive_failures <- b.consecutive_failures + 1;
   if b.consecutive_failures >= t.failure_threshold && not b.is_open then begin
     b.is_open <- true;
-    b.opened_at_ms <- now_ms t
+    b.opened_at_ms <- now_ms t;
+    Obs.Metrics.incr "retry.breaker.opened"
   end
-  else if b.is_open then
+  else if b.is_open then begin
     (* A failed probe re-arms the cooldown. *)
-    b.opened_at_ms <- now_ms t
+    b.opened_at_ms <- now_ms t;
+    Obs.Metrics.incr "retry.breaker.rearmed"
+  end
 
 type outcome =
   | Sent of { attempts : int; waited_ms : float }
@@ -125,27 +130,34 @@ let backoff_ms t attempt =
 
 let send_attempts t ~attempts ~src ~dst ~label ~bytes =
   match breaker_of t dst with
-  | Open -> Gave_up { attempts = 0; reason = "circuit open" }
+  | Open ->
+    Obs.Metrics.incr "retry.rejected_open";
+    Gave_up { attempts = 0; reason = "circuit open" }
   | Closed | Half_open ->
     let b = breaker t dst in
     let rec go attempt waited last_reason =
       if attempt > attempts then
         Gave_up { attempts = attempts; reason = last_reason }
-      else
+      else begin
+        Obs.Metrics.incr "retry.attempts";
         match Network.send t.net ~src ~dst ~label ~bytes with
         | Network.Delivered ->
           note_success t dst;
           Sent { attempts = attempt; waited_ms = waited }
         | Network.Dropped reason ->
           note_failure t dst;
-          if attempt = attempts then
+          if attempt = attempts then begin
+            Obs.Metrics.incr "retry.gave_up";
             Gave_up { attempts = attempts; reason }
+          end
           else begin
             let wait = backoff_ms t attempt in
+            Obs.Metrics.observe "retry.backoff_ms" wait;
             Network.charge_wait_ms t.net wait;
             b.waited_ms <- b.waited_ms +. wait;
             go (attempt + 1) (waited +. wait) reason
           end
+      end
     in
     go 1 0.0 "unsent"
 

@@ -1,0 +1,71 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, float list ref) Hashtbl.t;  (* newest sample first *)
+}
+
+let create () =
+  { counters = Hashtbl.create 64; histograms = Hashtbl.create 16 }
+
+let global = create ()
+
+let incr ?(m = global) ?(by = 1) name =
+  if by < 0 then invalid_arg "Metrics.incr: counters are monotonic";
+  match Hashtbl.find_opt m.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace m.counters name (ref by)
+
+let get ?(m = global) name =
+  match Hashtbl.find_opt m.counters name with Some r -> !r | None -> 0
+
+let counters ?(m = global) () =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) m.counters []
+  |> List.sort compare
+
+let observe ?(m = global) name v =
+  match Hashtbl.find_opt m.histograms name with
+  | Some r -> r := v :: !r
+  | None -> Hashtbl.replace m.histograms name (ref [ v ])
+
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let percentile sorted n p =
+  let idx = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+  sorted.(Stdlib.min (n - 1) (Stdlib.max 0 idx))
+
+let summarize samples =
+  match samples with
+  | [] -> None
+  | _ ->
+    let sorted = Array.of_list samples in
+    Array.sort compare sorted;
+    let n = Array.length sorted in
+    let total = Array.fold_left ( +. ) 0.0 sorted in
+    Some
+      {
+        count = n;
+        min = sorted.(0);
+        max = sorted.(n - 1);
+        mean = total /. float_of_int n;
+        p50 = percentile sorted n 0.50;
+        p95 = percentile sorted n 0.95;
+        p99 = percentile sorted n 0.99;
+      }
+
+let summaries ?(m = global) () =
+  Hashtbl.fold
+    (fun name r acc ->
+      match summarize !r with Some s -> (name, s) :: acc | None -> acc)
+    m.histograms []
+  |> List.sort compare
+
+let reset ?(m = global) () =
+  Hashtbl.reset m.counters;
+  Hashtbl.reset m.histograms

@@ -1,0 +1,54 @@
+(** Monotonic counters and latency histograms.
+
+    A registry is a flat namespace of counters ([incr]/[get]) and
+    histograms ([observe]/[summaries]).  Instrumented library code
+    writes to the process-wide {!global} registry so that protocol
+    internals (crypto operation counts, per-label traffic) surface
+    without threading a handle through every call; cost tests and the
+    bench sink [reset] the registry around each measured region.
+
+    Naming convention (see ARCHITECTURE.md "Observability"):
+    dot-separated hierarchy, protocol labels appended verbatim —
+    ["net.msg.sum:share"], ["crypto.shamir.eval"],
+    ["cluster.submit.committed"]. *)
+
+type t
+
+val create : unit -> t
+
+val global : t
+(** The default registry used by all instrumentation call sites. *)
+
+val incr : ?m:t -> ?by:int -> string -> unit
+(** Bump a counter, creating it at zero on first use.  [by] defaults
+    to 1 and must be non-negative: counters are monotonic between
+    resets. *)
+
+val get : ?m:t -> string -> int
+(** Current counter value; 0 for a counter never incremented. *)
+
+val counters : ?m:t -> unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val observe : ?m:t -> string -> float -> unit
+(** Record one histogram sample. *)
+
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary option
+(** [None] on an empty sample list.  Percentiles use the nearest-rank
+    method: index [round (p * (n - 1))] of the sorted samples. *)
+
+val summaries : ?m:t -> unit -> (string * summary) list
+(** All non-empty histograms, summarized, sorted by name. *)
+
+val reset : ?m:t -> unit -> unit
+(** Drop every counter and histogram. *)

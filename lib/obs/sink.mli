@@ -1,0 +1,25 @@
+(** Render a metrics registry (and optionally a trace) for humans and
+    machines.
+
+    The JSON document shape consumed by bench/diff_metrics and the CI
+    drift check:
+
+    {v
+    { "experiment": "<id>",
+      "counters":   { "<name>": <int>, ... },
+      "histograms": { "<name>": { "count", "min", "max", "mean",
+                                  "p50", "p95", "p99" }, ... } }
+    v}
+
+    Span latency percentiles appear as ["span.<name>"] histograms
+    (recorded by {!Trace.with_span}). *)
+
+val json_of : ?experiment:string -> ?m:Metrics.t -> unit -> Json.t
+
+val summary : ?m:Metrics.t -> ?trace:Trace.t -> unit -> string
+(** Human-readable rendering: counters, histogram percentiles, and the
+    completed span tree (indented by depth). *)
+
+val write_file : path:string -> Json.t -> unit
+(** Pretty-print the document to [path], creating the parent directory
+    if missing (one level). *)

@@ -1,0 +1,39 @@
+(** Hierarchical spans over a pluggable clock.
+
+    Spans nest via {!with_span}; the enclosing dynamic extent defines
+    the parent.  Time comes from a caller-supplied clock — in this
+    codebase always the simulated network's virtual-time-ms — so span
+    durations measure protocol latency, not wall time.  Completing a
+    span also records a ["span.<name>"] histogram sample in the
+    associated {!Metrics} registry, which is where the p50/p95/p99
+    latency figures in BENCH_*.json come from. *)
+
+type span = {
+  name : string;
+  depth : int;  (** 0 for a root span *)
+  start_ms : float;
+  mutable duration_ms : float;
+}
+
+type t
+
+val create : ?metrics:Metrics.t -> unit -> t
+(** A fresh trace whose clock is the constant 0 until {!set_clock}. *)
+
+val global : t
+(** Default trace, backed by {!Metrics.global}. *)
+
+val set_clock : ?t:t -> (unit -> float) -> unit
+(** Instrumented entry points call this with the owning network's
+    virtual clock; the last caller wins, which is correct for the
+    synchronous single-net protocol runs this library observes. *)
+
+val with_span : ?t:t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a new span.  The span is closed (and its
+    duration histogram sample recorded) even if the thunk raises. *)
+
+val spans : ?t:t -> unit -> span list
+(** Completed spans in completion order (children before parents). *)
+
+val reset : ?t:t -> unit -> unit
+(** Drop completed spans and any open stack (for test isolation). *)

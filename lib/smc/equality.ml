@@ -12,26 +12,35 @@ let via_ttp ~net ~rng ~p ~ttp ~left:(lnode, lval) ~right:(rnode, rval) =
   in
   check lval;
   check rval;
-  (* The two holders agree on the secret map; one negotiation message. *)
-  let blind = Crypto.Blinding.generate_affine rng ~p in
-  Net.Network.send_exn net ~src:lnode ~dst:rnode ~label:"equality:negotiate"
-    ~bytes:(2 * Proto_util.bignum_wire_size p);
-  Net.Network.round net;
-  let wl = Crypto.Blinding.apply_affine blind lval in
-  let wr = Crypto.Blinding.apply_affine blind rval in
-  Net.Network.send_exn net ~src:lnode ~dst:ttp ~label:"equality:submit"
-    ~bytes:(Proto_util.bignum_wire_size wl);
-  Net.Network.send_exn net ~src:rnode ~dst:ttp ~label:"equality:submit"
-    ~bytes:(Proto_util.bignum_wire_size wr);
-  record_blinded net ttp wl;
-  record_blinded net ttp wr;
-  Net.Network.round net;
-  let verdict = Bignum.equal wl wr in
-  (* TTP returns the one-bit verdict to both holders. *)
-  Net.Network.send_exn net ~src:ttp ~dst:lnode ~label:"equality:verdict" ~bytes:1;
-  Net.Network.send_exn net ~src:ttp ~dst:rnode ~label:"equality:verdict" ~bytes:1;
-  Net.Network.round net;
-  verdict
+  Proto_util.span net "smc.equality" (fun () ->
+      let wl, wr =
+        Proto_util.span net "smc.equality.transform" (fun () ->
+            (* The two holders agree on the secret map; one negotiation
+               message. *)
+            let blind = Crypto.Blinding.generate_affine rng ~p in
+            Net.Network.send_exn net ~src:lnode ~dst:rnode
+              ~label:"equality:negotiate"
+              ~bytes:(2 * Proto_util.bignum_wire_size p);
+            Net.Network.round ~label:"equality" net;
+            ( Crypto.Blinding.apply_affine blind lval,
+              Crypto.Blinding.apply_affine blind rval ))
+      in
+      Proto_util.span net "smc.equality.blind-ttp" (fun () ->
+          Net.Network.send_exn net ~src:lnode ~dst:ttp ~label:"equality:submit"
+            ~bytes:(Proto_util.bignum_wire_size wl);
+          Net.Network.send_exn net ~src:rnode ~dst:ttp ~label:"equality:submit"
+            ~bytes:(Proto_util.bignum_wire_size wr);
+          record_blinded net ttp wl;
+          record_blinded net ttp wr;
+          Net.Network.round ~label:"equality" net;
+          let verdict = Bignum.equal wl wr in
+          (* TTP returns the one-bit verdict to both holders. *)
+          Net.Network.send_exn net ~src:ttp ~dst:lnode ~label:"equality:verdict"
+            ~bytes:1;
+          Net.Network.send_exn net ~src:ttp ~dst:rnode ~label:"equality:verdict"
+            ~bytes:1;
+          Net.Network.round ~label:"equality" net;
+          verdict))
 
 let via_intersection ~net ~scheme ~left:(lnode, lval) ~right:(rnode, rval) =
   let result =
@@ -63,7 +72,7 @@ let via_mapping_table ~net ~rng ~ttp ~domain ~left:(lnode, lval)
   in
   Net.Network.send_exn net ~src:lnode ~dst:rnode ~label:"equality:table"
     ~bytes:table_bytes;
-  Net.Network.round net;
+  Net.Network.round ~label:"equality" net;
   (* From here it is the affine-blind TTP comparison on the mapped
      numbers; the TTP sees indices of a secret permutation. *)
   let p = Bignum.of_int (max 2 (2 * List.length domain)) in
@@ -77,13 +86,13 @@ let via_mapping_table ~net ~rng ~ttp ~domain ~left:(lnode, lval)
         ~bytes:(Proto_util.bignum_wire_size w);
       record_blinded net ttp w)
     [ (lnode, wl); (rnode, wr) ];
-  Net.Network.round net;
+  Net.Network.round ~label:"equality" net;
   let verdict = Bignum.equal wl wr in
   Net.Network.send_exn net ~src:ttp ~dst:lnode ~label:"equality:verdict"
     ~bytes:1;
   Net.Network.send_exn net ~src:ttp ~dst:rnode ~label:"equality:verdict"
     ~bytes:1;
-  Net.Network.round net;
+  Net.Network.round ~label:"equality" net;
   verdict
 
 let naive ~net ~coordinator ~left:(lnode, lval) ~right:(rnode, rval) =
@@ -97,5 +106,5 @@ let naive ~net ~coordinator ~left:(lnode, lval) ~right:(rnode, rval) =
         ~sensitivity:Net.Ledger.Plaintext ~tag:"equality:naive"
         (Bignum.to_string v))
     [ (lnode, lval); (rnode, rval) ];
-  Net.Network.round net;
+  Net.Network.round ~label:"equality" net;
   Bignum.equal lval rval

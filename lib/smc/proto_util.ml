@@ -23,6 +23,14 @@ let shuffle rng items =
   done;
   Array.to_list arr
 
+(* One protocol phase as an Obs span, clocked on [net]'s virtual time.
+   Every protocol entry point re-binds the global trace clock, which is
+   sound because the simulated protocols run synchronously to
+   completion on one network at a time. *)
+let span net name f =
+  Obs.Trace.set_clock (fun () -> Net.Network.virtual_time_ms net);
+  Obs.Trace.with_span name f
+
 let send_bignums net ~src ~dst ~label values =
   let bytes = List.fold_left (fun acc v -> acc + bignum_wire_size v) 0 values in
   Net.Network.send_exn net ~src ~dst ~label ~bytes;

@@ -13,6 +13,11 @@ val shuffle : Prng.t -> 'a list -> 'a list
 (** Fisher–Yates; used to unlink decoded set elements from their owners
     in the secure-union decode phase. *)
 
+val span : Net.Network.t -> string -> (unit -> 'a) -> 'a
+(** Run one protocol phase inside an {!Obs.Trace} span whose clock is
+    the network's virtual time (so span durations are simulated
+    protocol latency). *)
+
 val send_bignums :
   Net.Network.t ->
   src:Net.Node_id.t ->

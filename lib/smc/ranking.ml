@@ -41,48 +41,58 @@ let broadcast_negotiation net nodes =
     | _ -> ()
   in
   go nodes;
-  Net.Network.round net
+  Net.Network.round ~label:"ranking" net
 
 let run ~net ~rng ~ttp parties =
   if List.length parties < 2 then
     invalid_arg "Ranking.run: need at least 2 parties";
-  let ledger = Net.Network.ledger net in
-  let nodes = List.map (fun party -> party.node) parties in
-  broadcast_negotiation net nodes;
-  let blind = Crypto.Blinding.generate_monotone rng ~bits:64 in
-  let blinded =
-    List.map
-      (fun party ->
-        Net.Ledger.record ledger ~node:party.node
-          ~sensitivity:Net.Ledger.Plaintext ~tag:"ranking:own-value"
-          (Bignum.to_string party.value);
-        let w = Crypto.Blinding.apply_monotone blind party.value in
-        Net.Network.send_exn net ~src:party.node ~dst:ttp
-          ~label:"ranking:submit" ~bytes:(Proto_util.bignum_wire_size w);
-        Net.Ledger.record ledger ~node:ttp ~sensitivity:Net.Ledger.Blinded
-          ~tag:"ranking:submit" (Bignum.to_string w);
-        (party.node, w))
-      parties
-  in
-  Net.Network.round net;
-  let verdict = verdict_of_values blinded in
-  (* The TTP announces holders and ranks (identities only, no values). *)
-  List.iter
-    (fun node ->
-      Net.Network.send_exn net ~src:ttp ~dst:node ~label:"ranking:verdict"
-        ~bytes:(4 * List.length parties);
-      Net.Ledger.record ledger ~node ~sensitivity:Net.Ledger.Aggregate
-        ~tag:"ranking:verdict"
-        (Net.Node_id.to_string verdict.max_holder))
-    nodes;
-  Net.Network.round net;
-  verdict
+  Proto_util.span net "smc.ranking" (fun () ->
+      let ledger = Net.Network.ledger net in
+      let nodes = List.map (fun party -> party.node) parties in
+      Proto_util.span net "smc.ranking.exchange" (fun () ->
+          broadcast_negotiation net nodes);
+      let blinded =
+        Proto_util.span net "smc.ranking.transform" (fun () ->
+            let blind = Crypto.Blinding.generate_monotone rng ~bits:64 in
+            let blinded =
+              List.map
+                (fun party ->
+                  Net.Ledger.record ledger ~node:party.node
+                    ~sensitivity:Net.Ledger.Plaintext ~tag:"ranking:own-value"
+                    (Bignum.to_string party.value);
+                  let w = Crypto.Blinding.apply_monotone blind party.value in
+                  Net.Network.send_exn net ~src:party.node ~dst:ttp
+                    ~label:"ranking:submit"
+                    ~bytes:(Proto_util.bignum_wire_size w);
+                  Net.Ledger.record ledger ~node:ttp
+                    ~sensitivity:Net.Ledger.Blinded ~tag:"ranking:submit"
+                    (Bignum.to_string w);
+                  (party.node, w))
+                parties
+            in
+            Net.Network.round ~label:"ranking" net;
+            blinded)
+      in
+      Proto_util.span net "smc.ranking.reveal" (fun () ->
+          let verdict = verdict_of_values blinded in
+          (* The TTP announces holders and ranks (identities only, no
+             values). *)
+          List.iter
+            (fun node ->
+              Net.Network.send_exn net ~src:ttp ~dst:node
+                ~label:"ranking:verdict" ~bytes:(4 * List.length parties);
+              Net.Ledger.record ledger ~node ~sensitivity:Net.Ledger.Aggregate
+                ~tag:"ranking:verdict"
+                (Net.Node_id.to_string verdict.max_holder))
+            nodes;
+          Net.Network.round ~label:"ranking" net;
+          verdict))
 
 let comparisons ~net ~rng ~ttp ~left:(lnode, lval) ~right:(rnode, rval) =
   let ledger = Net.Network.ledger net in
   Net.Network.send_exn net ~src:lnode ~dst:rnode ~label:"compare:negotiate"
     ~bytes:16;
-  Net.Network.round net;
+  Net.Network.round ~label:"compare" net;
   let blind = Crypto.Blinding.generate_monotone rng ~bits:64 in
   let wl = Crypto.Blinding.apply_monotone blind lval in
   let wr = Crypto.Blinding.apply_monotone blind rval in
@@ -93,13 +103,13 @@ let comparisons ~net ~rng ~ttp ~left:(lnode, lval) ~right:(rnode, rval) =
       Net.Ledger.record ledger ~node:ttp ~sensitivity:Net.Ledger.Blinded
         ~tag:"compare:submit" (Bignum.to_string w))
     [ (lnode, wl); (rnode, wr) ];
-  Net.Network.round net;
+  Net.Network.round ~label:"compare" net;
   let verdict = Bignum.compare wl wr in
   List.iter
     (fun dst ->
       Net.Network.send_exn net ~src:ttp ~dst ~label:"compare:verdict" ~bytes:1)
     [ lnode; rnode ];
-  Net.Network.round net;
+  Net.Network.round ~label:"compare" net;
   verdict
 
 let naive ~net ~coordinator parties =
@@ -114,5 +124,5 @@ let naive ~net ~coordinator parties =
         ~sensitivity:Net.Ledger.Plaintext ~tag:"ranking:naive"
         (Bignum.to_string party.value))
     parties;
-  Net.Network.round net;
+  Net.Network.round ~label:"ranking" net;
   verdict_of_values (List.map (fun party -> (party.node, party.value)) parties)

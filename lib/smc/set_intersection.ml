@@ -39,16 +39,18 @@ let ring_encrypt ~net ~scheme ~receiver parties =
   in
   (* First encryption layer is local: origin encrypts its own encoding. *)
   let initial =
-    List.map
-      (fun (node, set) ->
-        let kp = keypair_of node in
-        let cts =
-          List.map
-            (fun e -> kp.Crypto.Commutative.enc (scheme.Crypto.Commutative.encode e))
-            set
-        in
-        (node, node, cts))
-      own_sets
+    Proto_util.span net "smc.intersection.transform" (fun () ->
+        List.map
+          (fun (node, set) ->
+            let kp = keypair_of node in
+            let cts =
+              List.map
+                (fun e ->
+                  kp.Crypto.Commutative.enc (scheme.Crypto.Commutative.encode e))
+                set
+            in
+            (node, node, cts))
+          own_sets)
   in
   (* n-1 relay hops: holder forwards; next node adds its layer. *)
   let n = List.length parties in
@@ -65,22 +67,28 @@ let ring_encrypt ~net ~scheme ~receiver parties =
             (origin, next, List.map kp.Crypto.Commutative.enc cts))
           state
       in
-      Net.Network.round net;
+      Net.Network.round ~label:"intersection" net;
       hops state (hop + 1)
     end
   in
-  let final = hops initial 1 in
+  let final = Proto_util.span net "smc.intersection.exchange" (fun () ->
+      hops initial 1)
+  in
   (* Ship every fully-encrypted set to the receiver. *)
   let encrypted_by_all =
-    List.map
-      (fun (origin, holder, cts) ->
-        if not (Net.Node_id.equal holder receiver) then
-          Proto_util.send_bignums net ~src:holder ~dst:receiver
-            ~label:"intersection:collect" cts;
-        (origin, cts))
-      final
+    Proto_util.span net "smc.intersection.collect" (fun () ->
+        let encrypted =
+          List.map
+            (fun (origin, holder, cts) ->
+              if not (Net.Node_id.equal holder receiver) then
+                Proto_util.send_bignums net ~src:holder ~dst:receiver
+                  ~label:"intersection:collect" cts;
+              (origin, cts))
+            final
+        in
+        Net.Network.round ~label:"intersection" net;
+        encrypted)
   in
-  Net.Network.round net;
   (own_sets, encrypted_by_all)
 
 (* Equal fully-encrypted values <=> equal plaintexts (commutativity +
@@ -100,42 +108,50 @@ let run ~net ~scheme ~receiver parties =
     invalid_arg "Set_intersection.run: need at least 2 parties";
   if not (List.exists (fun p -> Net.Node_id.equal p.node receiver) parties)
   then invalid_arg "Set_intersection.run: receiver must be a party";
-  let ledger = Net.Network.ledger net in
-  let own_sets, encrypted_by_all = ring_encrypt ~net ~scheme ~receiver parties in
-  let common = common_ciphertexts encrypted_by_all in
-  (* The receiver resolves plaintexts through its own correspondence. *)
-  let receiver_plain =
-    snd (List.find (fun (n', _) -> Net.Node_id.equal n' receiver) own_sets)
-  in
-  let receiver_cts =
-    snd
-      (List.find
-         (fun (n', _) -> Net.Node_id.equal n' receiver)
-         encrypted_by_all)
-  in
-  let intersection =
-    List.filter_map
-      (fun (plain, ct) ->
-        if String_set.mem (Bignum.to_hex ct) common then Some plain else None)
-      (List.combine receiver_plain receiver_cts)
-    |> List.sort compare
-  in
-  List.iter
-    (fun e ->
-      Net.Ledger.record ledger ~node:receiver ~sensitivity:Net.Ledger.Aggregate
-        ~tag:"intersection:result" e)
-    intersection;
-  { intersection; encrypted_by_all }
+  Proto_util.span net "smc.intersection" (fun () ->
+      let ledger = Net.Network.ledger net in
+      let own_sets, encrypted_by_all =
+        ring_encrypt ~net ~scheme ~receiver parties
+      in
+      Proto_util.span net "smc.intersection.reveal" (fun () ->
+          let common = common_ciphertexts encrypted_by_all in
+          (* The receiver resolves plaintexts through its own
+             correspondence. *)
+          let receiver_plain =
+            snd
+              (List.find (fun (n', _) -> Net.Node_id.equal n' receiver) own_sets)
+          in
+          let receiver_cts =
+            snd
+              (List.find
+                 (fun (n', _) -> Net.Node_id.equal n' receiver)
+                 encrypted_by_all)
+          in
+          let intersection =
+            List.filter_map
+              (fun (plain, ct) ->
+                if String_set.mem (Bignum.to_hex ct) common then Some plain
+                else None)
+              (List.combine receiver_plain receiver_cts)
+            |> List.sort compare
+          in
+          List.iter
+            (fun e ->
+              Net.Ledger.record ledger ~node:receiver
+                ~sensitivity:Net.Ledger.Aggregate ~tag:"intersection:result" e)
+            intersection;
+          { intersection; encrypted_by_all }))
 
 let cardinality ~net ~scheme ~receiver parties =
   if List.length parties < 2 then
     invalid_arg "Set_intersection.cardinality: need at least 2 parties";
-  let _, encrypted_by_all = ring_encrypt ~net ~scheme ~receiver parties in
-  let count = String_set.cardinal (common_ciphertexts encrypted_by_all) in
-  Net.Ledger.record (Net.Network.ledger net) ~node:receiver
-    ~sensitivity:Net.Ledger.Aggregate ~tag:"intersection:cardinality"
-    (string_of_int count);
-  count
+  Proto_util.span net "smc.intersection" (fun () ->
+      let _, encrypted_by_all = ring_encrypt ~net ~scheme ~receiver parties in
+      let count = String_set.cardinal (common_ciphertexts encrypted_by_all) in
+      Net.Ledger.record (Net.Network.ledger net) ~node:receiver
+        ~sensitivity:Net.Ledger.Aggregate ~tag:"intersection:cardinality"
+        (string_of_int count);
+      count)
 
 let naive ~net ~coordinator parties =
   let ledger = Net.Network.ledger net in

@@ -21,22 +21,24 @@ let ring_collect ~net ~scheme ~receiver parties =
   in
   (* Ring-encrypt every local set under every key, as in intersection. *)
   let initial =
-    List.map
-      (fun p ->
-        let set = dedupe p.set in
-        List.iter
-          (fun e ->
-            Net.Ledger.record ledger ~node:p.node
-              ~sensitivity:Net.Ledger.Plaintext ~tag:"union:own-set" e)
-          set;
-        let kp = keypair_of p.node in
-        (* Remember plaintext alongside, so the receiver can later verify
-           nothing: the mapping never leaves the origin. *)
-        ( p.node,
-          List.map
-            (fun e -> kp.Crypto.Commutative.enc (scheme.Crypto.Commutative.encode e))
-            set ))
-      parties
+    Proto_util.span net "smc.union.transform" (fun () ->
+        List.map
+          (fun p ->
+            let set = dedupe p.set in
+            List.iter
+              (fun e ->
+                Net.Ledger.record ledger ~node:p.node
+                  ~sensitivity:Net.Ledger.Plaintext ~tag:"union:own-set" e)
+              set;
+            let kp = keypair_of p.node in
+            (* Remember plaintext alongside, so the receiver can later verify
+               nothing: the mapping never leaves the origin. *)
+            ( p.node,
+              List.map
+                (fun e ->
+                  kp.Crypto.Commutative.enc (scheme.Crypto.Commutative.encode e))
+                set ))
+          parties)
   in
   let n = List.length parties in
   let rec hops state hop =
@@ -52,22 +54,28 @@ let ring_collect ~net ~scheme ~receiver parties =
             (next, List.map kp.Crypto.Commutative.enc cts))
           state
       in
-      Net.Network.round net;
+      Net.Network.round ~label:"union" net;
       hops state (hop + 1)
     end
   in
-  let final = hops initial 1 in
+  let final =
+    Proto_util.span net "smc.union.exchange" (fun () -> hops initial 1)
+  in
   (* Collect at the receiver; keep one copy of each distinct ciphertext. *)
   let all_cts =
-    List.concat_map
-      (fun (holder, cts) ->
-        if not (Net.Node_id.equal holder receiver) then
-          Proto_util.send_bignums net ~src:holder ~dst:receiver
-            ~label:"union:collect" cts;
+    Proto_util.span net "smc.union.collect" (fun () ->
+        let cts =
+          List.concat_map
+            (fun (holder, cts) ->
+              if not (Net.Node_id.equal holder receiver) then
+                Proto_util.send_bignums net ~src:holder ~dst:receiver
+                  ~label:"union:collect" cts;
+              cts)
+            final
+        in
+        Net.Network.round ~label:"union" net;
         cts)
-      final
   in
-  Net.Network.round net;
   let distinct =
     List.fold_left
       (fun acc ct -> String_map.add (Bignum.to_hex ct) ct acc)
@@ -79,68 +87,75 @@ let ring_collect ~net ~scheme ~receiver parties =
 let run ~net ~scheme ~rng ~receiver parties =
   if List.length parties < 2 then
     invalid_arg "Set_union.run: need at least 2 parties";
-  let ledger = Net.Network.ledger net in
-  let distinct, keypair_of, ring = ring_collect ~net ~scheme ~receiver parties in
-  (* Shuffle before the decode ring so positions stop identifying owners. *)
-  let shuffled = Proto_util.shuffle rng distinct in
-  (* Decode ring: every party peels its layer off the whole batch. *)
-  let decoded =
-    List.fold_left
-      (fun (holder, cts) next ->
-        if not (Net.Node_id.equal holder next) then begin
-          Proto_util.send_bignums net ~src:holder ~dst:next
-            ~label:"union:decode" cts;
-          Net.Network.round net
-        end;
-        let kp = keypair_of next in
-        (next, List.map kp.Crypto.Commutative.dec cts))
-      (receiver, shuffled) ring
-  in
-  let holder, group_elements = decoded in
-  if not (Net.Node_id.equal holder receiver) then begin
-    Proto_util.send_bignums net ~src:holder ~dst:receiver
-      ~label:"union:decode-return" group_elements;
-    Net.Network.round net
-  end;
-  (* In the paper the set items are embedded reversibly, so peeling all
-     layers yields the plaintext directly.  Our embedding is a hash, so
-     we resolve decoded group elements through a dictionary of candidate
-     encodings instead — the information flow is identical: the receiver
-     obtains exactly the union plaintexts (its authorized output) and the
-     shuffle above already unlinked elements from owners. *)
-  let encode_table =
-    List.fold_left
-      (fun acc p ->
-        List.fold_left
-          (fun acc e ->
-            String_map.add
-              (Bignum.to_hex (scheme.Crypto.Commutative.encode e))
-              e acc)
-          acc (dedupe p.set))
-      String_map.empty parties
-  in
-  let union =
-    List.filter_map
-      (fun g -> String_map.find_opt (Bignum.to_hex g) encode_table)
-      group_elements
-    |> List.sort compare
-  in
-  List.iter
-    (fun e ->
-      Net.Ledger.record ledger ~node:receiver ~sensitivity:Net.Ledger.Aggregate
-        ~tag:"union:result" e)
-    union;
-  union
+  Proto_util.span net "smc.union" (fun () ->
+      let ledger = Net.Network.ledger net in
+      let distinct, keypair_of, ring =
+        ring_collect ~net ~scheme ~receiver parties
+      in
+      Proto_util.span net "smc.union.reveal" (fun () ->
+          (* Shuffle before the decode ring so positions stop identifying
+             owners. *)
+          let shuffled = Proto_util.shuffle rng distinct in
+          (* Decode ring: every party peels its layer off the whole batch. *)
+          let decoded =
+            List.fold_left
+              (fun (holder, cts) next ->
+                if not (Net.Node_id.equal holder next) then begin
+                  Proto_util.send_bignums net ~src:holder ~dst:next
+                    ~label:"union:decode" cts;
+                  Net.Network.round ~label:"union" net
+                end;
+                let kp = keypair_of next in
+                (next, List.map kp.Crypto.Commutative.dec cts))
+              (receiver, shuffled) ring
+          in
+          let holder, group_elements = decoded in
+          if not (Net.Node_id.equal holder receiver) then begin
+            Proto_util.send_bignums net ~src:holder ~dst:receiver
+              ~label:"union:decode-return" group_elements;
+            Net.Network.round ~label:"union" net
+          end;
+          (* In the paper the set items are embedded reversibly, so peeling
+             all layers yields the plaintext directly.  Our embedding is a
+             hash, so we resolve decoded group elements through a dictionary
+             of candidate encodings instead — the information flow is
+             identical: the receiver obtains exactly the union plaintexts
+             (its authorized output) and the shuffle above already unlinked
+             elements from owners. *)
+          let encode_table =
+            List.fold_left
+              (fun acc p ->
+                List.fold_left
+                  (fun acc e ->
+                    String_map.add
+                      (Bignum.to_hex (scheme.Crypto.Commutative.encode e))
+                      e acc)
+                  acc (dedupe p.set))
+              String_map.empty parties
+          in
+          let union =
+            List.filter_map
+              (fun g -> String_map.find_opt (Bignum.to_hex g) encode_table)
+              group_elements
+            |> List.sort compare
+          in
+          List.iter
+            (fun e ->
+              Net.Ledger.record ledger ~node:receiver
+                ~sensitivity:Net.Ledger.Aggregate ~tag:"union:result" e)
+            union;
+          union))
 
 let cardinality ~net ~scheme ~receiver parties =
   if List.length parties < 2 then
     invalid_arg "Set_union.cardinality: need at least 2 parties";
-  let distinct, _, _ = ring_collect ~net ~scheme ~receiver parties in
-  let count = List.length distinct in
-  Net.Ledger.record (Net.Network.ledger net) ~node:receiver
-    ~sensitivity:Net.Ledger.Aggregate ~tag:"union:cardinality"
-    (string_of_int count);
-  count
+  Proto_util.span net "smc.union" (fun () ->
+      let distinct, _, _ = ring_collect ~net ~scheme ~receiver parties in
+      let count = List.length distinct in
+      Net.Ledger.record (Net.Network.ledger net) ~node:receiver
+        ~sensitivity:Net.Ledger.Aggregate ~tag:"union:cardinality"
+        (string_of_int count);
+      count)
 
 let naive ~net ~coordinator parties =
   let ledger = Net.Network.ledger net in

@@ -16,59 +16,69 @@ let share_tag = "sum:share"
 
 let run_general ~net ~rng ~p ~k ~receiver ~weight_of parties =
   check_inputs ~p ~k parties;
-  let ledger = Net.Network.ledger net in
-  let n = List.length parties in
-  let nodes = List.map (fun party -> party.node) parties in
-  let xs = Crypto.Shamir.default_xs ~n in
-  (* Round 1: P_i splits its secret and deals the j-th share to P_j. *)
-  let dealt =
-    List.map
-      (fun party ->
-        Net.Ledger.record ledger ~node:party.node
-          ~sensitivity:Net.Ledger.Plaintext ~tag:"sum:own-value"
-          (Bignum.to_string party.value);
-        let shares =
-          Crypto.Shamir.split rng ~p ~k ~xs ~secret:party.value
-          |> List.map (Crypto.Shamir.scale_share ~p (weight_of party.node))
-        in
-        List.iter2
-          (fun dst (share : Crypto.Shamir.share) ->
-            if not (Net.Node_id.equal party.node dst) then
-              Net.Network.send_exn net ~src:party.node ~dst ~label:share_tag
-                ~bytes:(Proto_util.bignum_wire_size share.y);
-            Net.Ledger.record ledger ~node:dst ~sensitivity:Net.Ledger.Share
-              ~tag:share_tag (Bignum.to_string share.y))
-          nodes shares;
-        shares)
-      parties
-  in
-  Net.Network.round net;
-  (* Round 2: P_j sums its column — a share of F(z) = Σ f_i(z). *)
-  let columns =
-    List.mapi
-      (fun j node ->
-        let column = List.map (fun shares -> List.nth shares j) dealt in
-        (node, Crypto.Shamir.sum_shares ~p column))
-      nodes
-  in
-  (* Round 3: first k parties forward their aggregate share. *)
-  let selected = List.filteri (fun i _ -> i < k) columns in
-  let collected =
-    List.map
-      (fun (node, (share : Crypto.Shamir.share)) ->
-        if not (Net.Node_id.equal node receiver) then
-          Net.Network.send_exn net ~src:node ~dst:receiver ~label:"sum:aggregate"
-            ~bytes:(Proto_util.bignum_wire_size share.y);
-        Net.Ledger.record ledger ~node:receiver ~sensitivity:Net.Ledger.Share
-          ~tag:"sum:aggregate" (Bignum.to_string share.y);
-        share)
-      selected
-  in
-  Net.Network.round net;
-  let total = Crypto.Shamir.reconstruct ~p collected in
-  Net.Ledger.record ledger ~node:receiver ~sensitivity:Net.Ledger.Aggregate
-    ~tag:"sum:result" (Bignum.to_string total);
-  total
+  Proto_util.span net "smc.sum" (fun () ->
+      let ledger = Net.Network.ledger net in
+      let n = List.length parties in
+      let nodes = List.map (fun party -> party.node) parties in
+      let xs = Crypto.Shamir.default_xs ~n in
+      (* Round 1: P_i splits its secret and deals the j-th share to P_j. *)
+      let dealt =
+        Proto_util.span net "smc.sum.transform" (fun () ->
+            List.map
+              (fun party ->
+                Net.Ledger.record ledger ~node:party.node
+                  ~sensitivity:Net.Ledger.Plaintext ~tag:"sum:own-value"
+                  (Bignum.to_string party.value);
+                Crypto.Shamir.split rng ~p ~k ~xs ~secret:party.value
+                |> List.map
+                     (Crypto.Shamir.scale_share ~p (weight_of party.node)))
+              parties)
+      in
+      Proto_util.span net "smc.sum.exchange" (fun () ->
+          List.iter2
+            (fun party shares ->
+              List.iter2
+                (fun dst (share : Crypto.Shamir.share) ->
+                  if not (Net.Node_id.equal party.node dst) then
+                    Net.Network.send_exn net ~src:party.node ~dst
+                      ~label:share_tag
+                      ~bytes:(Proto_util.bignum_wire_size share.y);
+                  Net.Ledger.record ledger ~node:dst
+                    ~sensitivity:Net.Ledger.Share ~tag:share_tag
+                    (Bignum.to_string share.y))
+                nodes shares)
+            parties dealt;
+          Net.Network.round ~label:"sum" net);
+      Proto_util.span net "smc.sum.reveal" (fun () ->
+          (* Round 2: P_j sums its column — a share of F(z) = Σ f_i(z). *)
+          let columns =
+            List.mapi
+              (fun j node ->
+                let column = List.map (fun shares -> List.nth shares j) dealt in
+                (node, Crypto.Shamir.sum_shares ~p column))
+              nodes
+          in
+          (* Round 3: first k parties forward their aggregate share. *)
+          let selected = List.filteri (fun i _ -> i < k) columns in
+          let collected =
+            List.map
+              (fun (node, (share : Crypto.Shamir.share)) ->
+                if not (Net.Node_id.equal node receiver) then
+                  Net.Network.send_exn net ~src:node ~dst:receiver
+                    ~label:"sum:aggregate"
+                    ~bytes:(Proto_util.bignum_wire_size share.y);
+                Net.Ledger.record ledger ~node:receiver
+                  ~sensitivity:Net.Ledger.Share ~tag:"sum:aggregate"
+                  (Bignum.to_string share.y);
+                share)
+              selected
+          in
+          Net.Network.round ~label:"sum" net;
+          let total = Crypto.Shamir.reconstruct ~p collected in
+          Net.Ledger.record ledger ~node:receiver
+            ~sensitivity:Net.Ledger.Aggregate ~tag:"sum:result"
+            (Bignum.to_string total);
+          total))
 
 let run ~net ~rng ~p ~k ~receiver parties =
   run_general ~net ~rng ~p ~k ~receiver ~weight_of:(fun _ -> Bignum.one) parties
@@ -102,7 +112,7 @@ let run_ttp_coordinated ~net ~rng ~public ~secret ~coordinator ~receiver
         c)
       parties
   in
-  Net.Network.round net;
+  Net.Network.round ~label:"sum" net;
   (* The blind coordinator folds homomorphically — one multiplication per
      party, no key material. *)
   let folded =
@@ -112,7 +122,7 @@ let run_ttp_coordinated ~net ~rng ~public ~secret ~coordinator ~receiver
   in
   Net.Network.send_exn net ~src:coordinator ~dst:receiver
     ~label:"sum:paillier-total" ~bytes:(Proto_util.bignum_wire_size folded);
-  Net.Network.round net;
+  Net.Network.round ~label:"sum" net;
   let total = Crypto.Paillier.decrypt public secret folded in
   Net.Ledger.record ledger ~node:receiver ~sensitivity:Net.Ledger.Aggregate
     ~tag:"sum:result" (Bignum.to_string total);
@@ -133,5 +143,5 @@ let naive ~net ~coordinator parties =
         Bignum.add acc party.value)
       Bignum.zero parties
   in
-  Net.Network.round net;
+  Net.Network.round ~label:"sum" net;
   total

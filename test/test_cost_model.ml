@@ -1,0 +1,262 @@
+(* Paper-conformance cost tests (§3 cost tables).
+
+   Each relaxed-SMC protocol has a closed-form cost in the paper:
+   messages, synchronous rounds, and cryptographic operations as a
+   function of the party count n and per-party set size m.  These tests
+   run every protocol against a fresh network with the global metrics
+   registry reset, then assert the measured counters EQUAL the formula
+   — not approximately, exactly.  A counted regression (an extra
+   message, a dropped round, a doubled encryption) fails here even when
+   the protocol's answer stays correct. *)
+
+open Numtheory
+
+let bn = Bignum.of_int
+let node i = Net.Node_id.Dla i
+
+let xor_scheme seed =
+  Crypto.Commutative.xor_pad (Prng.create ~seed)
+    (Crypto.Xor_pad.params ~width_bits:256)
+
+let ph_scheme seed =
+  let rng = Prng.create ~seed:777 in
+  let params = Crypto.Pohlig_hellman.generate_params rng ~bits:64 in
+  Crypto.Commutative.pohlig_hellman (Prng.create ~seed) params
+
+(* Run [f] against a fresh network with clean metrics; return the net. *)
+let measured f =
+  Obs.Metrics.reset ();
+  Obs.Trace.reset ();
+  let net = Net.Network.create () in
+  f net;
+  net
+
+let check name expected counter =
+  Alcotest.(check int) (name ^ " = " ^ counter) expected (Obs.Metrics.get counter)
+
+(* ------------------------------------------------------------------ *)
+(* ∩ₛ — secure set intersection                                        *)
+(*   messages n²−1, rounds n, commutative encryptions n²·m             *)
+(* ------------------------------------------------------------------ *)
+
+let intersection_parties ~n ~m =
+  List.init n (fun i ->
+      { Smc.Set_intersection.node = node i;
+        set = List.init m (Printf.sprintf "e%d_%d" i)
+      })
+
+let test_intersection_costs () =
+  List.iter
+    (fun (n, m) ->
+      let label = Printf.sprintf "intersection n=%d m=%d" n m in
+      let _ =
+        measured (fun net ->
+            ignore
+              (Smc.Set_intersection.run ~net ~scheme:(xor_scheme (n + m))
+                 ~receiver:(node 0)
+                 (intersection_parties ~n ~m)))
+      in
+      check label ((n * n) - 1) "net.msgs";
+      check label n "net.rounds";
+      check label n "net.rounds.intersection";
+      check label (n * (n - 1)) "net.msg.intersection:relay";
+      check label (n - 1) "net.msg.intersection:collect";
+      check label (n * n * m) "crypto.commutative.enc";
+      check label 0 "crypto.commutative.dec")
+    [ (2, 3); (3, 3); (4, 2); (5, 4) ]
+
+let test_intersection_costs_scheme_agnostic () =
+  (* The count formulas hold whatever cipher backs the run: repeat one
+     size under Pohlig–Hellman.  Each PH encryption is one modexp. *)
+  let n = 3 and m = 2 in
+  let _ =
+    measured (fun net ->
+        ignore
+          (Smc.Set_intersection.run ~net ~scheme:(ph_scheme 9)
+             ~receiver:(node 0)
+             (intersection_parties ~n ~m)))
+  in
+  check "ph intersection" ((n * n) - 1) "net.msgs";
+  check "ph intersection" (n * n * m) "crypto.commutative.enc";
+  check "ph intersection" (n * n * m) "crypto.modexp"
+
+(* ------------------------------------------------------------------ *)
+(* =ₛ — secure equality via the blind TTP                              *)
+(*   messages 5 (negotiate + 2 submits + 2 verdicts), rounds 3,        *)
+(*   affine blindings 2                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_equality_costs () =
+  List.iter
+    (fun (seed, l, r) ->
+      let label = Printf.sprintf "equality %d≟%d" l r in
+      let _ =
+        measured (fun net ->
+            ignore
+              (Smc.Equality.via_ttp ~net ~rng:(Prng.create ~seed)
+                 ~p:(bn 1009)
+                 ~ttp:(Net.Node_id.Ttp "eq")
+                 ~left:(node 0, bn l) ~right:(node 1, bn r)))
+      in
+      check label 5 "net.msgs";
+      check label 3 "net.rounds";
+      check label 3 "net.rounds.equality";
+      check label 1 "net.msg.equality:negotiate";
+      check label 2 "net.msg.equality:submit";
+      check label 2 "net.msg.equality:verdict";
+      check label 2 "crypto.blind.affine")
+    [ (41, 7, 7); (42, 7, 8); (43, 0, 1008) ]
+
+(* ------------------------------------------------------------------ *)
+(* Rankₛ — secure ranking via the blind TTP                            *)
+(*   messages 3n−1, rounds 3, monotone blindings n                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_ranking_costs () =
+  List.iter
+    (fun n ->
+      let label = Printf.sprintf "ranking n=%d" n in
+      let parties =
+        List.init n (fun i -> { Smc.Ranking.node = node i; value = bn (i * 7) })
+      in
+      let _ =
+        measured (fun net ->
+            ignore
+              (Smc.Ranking.run ~net
+                 ~rng:(Prng.create ~seed:n)
+                 ~ttp:(Net.Node_id.Ttp "rank") parties))
+      in
+      check label ((3 * n) - 1) "net.msgs";
+      check label 3 "net.rounds";
+      check label 3 "net.rounds.ranking";
+      check label (n - 1) "net.msg.ranking:negotiate";
+      check label n "net.msg.ranking:submit";
+      check label n "net.msg.ranking:verdict";
+      check label n "crypto.blind.monotone")
+    [ 2; 3; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* ∪ₛ — secure set union (disjoint sets, receiver = first ring party)  *)
+(*   collection phase as ∩ₛ (n²−1 messages, n rounds, n²·m enc), then  *)
+(*   the decode ring: n messages, n rounds, n·u = n²·m decryptions     *)
+(*   (u = n·m distinct ciphertexts when the inputs are disjoint).      *)
+(* ------------------------------------------------------------------ *)
+
+let test_union_costs () =
+  List.iter
+    (fun (n, m) ->
+      let label = Printf.sprintf "union n=%d m=%d" n m in
+      let parties =
+        List.init n (fun i ->
+            { Smc.Set_union.node = node i;
+              set = List.init m (Printf.sprintf "u%d_%d" i)
+            })
+      in
+      let _ =
+        measured (fun net ->
+            ignore
+              (Smc.Set_union.run ~net ~scheme:(xor_scheme (10 * n))
+                 ~rng:(Prng.create ~seed:m)
+                 ~receiver:(node 0) parties))
+      in
+      check label ((n * n) + n - 1) "net.msgs";
+      check label (2 * n) "net.rounds";
+      check label (2 * n) "net.rounds.union";
+      check label (n * (n - 1)) "net.msg.union:relay";
+      check label (n - 1) "net.msg.union:collect";
+      check label (n - 1) "net.msg.union:decode";
+      check label 1 "net.msg.union:decode-return";
+      check label (n * n * m) "crypto.commutative.enc";
+      check label (n * n * m) "crypto.commutative.dec")
+    [ (2, 3); (3, 2); (4, 3) ]
+
+(* ------------------------------------------------------------------ *)
+(* Σₛ — secure sum over Shamir shares (receiver = auditor, k-of-n)     *)
+(*   messages n(n−1) + k, rounds 2, polynomial evaluations n²          *)
+(*   (each of n parties evaluates its polynomial at n points), one     *)
+(*   interpolation at the receiver.                                    *)
+(* ------------------------------------------------------------------ *)
+
+let sum_p = Bignum.of_string "2305843009213693951"
+
+let test_sum_costs () =
+  List.iter
+    (fun (n, k) ->
+      let label = Printf.sprintf "sum n=%d k=%d" n k in
+      let parties =
+        List.init n (fun i -> { Smc.Sum.node = node i; value = bn (100 + i) })
+      in
+      let _ =
+        measured (fun net ->
+            ignore
+              (Smc.Sum.run ~net
+                 ~rng:(Prng.create ~seed:(n + k))
+                 ~p:sum_p ~k ~receiver:Net.Node_id.Auditor parties))
+      in
+      check label ((n * (n - 1)) + k) "net.msgs";
+      check label 2 "net.rounds";
+      check label 2 "net.rounds.sum";
+      check label (n * (n - 1)) "net.msg.sum:share";
+      check label k "net.msg.sum:aggregate";
+      check label (n * n) "crypto.shamir.eval";
+      check label 1 "crypto.shamir.interpolate")
+    [ (2, 2); (3, 2); (4, 3); (5, 5) ]
+
+(* ------------------------------------------------------------------ *)
+(* Phase spans: every protocol run leaves its phase structure behind   *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_spans () =
+  let _ =
+    measured (fun net ->
+        ignore
+          (Smc.Set_intersection.run ~net ~scheme:(xor_scheme 31)
+             ~receiver:(node 0)
+             (intersection_parties ~n:3 ~m:2)))
+  in
+  let names = List.map (fun s -> s.Obs.Trace.name) (Obs.Trace.spans ()) in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) ("span " ^ expected) true (List.mem expected names))
+    [ "smc.intersection"; "smc.intersection.transform";
+      "smc.intersection.exchange"; "smc.intersection.collect";
+      "smc.intersection.reveal"
+    ];
+  (* Root span duration equals the protocol's virtual-time extent:
+     with the default 1 ms link latency, every round advances the clock
+     by 1 ms and the n=3 run takes 3 rounds. *)
+  let root =
+    List.find (fun s -> s.Obs.Trace.name = "smc.intersection") (Obs.Trace.spans ())
+  in
+  Alcotest.(check int) "root depth" 0 root.Obs.Trace.depth;
+  Alcotest.(check (float 1e-9)) "root duration = 3 rounds" 3.0
+    root.Obs.Trace.duration_ms
+
+let () =
+  Alcotest.run "cost_model"
+    [ ( "intersection",
+        [ Alcotest.test_case "message/round/enc counts" `Quick
+            test_intersection_costs;
+          Alcotest.test_case "scheme-agnostic counts" `Quick
+            test_intersection_costs_scheme_agnostic
+        ] );
+      ( "equality",
+        [ Alcotest.test_case "message/round/blind counts" `Quick
+            test_equality_costs
+        ] );
+      ( "ranking",
+        [ Alcotest.test_case "message/round/blind counts" `Quick
+            test_ranking_costs
+        ] );
+      ( "union",
+        [ Alcotest.test_case "message/round/enc/dec counts" `Quick
+            test_union_costs
+        ] );
+      ( "sum",
+        [ Alcotest.test_case "message/round/shamir counts" `Quick
+            test_sum_costs
+        ] );
+      ( "spans",
+        [ Alcotest.test_case "phase spans recorded" `Quick test_protocol_spans ]
+      )
+    ]

@@ -115,6 +115,45 @@ let test_ph_commutativity () =
   let dec k c = Crypto.Pohlig_hellman.decrypt params k c in
   check_bn "unstack any order" m (dec k2 (dec k3 (dec k1 c123)))
 
+(* Seeded sweep in the style of the chaos suite: the built-in seeds run
+   always; exporting CRYPTO_SEED=<int> adds one more, so a failure seed
+   found elsewhere (CI, fuzzing) replays here verbatim. *)
+let sweep_seeds =
+  let base = [ 101; 102; 103; 104; 105 ] in
+  match Sys.getenv_opt "CRYPTO_SEED" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some seed -> base @ [ seed ]
+    | None -> failwith (Printf.sprintf "CRYPTO_SEED must be an integer, got %S" s))
+  | None -> base
+
+let test_ph_commutativity_sweep () =
+  (* E_a(E_b(x)) = E_b(E_a(x)) over fresh key pairs and hashed-in group
+     elements, per sweep seed. *)
+  let params = Lazy.force ph_params in
+  List.iter
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let ka = Crypto.Pohlig_hellman.generate_key rng params in
+      let kb = Crypto.Pohlig_hellman.generate_key rng params in
+      let enc k m = Crypto.Pohlig_hellman.encrypt params k m in
+      let dec k c = Crypto.Pohlig_hellman.decrypt params k c in
+      List.iter
+        (fun i ->
+          let x =
+            Crypto.Pohlig_hellman.encode params
+              (Printf.sprintf "elem-%d-%d" seed i)
+          in
+          let ab = enc ka (enc kb x) and ba = enc kb (enc ka x) in
+          check_bn (Printf.sprintf "seed %d commutes" seed) ab ba;
+          (* Layers peel in the opposite order they were applied too. *)
+          check_bn
+            (Printf.sprintf "seed %d unstacks" seed)
+            x
+            (dec kb (dec ka ab)))
+        [ 0; 1; 2; 3; 4 ])
+    sweep_seeds
+
 let test_ph_distinct_messages_distinct_ciphertexts () =
   (* Equation (7): different plaintexts stay different. *)
   let params = Lazy.force ph_params in
@@ -244,6 +283,38 @@ let test_shamir_validation () =
   Alcotest.check_raises "empty reconstruct"
     (Invalid_argument "Shamir.reconstruct: no shares") (fun () ->
       ignore (Crypto.Shamir.reconstruct ~p []))
+
+let test_shamir_threshold_sweep () =
+  (* Exhaustive k-of-n property per sweep seed: EVERY k-subset of the
+     shares reconstructs the secret, and EVERY (k-1)-subset misses it. *)
+  let p = Lazy.force shamir_p in
+  List.iter
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let n = 2 + (seed mod 5) in
+      let k = 1 + (seed mod n) in
+      let secret = bn (1 + ((seed * 7919) mod 1_000_000)) in
+      let xs = Crypto.Shamir.default_xs ~n in
+      let shares = Array.of_list (Crypto.Shamir.split rng ~p ~k ~xs ~secret) in
+      for mask = 1 to (1 lsl n) - 1 do
+        let subset =
+          List.filter_map
+            (fun i -> if mask land (1 lsl i) <> 0 then Some shares.(i) else None)
+            (List.init n Fun.id)
+        in
+        let size = List.length subset in
+        if size = k then
+          check_bn
+            (Printf.sprintf "seed %d: %d-subset reconstructs" seed k)
+            secret
+            (Crypto.Shamir.reconstruct ~p subset)
+        else if size = k - 1 && size > 0 then
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: %d-subset reveals nothing" seed (k - 1))
+            false
+            (Bignum.equal secret (Crypto.Shamir.reconstruct ~p subset))
+      done)
+    sweep_seeds
 
 let prop_shamir_any_k_subset =
   QCheck.Test.make ~name:"any k-subset reconstructs" ~count:50
@@ -713,6 +784,8 @@ let () =
       ( "pohlig-hellman",
         [ Alcotest.test_case "roundtrip" `Quick test_ph_roundtrip;
           Alcotest.test_case "commutativity (eq 6)" `Quick test_ph_commutativity;
+          Alcotest.test_case "commutativity sweep" `Quick
+            test_ph_commutativity_sweep;
           Alcotest.test_case "injectivity (eq 7)" `Quick
             test_ph_distinct_messages_distinct_ciphertexts;
           Alcotest.test_case "domain check" `Quick test_ph_domain_check;
@@ -728,6 +801,8 @@ let () =
         :: Alcotest.test_case "too few shares" `Quick test_shamir_too_few_shares_wrong
         :: Alcotest.test_case "linearity" `Quick test_shamir_linearity
         :: Alcotest.test_case "validation" `Quick test_shamir_validation
+        :: Alcotest.test_case "threshold sweep" `Quick
+             test_shamir_threshold_sweep
         :: qt [ prop_shamir_any_k_subset ] );
       ( "accumulator",
         Alcotest.test_case "order independence (eq 9)" `Quick

@@ -389,6 +389,64 @@ let test_cluster_fragment_isolation () =
   Alcotest.(check bool) "P0 never saw C2" false
     (Net.Ledger.saw_plaintext ledger ~node:(Net.Node_id.Dla 0) "C2=23.45")
 
+let test_drain_hints_idempotent () =
+  (* Regression: draining is exactly-once.  A drain that cannot deliver
+     re-parks (never drops); a drain after delivery is a strict no-op
+     (never double-commits). *)
+  Obs.Metrics.reset ();
+  let cluster, ticket = build_cluster () in
+  let net = Cluster.net cluster in
+  let victim = Net.Node_id.Dla 0 in
+  Net.Network.take_down net victim;
+  let submit_degraded time =
+    match
+      Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
+        ~attributes:(paper_attributes time)
+    with
+    | Cluster.Committed_degraded (glsn, _) -> glsn
+    | Cluster.Committed _ -> Alcotest.fail "expected degraded commit"
+    | Cluster.Rejected e -> Alcotest.failf "rejected: %s" e
+  in
+  let g1 = submit_degraded 1000 in
+  let g2 = submit_degraded 2000 in
+  Alcotest.(check int) "two hints parked" 2
+    (List.length (Cluster.pending_hints cluster));
+  (* Crash-during-drain interleaving: the node looks up again but its
+     circuit breaker is still open, so the send fails mid-drain.  The
+     hints must be re-parked, not lost and not delivered. *)
+  Net.Network.bring_up net victim;
+  Alcotest.(check int) "failed drain delivers nothing" 0
+    (List.length (Cluster.drain_hints cluster));
+  Alcotest.(check int) "failed drain re-parks both hints" 2
+    (List.length (Cluster.pending_hints cluster));
+  Alcotest.(check int) "victim still empty" 0
+    (Storage.record_count (Cluster.store_of cluster victim));
+  (* Full recovery: drain delivers each hint exactly once. *)
+  Net.Retry.reinstate (Cluster.retry cluster) victim;
+  Alcotest.(check int) "recovered drain delivers both" 2
+    (List.length (Cluster.drain_hints cluster));
+  Alcotest.(check int) "no hints left" 0
+    (List.length (Cluster.pending_hints cluster));
+  Alcotest.(check int) "victim holds both fragments" 2
+    (Storage.record_count (Cluster.store_of cluster victim));
+  (* Idempotence: a second drain after delivery is a no-op. *)
+  Alcotest.(check int) "second drain delivers nothing" 0
+    (List.length (Cluster.drain_hints cluster));
+  Alcotest.(check int) "victim unchanged" 2
+    (Storage.record_count (Cluster.store_of cluster victim));
+  Alcotest.(check int) "delivered counter saw exactly two" 2
+    (Obs.Metrics.get "cluster.drain.delivered");
+  (* Both records reassemble completely after the dust settles. *)
+  List.iter
+    (fun glsn ->
+      match Cluster.record_of cluster glsn with
+      | Some record ->
+        Alcotest.(check int)
+          ("full record " ^ Glsn.to_string glsn)
+          7 (Log_record.width record)
+      | None -> Alcotest.failf "record %s lost" (Glsn.to_string glsn))
+    [ g1; g2 ]
+
 let test_transaction_submission () =
   let cluster, ticket = build_cluster () in
   match
@@ -1033,7 +1091,9 @@ let () =
         [ Alcotest.test_case "submit/reassemble" `Quick test_cluster_submit_and_reassemble;
           Alcotest.test_case "rejects bad tickets" `Quick test_cluster_rejects_bad_tickets;
           Alcotest.test_case "fragment isolation" `Quick test_cluster_fragment_isolation;
-          Alcotest.test_case "transactions" `Quick test_transaction_submission
+          Alcotest.test_case "transactions" `Quick test_transaction_submission;
+          Alcotest.test_case "drain idempotence" `Quick
+            test_drain_hints_idempotent
         ] );
       ( "integrity",
         [ Alcotest.test_case "clean pass" `Quick test_integrity_clean;

@@ -1,0 +1,164 @@
+(* Unit tests for the zero-dependency telemetry library: counter
+   semantics, nearest-rank percentiles, span nesting over a virtual
+   clock, and the JSON emitter/parser the bench baselines rely on. *)
+
+let fl = Alcotest.float 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters () =
+  let m = Obs.Metrics.create () in
+  Alcotest.(check int) "absent counter reads 0" 0 (Obs.Metrics.get ~m "x");
+  Obs.Metrics.incr ~m "x";
+  Obs.Metrics.incr ~m "x" ~by:4;
+  Obs.Metrics.incr ~m "y" ~by:0;
+  Alcotest.(check int) "accumulates" 5 (Obs.Metrics.get ~m "x");
+  Alcotest.(check (list (pair string int)))
+    "sorted listing"
+    [ ("x", 5); ("y", 0) ]
+    (Obs.Metrics.counters ~m ());
+  Alcotest.check_raises "negative increment rejected"
+    (Invalid_argument "Metrics.incr: counters are monotonic") (fun () ->
+      Obs.Metrics.incr ~m "x" ~by:(-1));
+  Obs.Metrics.reset ~m ();
+  Alcotest.(check int) "reset drops counters" 0 (Obs.Metrics.get ~m "x")
+
+(* ------------------------------------------------------------------ *)
+(* Percentiles (nearest rank: index round(p * (n-1)))                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_summarize () =
+  Alcotest.(check bool) "empty is None" true (Obs.Metrics.summarize [] = None);
+  (* 1..100 shuffled order must not matter. *)
+  let samples = List.init 100 (fun i -> float_of_int (((i * 37) mod 100) + 1)) in
+  match Obs.Metrics.summarize samples with
+  | None -> Alcotest.fail "summary expected"
+  | Some s ->
+    Alcotest.(check int) "count" 100 s.Obs.Metrics.count;
+    Alcotest.check fl "min" 1.0 s.Obs.Metrics.min;
+    Alcotest.check fl "max" 100.0 s.Obs.Metrics.max;
+    Alcotest.check fl "mean" 50.5 s.Obs.Metrics.mean;
+    Alcotest.check fl "p50" 51.0 s.Obs.Metrics.p50;
+    Alcotest.check fl "p95" 95.0 s.Obs.Metrics.p95;
+    Alcotest.check fl "p99" 99.0 s.Obs.Metrics.p99
+
+let test_single_sample_percentiles () =
+  match Obs.Metrics.summarize [ 42.0 ] with
+  | None -> Alcotest.fail "summary expected"
+  | Some s ->
+    Alcotest.check fl "p50" 42.0 s.Obs.Metrics.p50;
+    Alcotest.check fl "p99" 42.0 s.Obs.Metrics.p99
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let m = Obs.Metrics.create () in
+  let t = Obs.Trace.create ~metrics:m () in
+  let clock = ref 0.0 in
+  Obs.Trace.set_clock ~t (fun () -> !clock);
+  Obs.Trace.with_span ~t "outer" (fun () ->
+      clock := 1.0;
+      Obs.Trace.with_span ~t "inner" (fun () -> clock := 3.0);
+      clock := 10.0);
+  match Obs.Trace.spans ~t () with
+  | [ inner; outer ] ->
+    (* Completion order: children close first. *)
+    Alcotest.(check string) "inner first" "inner" inner.Obs.Trace.name;
+    Alcotest.(check int) "inner depth" 1 inner.Obs.Trace.depth;
+    Alcotest.check fl "inner start" 1.0 inner.Obs.Trace.start_ms;
+    Alcotest.check fl "inner duration" 2.0 inner.Obs.Trace.duration_ms;
+    Alcotest.(check string) "outer second" "outer" outer.Obs.Trace.name;
+    Alcotest.(check int) "outer depth" 0 outer.Obs.Trace.depth;
+    Alcotest.check fl "outer duration" 10.0 outer.Obs.Trace.duration_ms;
+    (* Each completed span feeds the span.<name> duration histogram. *)
+    let names = List.map fst (Obs.Metrics.summaries ~m ()) in
+    Alcotest.(check (list string))
+      "duration histograms" [ "span.inner"; "span.outer" ] names
+  | spans ->
+    Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_closes_on_raise () =
+  let t = Obs.Trace.create () in
+  (try
+     Obs.Trace.with_span ~t "fails" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  match Obs.Trace.spans ~t () with
+  | [ s ] -> Alcotest.(check string) "span closed" "fails" s.Obs.Trace.name
+  | _ -> Alcotest.fail "span must complete even when the thunk raises"
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let doc =
+  Obs.Json.Obj
+    [ ("experiment", Obs.Json.Str "t");
+      ("counters", Obs.Json.Obj [ ("a.b:c", Obs.Json.Num 12.0) ]);
+      ( "mixed",
+        Obs.Json.List
+          [ Obs.Json.Null; Obs.Json.Bool true; Obs.Json.Num (-1.5);
+            Obs.Json.Str "esc \"\\\n\t"
+          ] )
+    ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun render ->
+      match Obs.Json.parse (render doc) with
+      | Ok parsed ->
+        Alcotest.(check bool) "round-trips" true (parsed = doc)
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    [ Obs.Json.to_string; Obs.Json.pretty ]
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Obs.Json.parse text with
+      | Ok _ -> Alcotest.failf "accepted %S" text
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "\"open"; "1 2" ]
+
+let test_sink_json_shape () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr ~m "net.msgs" ~by:7;
+  Obs.Metrics.observe ~m "net.round_ms" 1.0;
+  Obs.Metrics.observe ~m "net.round_ms" 3.0;
+  let doc = Obs.Sink.json_of ~experiment:"unit" ~m () in
+  (match Obs.Json.member "experiment" doc with
+  | Some (Obs.Json.Str "unit") -> ()
+  | _ -> Alcotest.fail "experiment field");
+  (match Option.bind (Obs.Json.member "counters" doc) (Obs.Json.member "net.msgs") with
+  | Some v -> Alcotest.(check (option fl)) "counter" (Some 7.0) (Obs.Json.to_num v)
+  | None -> Alcotest.fail "counters.net.msgs");
+  match
+    Option.bind
+      (Option.bind (Obs.Json.member "histograms" doc)
+         (Obs.Json.member "net.round_ms"))
+      (Obs.Json.member "p50")
+  with
+  | Some v ->
+    Alcotest.(check (option fl)) "p50" (Some 3.0) (Obs.Json.to_num v)
+  | None -> Alcotest.fail "histograms.net.round_ms.p50"
+
+let () =
+  Alcotest.run "obs"
+    [ ( "metrics",
+        [ Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "percentiles" `Quick test_summarize;
+          Alcotest.test_case "single sample" `Quick
+            test_single_sample_percentiles
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "nesting + clock" `Quick test_span_nesting;
+          Alcotest.test_case "closes on raise" `Quick test_span_closes_on_raise
+        ] );
+      ( "json",
+        [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "sink shape" `Quick test_sink_json_shape
+        ] )
+    ]
