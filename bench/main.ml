@@ -579,6 +579,195 @@ let exp_cost_cipher () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* P13: modexp acceleration layer                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_union scheme ~n ~size =
+  let net = Net.Network.create () in
+  let parties =
+    List.init n (fun p ->
+        { Smc.Set_union.node = Net.Node_id.Dla p;
+          set = List.init size (fun i -> Printf.sprintf "elem-%d-%d" (i + p) i)
+        })
+  in
+  Smc.Set_union.run ~net ~scheme ~rng:(Prng.create ~seed:76)
+    ~receiver:(Net.Node_id.Dla 0) parties
+
+let exp_modexp () =
+  section
+    "P13: modexp acceleration — context cache, batch exponentiation, \
+     protocol wall time";
+  (* Timing first: bechamel loops pollute the global counters, so the
+     registry is reset before the deterministic counter workload below —
+     the emitted BENCH_modexp.json counters are byte-stable with or
+     without --skip-timing. *)
+  let speedups = ref [] in
+  if not !skip_timing then begin
+    subsection
+      "ring-encryption microbench: classic vs montgomery vs batch \
+       (fixed 256-bit key exponent)";
+    let rng = Prng.create ~seed:71 in
+    let params = Crypto.Pohlig_hellman.generate_params rng ~bits:256 in
+    let key = Crypto.Pohlig_hellman.generate_key rng params in
+    let p = params.Crypto.Pohlig_hellman.p in
+    let e = key.Crypto.Pohlig_hellman.e in
+    let rows =
+      List.map
+        (fun size ->
+          let ms =
+            List.init size (fun i ->
+                Crypto.Pohlig_hellman.encode params
+                  (Printf.sprintf "elem-%d" i))
+          in
+          let timings =
+            time_ns ~quota_s:0.5
+              [ ( "classic",
+                  fun () ->
+                    List.iter
+                      (fun x -> ignore (Modular.pow_classic x e ~m:p))
+                      ms );
+                ( "montgomery",
+                  fun () ->
+                    List.iter (fun x -> ignore (Modular.pow x e ~m:p)) ms );
+                ("batch", fun () -> ignore (Modular.pow_many ms e ~m:p))
+              ]
+          in
+          let t name = List.assoc name timings in
+          let classic = t "classic"
+          and mont = t "montgomery"
+          and batch = t "batch" in
+          speedups :=
+            (size, classic /. batch, mont /. batch) :: !speedups;
+          [ fi size; pp_ns classic; pp_ns mont; pp_ns batch;
+            Printf.sprintf "%.1fx" (classic /. batch);
+            Printf.sprintf "%.2fx" (mont /. batch)
+          ])
+        [ 16; 64; 256 ]
+    in
+    print_table
+      ~header:
+        [ "batch size"; "classic"; "montgomery"; "batch";
+          "batch vs classic"; "batch vs montgomery" ]
+      rows;
+    print_endline
+      "=> the headline win is batch vs the element-at-a-time classic\n\
+       path: Montgomery representation plus one shared fixed-exponent\n\
+       plan.  Relative to scalar Montgomery the batch saves only the\n\
+       per-call window recoding, table allocation and cache lookup —\n\
+       a few percent at cryptographic sizes (the ~300 inner\n\
+       multiplications dominate), within bechamel's run-to-run noise.";
+    subsection "protocol wall time (pohlig-hellman 256-bit, n = 3)";
+    let ph_scheme =
+      Crypto.Commutative.pohlig_hellman (Prng.create ~seed:72) params
+    in
+    let timings =
+      time_ns
+        [ ( "intersection |S|=16",
+            fun () -> ignore (run_intersection ph_scheme ~n:3 ~size:16) );
+          ( "intersection |S|=64",
+            fun () -> ignore (run_intersection ph_scheme ~n:3 ~size:64) );
+          ( "union |S|=16",
+            fun () -> ignore (run_union ph_scheme ~n:3 ~size:16) );
+          ("union |S|=64", fun () -> ignore (run_union ph_scheme ~n:3 ~size:64))
+        ]
+    in
+    print_table ~header:[ "protocol run"; "time/run" ]
+      (List.map (fun (n, ns) -> [ n; pp_ns ns ]) timings)
+  end;
+  (* Deterministic cache + protocol counter workload; everything below
+     is seeded and independent of whatever ran before.  All moduli and
+     key material are generated up front — primality testing exercises
+     Modular.pow under throwaway candidate moduli, which would otherwise
+     drown the workload's own cache counters — then the registry and the
+     context cache are reset so the emitted counters reflect the
+     workload alone. *)
+  let rng = Prng.create ~seed:73 in
+  let working_set = List.init 4 (fun _ -> Primes.random_prime rng ~bits:128) in
+  let base = Prng.bits rng 100 in
+  (* Force a >= 64-bit exponent so every call takes the Montgomery
+     path. *)
+  let e = Bignum.logor (Prng.bits rng 64) (Bignum.shift_left Bignum.one 63) in
+  let thrash_set =
+    List.init (Modular.mont_cache_capacity + 2) (fun _ ->
+        Primes.random_prime rng ~bits:96)
+  in
+  let ph_params =
+    Crypto.Pohlig_hellman.generate_params (Prng.create ~seed:74) ~bits:128
+  in
+  let ph_scheme =
+    Crypto.Commutative.pohlig_hellman (Prng.create ~seed:75) ph_params
+  in
+  Obs.Metrics.reset ();
+  Obs.Trace.reset ();
+  Modular.reset_mont_cache ();
+  let snap () =
+    ( Obs.Metrics.get "crypto.mont.cache_hit",
+      Obs.Metrics.get "crypto.mont.cache_miss",
+      Obs.Metrics.get "crypto.mont.ctx_create" )
+  in
+  let delta (h0, m0, c0) (h1, m1, c1) = (h1 - h0, m1 - m0, c1 - c0) in
+  subsection "montgomery context cache behavior (deterministic)";
+  let s0 = snap () in
+  for _ = 1 to 8 do
+    List.iter (fun m -> ignore (Modular.pow base e ~m)) working_set
+  done;
+  let interleaved = delta s0 (snap ()) in
+  let s1 = snap () in
+  for _ = 1 to 3 do
+    List.iter (fun m -> ignore (Modular.pow base e ~m)) thrash_set
+  done;
+  let thrashed = delta s1 (snap ()) in
+  let row name calls (h, m, c) =
+    [ name; fi calls; fi h; fi m; fi c ]
+  in
+  print_table
+    ~header:[ "workload"; "modexp calls"; "cache hits"; "misses"; "creates" ]
+    [ row
+        (Printf.sprintf "4 moduli interleaved (cap %d)"
+           Modular.mont_cache_capacity)
+        32 interleaved;
+      row
+        (Printf.sprintf "%d moduli round-robin (cap %d)"
+           (Modular.mont_cache_capacity + 2)
+           Modular.mont_cache_capacity)
+        (3 * (Modular.mont_cache_capacity + 2))
+        thrashed
+    ];
+  print_endline
+    "=> within capacity, context creations are O(#moduli) not O(#calls);\n\
+     a round-robin sweep one past capacity is the LRU worst case and\n\
+     misses every time.";
+  subsection "protocol counter workload (pohlig-hellman 128-bit, n = 3)";
+  let s2 = snap () in
+  ignore (run_intersection ph_scheme ~n:3 ~size:8);
+  ignore (run_union ph_scheme ~n:3 ~size:8);
+  let ph_hits, ph_misses, ph_creates = delta s2 (snap ()) in
+  Printf.printf
+    "one ∩ₛ + one ∪ₛ run (shared prime): %d cache hits, %d misses, %d \
+     context creation(s);\n\
+     batch calls look the context up once per list, so lookups are far\n\
+     fewer than the %d counted modexps.\n"
+    ph_hits ph_misses ph_creates
+    (Obs.Metrics.get "crypto.modexp");
+  subsection "experiment counter totals (persisted to BENCH_modexp.json)";
+  print_table ~header:[ "counter"; "value" ]
+    (List.map
+       (fun name -> [ name; fi (Obs.Metrics.get name) ])
+       [ "crypto.modexp"; "crypto.commutative.enc"; "crypto.commutative.dec";
+         "crypto.mont.cache_hit"; "crypto.mont.cache_miss";
+         "crypto.mont.ctx_create"; "net.msgs"; "net.rounds"
+       ]);
+  (* Persist the measured speedups as histogram samples: the checked-in
+     baseline carries the batch-vs-element-at-a-time evidence, while
+     diff_metrics compares counters only (timing varies run to run). *)
+  List.iter
+    (fun (size, vs_classic, vs_mont) ->
+      ignore size;
+      Obs.Metrics.observe "modexp.speedup.batch_vs_classic" vs_classic;
+      Obs.Metrics.observe "modexp.speedup.batch_vs_montgomery" vs_mont)
+    (List.rev !speedups)
+
+(* ------------------------------------------------------------------ *)
 (* P4: integrity-checking cost and detection                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1374,7 +1563,8 @@ let experiments =
     ("shared_column", exp_shared_column);
     ("layout_search", exp_layout_search);
     ("millionaire", exp_millionaire);
-    ("availability", exp_availability)
+    ("availability", exp_availability);
+    ("modexp", exp_modexp)
   ]
 
 let () =

@@ -16,6 +16,11 @@ let apply_affine { a; b; p } y =
   Obs.Metrics.incr "crypto.blind.affine";
   Modular.add (Modular.mul a y ~m:p) b ~m:p
 
+let apply_affine_many blind ys =
+  let { a; b; p } = blind in
+  Obs.Metrics.incr ~by:(List.length ys) "crypto.blind.affine";
+  List.map (fun y -> Modular.add (Modular.mul a y ~m:p) b ~m:p) ys
+
 type monotone = { scale : Bignum.t; offset : Bignum.t }
 
 let generate_monotone rng ~bits =
@@ -29,3 +34,8 @@ let generate_monotone rng ~bits =
 let apply_monotone { scale; offset } y =
   Obs.Metrics.incr "crypto.blind.monotone";
   Bignum.add (Bignum.mul scale y) offset
+
+let apply_monotone_many blind ys =
+  let { scale; offset } = blind in
+  Obs.Metrics.incr ~by:(List.length ys) "crypto.blind.monotone";
+  List.map (fun y -> Bignum.add (Bignum.mul scale y) offset) ys

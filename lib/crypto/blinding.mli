@@ -22,9 +22,17 @@ val generate_affine : Numtheory.Prng.t -> p:Bignum.t -> affine
 
 val apply_affine : affine -> Bignum.t -> Bignum.t
 
+val apply_affine_many : affine -> Bignum.t list -> Bignum.t list
+(** Blind a whole list under one map; results and counter totals are
+    identical to mapping {!apply_affine}. *)
+
 type monotone = private { scale : Bignum.t; offset : Bignum.t }
 
 val generate_monotone : Numtheory.Prng.t -> bits:int -> monotone
 (** Random positive [scale] and [offset] of roughly [bits] bits. *)
 
 val apply_monotone : monotone -> Bignum.t -> Bignum.t
+
+val apply_monotone_many : monotone -> Bignum.t list -> Bignum.t list
+(** Blind a whole list under one map; results and counter totals are
+    identical to mapping {!apply_monotone}. *)

@@ -1,6 +1,11 @@
 open Numtheory
 
-type keypair = { enc : Bignum.t -> Bignum.t; dec : Bignum.t -> Bignum.t }
+type keypair = {
+  enc : Bignum.t -> Bignum.t;
+  dec : Bignum.t -> Bignum.t;
+  enc_many : Bignum.t list -> Bignum.t list;
+  dec_many : Bignum.t list -> Bignum.t list;
+}
 
 type scheme = {
   name : string;
@@ -11,8 +16,9 @@ type scheme = {
 (* Every keypair counts its layer operations scheme-agnostically, so
    the §3 set-protocol cost formulas (n²·m encryptions for ∩ₛ, plus
    n·u decryptions for ∪ₛ) are assertable whatever cipher backs the
-   run. *)
-let counted { enc; dec } =
+   run.  Batch calls count one operation per element, so the counters
+   are invariant under batching. *)
+let counted { enc; dec; enc_many; dec_many } =
   {
     enc =
       (fun x ->
@@ -22,6 +28,14 @@ let counted { enc; dec } =
       (fun x ->
         Obs.Metrics.incr "crypto.commutative.dec";
         dec x);
+    enc_many =
+      (fun xs ->
+        Obs.Metrics.incr ~by:(List.length xs) "crypto.commutative.enc";
+        enc_many xs);
+    dec_many =
+      (fun xs ->
+        Obs.Metrics.incr ~by:(List.length xs) "crypto.commutative.dec";
+        dec_many xs);
   }
 
 let pohlig_hellman rng params =
@@ -34,6 +48,8 @@ let pohlig_hellman rng params =
           {
             enc = Pohlig_hellman.encrypt params key;
             dec = Pohlig_hellman.decrypt params key;
+            enc_many = Pohlig_hellman.encrypt_many params key;
+            dec_many = Pohlig_hellman.decrypt_many params key;
           });
     encode = Pohlig_hellman.encode params;
   }
@@ -44,7 +60,9 @@ let xor_pad rng params =
     fresh_keypair =
       (fun () ->
         let key = Xor_pad.generate_key rng params in
+        let enc = Xor_pad.encrypt params key in
+        let dec = Xor_pad.decrypt params key in
         counted
-          { enc = Xor_pad.encrypt params key; dec = Xor_pad.decrypt params key });
+          { enc; dec; enc_many = List.map enc; dec_many = List.map dec });
     encode = Xor_pad.encode params;
   }

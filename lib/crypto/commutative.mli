@@ -12,6 +12,14 @@ open Numtheory
 type keypair = {
   enc : Bignum.t -> Bignum.t;
   dec : Bignum.t -> Bignum.t;
+  enc_many : Bignum.t list -> Bignum.t list;
+      (** Batch layer under one key: ciphertexts identical to mapping
+          [enc], but fixed-exponent plan state is shared across the
+          list (Montgomery window recoding and scratch arrays are set
+          up once).  Counters advance by the batch length, so §3 cost
+          counts are unchanged. *)
+  dec_many : Bignum.t list -> Bignum.t list;
+      (** Batch counterpart of [dec]; same guarantees as [enc_many]. *)
 }
 (** One node's matched key, as closures over scheme parameters. *)
 

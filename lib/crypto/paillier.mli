@@ -12,7 +12,13 @@
 
     Standard simplified-variant parameters: [n = p·q] with
     [gcd(n, φ(n)) = 1], generator [g = n+1], [λ = lcm(p-1, q-1)],
-    decryption via [L(c^λ mod n²) · λ⁻¹ mod n]. *)
+    decryption via [L(c^λ mod n²) · λ⁻¹ mod n].
+
+    Two fast paths, both output-identical to the textbook formulas:
+    encryption uses the closed form [(1+n)^m = 1 + m·n mod n²] (one
+    modexp per encryption — the blinding [r^n] — instead of two), and
+    decryption retains [p]/[q] in the secret key to run [c^λ] as two
+    half-size CRT exponentiations with pre-reduced exponents. *)
 
 open Numtheory
 

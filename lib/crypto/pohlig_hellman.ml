@@ -1,16 +1,19 @@
 open Numtheory
 
-type params = { p : Bignum.t }
+type params = { p : Bignum.t; span : Bignum.t }
 type key = { e : Bignum.t; d : Bignum.t }
 
-let generate_params rng ~bits = { p = Primes.random_safe_prime rng ~bits }
+(* [span = p - 3] backs the deterministic encoding; hoisted here so the
+   ring-encryption hot loop does not re-derive it per element. *)
+let make_params p = { p; span = Bignum.sub p (Bignum.of_int 3) }
+let generate_params rng ~bits = make_params (Primes.random_safe_prime rng ~bits)
 
 let params_of_prime p =
   if Bignum.compare p (Bignum.of_int 5) < 0 || Bignum.is_even p then
     invalid_arg "Pohlig_hellman.params_of_prime: need an odd prime >= 5"
-  else { p }
+  else make_params p
 
-let generate_key rng { p } =
+let generate_key rng { p; _ } =
   let phi = Bignum.pred p in
   let rec go () =
     let e = Prng.bignum_range rng (Bignum.of_int 3) (Bignum.pred phi) in
@@ -24,19 +27,28 @@ let check_domain p m =
   if Bignum.sign m <= 0 || Bignum.compare m p >= 0 then
     invalid_arg "Pohlig_hellman: message outside [1, p-1]"
 
-let encrypt { p } { e; _ } m =
+let encrypt { p; _ } { e; _ } m =
   check_domain p m;
   Obs.Metrics.incr "crypto.modexp";
   Modular.pow m e ~m:p
 
-let decrypt { p } { d; _ } c =
+let decrypt { p; _ } { d; _ } c =
   check_domain p c;
   Obs.Metrics.incr "crypto.modexp";
   Modular.pow c d ~m:p
 
-let encode { p } payload =
+let encrypt_many { p; _ } { e; _ } ms =
+  List.iter (check_domain p) ms;
+  Obs.Metrics.incr ~by:(List.length ms) "crypto.modexp";
+  Modular.pow_many ms e ~m:p
+
+let decrypt_many { p; _ } { d; _ } cs =
+  List.iter (check_domain p) cs;
+  Obs.Metrics.incr ~by:(List.length cs) "crypto.modexp";
+  Modular.pow_many cs d ~m:p
+
+let encode { span; _ } payload =
   (* 2 + (H(payload) mod (p - 3)) lies in [2, p-2]; deterministic, so two
      nodes holding equal plaintexts produce the same group element. *)
   let h = Bignum.of_bytes_be (Sha256.digest payload) in
-  let span = Bignum.sub p (Bignum.of_int 3) in
   Bignum.add Bignum.two (Bignum.erem h span)

@@ -9,9 +9,11 @@
 
 open Numtheory
 
-type params = private { p : Bignum.t }
+type params = private { p : Bignum.t; span : Bignum.t }
 (** The shared group: a prime [p] such that [p-1] has a large prime
-    factor (we generate safe primes, [p = 2q+1]). *)
+    factor (we generate safe primes, [p = 2q+1]).  [span = p - 3] is
+    precomputed for {!encode} so the hot encoding loop allocates no
+    per-call constants. *)
 
 type key = private { e : Bignum.t; d : Bignum.t }
 
@@ -29,6 +31,18 @@ val encrypt : params -> key -> Bignum.t -> Bignum.t
 (** @raise Invalid_argument if the message is outside [\[1, p-1\]]. *)
 
 val decrypt : params -> key -> Bignum.t -> Bignum.t
+
+val encrypt_many : params -> key -> Bignum.t list -> Bignum.t list
+(** Batch encryption under one key: the exponent windows are recoded
+    once and the Montgomery scratch state shared across the list
+    ({!Numtheory.Modular.pow_many}).  Ciphertexts are identical to
+    mapping {!encrypt}; [crypto.modexp] is incremented by the batch
+    length, so §3 cost counts are unchanged.
+    @raise Invalid_argument if any message is outside [\[1, p-1\]]. *)
+
+val decrypt_many : params -> key -> Bignum.t list -> Bignum.t list
+(** Batch counterpart of {!decrypt}; same guarantees as
+    {!encrypt_many}. *)
 
 val encode : params -> string -> Bignum.t
 (** Deterministic hash-embedding of an arbitrary byte string into

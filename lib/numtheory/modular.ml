@@ -21,27 +21,58 @@ let pow_classic b e ~m =
     !acc
   end
 
-(* One-slot context cache: crypto code exponentiates under the same
-   modulus many times in a row (a key's p, an accumulator's n, ...). *)
-let mont_cache : Montgomery.ctx option ref = ref None
+(* Small LRU cache of Montgomery contexts keyed by modulus.  Protocol
+   runs interleave exponentiations under several moduli at once (each
+   node's Pohlig–Hellman prime, a Paillier n and n², an accumulator
+   n, ...), and rebuilding R² mod m on every switch costs more than the
+   exponentiation it serves.  Move-to-front list: the working set is a
+   handful of moduli, so linear scans are cheaper than hashing bignums. *)
+let mont_cache_capacity = 8
+let mont_cache : Montgomery.ctx list ref = ref []
+let reset_mont_cache () = mont_cache := []
+
+let rec cache_take m acc = function
+  | [] -> None
+  | ctx :: rest ->
+    if Bignum.equal (Montgomery.modulus ctx) m then
+      Some (ctx, List.rev_append acc rest)
+    else cache_take m (ctx :: acc) rest
+
+let rec cache_trim n = function
+  | [] -> []
+  | _ :: _ when n = 0 -> []
+  | ctx :: rest -> ctx :: cache_trim (n - 1) rest
 
 let mont_ctx m =
-  match !mont_cache with
-  | Some ctx when Bignum.equal (Montgomery.modulus ctx) m -> ctx
-  | Some _ | None ->
-    let ctx = Montgomery.create m in
-    mont_cache := Some ctx;
+  match cache_take m [] !mont_cache with
+  | Some (ctx, rest) ->
+    Obs.Metrics.incr "crypto.mont.cache_hit";
+    mont_cache := ctx :: rest;
     ctx
+  | None ->
+    Obs.Metrics.incr "crypto.mont.cache_miss";
+    Obs.Metrics.incr "crypto.mont.ctx_create";
+    let ctx = Montgomery.create m in
+    mont_cache := ctx :: cache_trim (mont_cache_capacity - 1) !mont_cache;
+    ctx
+
+(* Montgomery pays off once the per-multiplication division savings
+   outweigh the one-time domain setup. *)
+let use_montgomery ~m ~e =
+  Bignum.is_odd m && Bignum.num_bits m >= 64 && Bignum.num_bits e >= 16
 
 let pow b e ~m =
   if Bignum.sign e < 0 then invalid_arg "Modular.pow: negative exponent"
   else if Bignum.equal m Bignum.one then Bignum.zero
-  else if
-    (* Montgomery pays off once the per-multiplication division savings
-       outweigh the one-time domain setup. *)
-    Bignum.is_odd m && Bignum.num_bits m >= 64 && Bignum.num_bits e >= 16
-  then Montgomery.pow (mont_ctx m) b e
+  else if use_montgomery ~m ~e then Montgomery.pow (mont_ctx m) b e
   else pow_classic b e ~m
+
+let pow_many bs e ~m =
+  if Bignum.sign e < 0 then invalid_arg "Modular.pow_many: negative exponent"
+  else if Bignum.equal m Bignum.one then List.map (fun _ -> Bignum.zero) bs
+  else if use_montgomery ~m ~e then
+    Montgomery.pow_many (Montgomery.powers (mont_ctx m) e) bs
+  else List.map (fun b -> pow_classic b e ~m) bs
 
 let rec gcd a b =
   if Bignum.is_zero b then Bignum.abs a else gcd b (Bignum.rem a b)

@@ -19,9 +19,24 @@ val pow : Bignum.t -> Bignum.t -> m:Bignum.t -> Bignum.t
     square-and-multiply otherwise.
     @raise Invalid_argument on a negative exponent. *)
 
+val pow_many : Bignum.t list -> Bignum.t -> m:Bignum.t -> Bignum.t list
+(** [pow_many bs e ~m] is [List.map (fun b -> pow b e ~m) bs], but on
+    the Montgomery path the exponent windows are recoded and the scratch
+    arrays allocated once for the whole batch ({!Montgomery.powers}).
+    Results are value-identical to the element-at-a-time path, so
+    protocol transcripts built over it are byte-identical. *)
+
 val pow_classic : Bignum.t -> Bignum.t -> m:Bignum.t -> Bignum.t
 (** The division-based square-and-multiply path, exposed for the modexp
     ablation bench and as the reference in tests. *)
+
+val reset_mont_cache : unit -> unit
+(** Drop every cached Montgomery context.  The cache is process-global;
+    benchmarks and cache-behavior tests reset it so their
+    [crypto.mont.*] counters are independent of what ran before. *)
+
+val mont_cache_capacity : int
+(** Number of per-modulus Montgomery contexts retained (LRU). *)
 
 val gcd : Bignum.t -> Bignum.t -> Bignum.t
 

@@ -131,55 +131,108 @@ let to_array ctx x =
    square-and-multiply on random exponents. *)
 let window_bits = 4
 
-let pow ctx b e =
-  if Bignum.sign e < 0 then invalid_arg "Montgomery.pow: negative exponent";
-  let b_arr = to_array ctx b in
-  let b_mont = Array.make ctx.k 0 in
-  mont_mul ctx b_mont b_arr ctx.r2;
-  let acc = Array.copy ctx.one_mont in
-  let tmp = Array.make ctx.k 0 in
+(* A fixed-exponent exponentiation plan.  The exponent's window digits
+   are recoded exactly once, and every working array a single [pow]
+   needs (16-entry table, accumulator, temporary, base conversion
+   buffers) is preallocated here and reused across the whole batch —
+   [pow_with] performs no allocation beyond the result bignum. *)
+type powers = {
+  p_ctx : ctx;
+  e : Bignum.t;
+  nbits : int;
+  digits : int array;  (* digits.(w) = bits [w*4 .. w*4+3] of e; empty on the tiny path *)
+  table : int array array;
+  acc : int array;
+  tmp : int array;
+  b_arr : int array;
+  b_mont : int array;
+  one : int array;
+}
+
+let powers ctx e =
+  if Bignum.sign e < 0 then invalid_arg "Montgomery.powers: negative exponent";
   let nbits = Bignum.num_bits e in
-  if nbits <= 2 * window_bits then begin
+  let digits =
+    if nbits <= 2 * window_bits then [||]
+    else begin
+      let nwindows = (nbits + window_bits - 1) / window_bits in
+      Array.init nwindows (fun w ->
+          let digit = ref 0 in
+          for bit = window_bits - 1 downto 0 do
+            let i = (w * window_bits) + bit in
+            digit := (!digit lsl 1) lor (if Bignum.test_bit e i then 1 else 0)
+          done;
+          !digit)
+    end
+  in
+  let one = Array.make ctx.k 0 in
+  one.(0) <- 1;
+  {
+    p_ctx = ctx;
+    e;
+    nbits;
+    digits;
+    table = Array.init 16 (fun _ -> Array.make ctx.k 0);
+    acc = Array.make ctx.k 0;
+    tmp = Array.make ctx.k 0;
+    b_arr = Array.make ctx.k 0;
+    b_mont = Array.make ctx.k 0;
+    one;
+  }
+
+let pow_with plan b =
+  let ctx = plan.p_ctx in
+  let k = ctx.k in
+  (* enter the domain: reduce into the reused base buffer, no fresh
+     padding array per element. *)
+  let limbs = Bignum.to_limbs (Bignum.erem b ctx.m) in
+  Array.fill plan.b_arr 0 k 0;
+  Array.blit limbs 0 plan.b_arr 0 (Array.length limbs);
+  mont_mul ctx plan.b_mont plan.b_arr ctx.r2;
+  let acc = plan.acc and tmp = plan.tmp in
+  Array.blit ctx.one_mont 0 acc 0 k;
+  if plan.nbits <= 2 * window_bits then
     (* Tiny exponent: plain binary, no table amortization possible. *)
-    for i = nbits - 1 downto 0 do
+    for i = plan.nbits - 1 downto 0 do
       mont_mul ctx tmp acc acc;
-      Array.blit tmp 0 acc 0 ctx.k;
-      if Bignum.test_bit e i then begin
-        mont_mul ctx tmp acc b_mont;
-        Array.blit tmp 0 acc 0 ctx.k
+      Array.blit tmp 0 acc 0 k;
+      if Bignum.test_bit plan.e i then begin
+        mont_mul ctx tmp acc plan.b_mont;
+        Array.blit tmp 0 acc 0 k
       end
     done
-  end
   else begin
-    let table = Array.init 16 (fun _ -> Array.make ctx.k 0) in
-    Array.blit ctx.one_mont 0 table.(0) 0 ctx.k;
-    Array.blit b_mont 0 table.(1) 0 ctx.k;
+    let table = plan.table in
+    Array.blit ctx.one_mont 0 table.(0) 0 k;
+    Array.blit plan.b_mont 0 table.(1) 0 k;
     for i = 2 to 15 do
-      mont_mul ctx table.(i) table.(i - 1) b_mont
+      mont_mul ctx table.(i) table.(i - 1) plan.b_mont
     done;
-    let nwindows = (nbits + window_bits - 1) / window_bits in
+    let nwindows = Array.length plan.digits in
     for w = nwindows - 1 downto 0 do
       if w < nwindows - 1 then
         for _ = 1 to window_bits do
           mont_mul ctx tmp acc acc;
-          Array.blit tmp 0 acc 0 ctx.k
+          Array.blit tmp 0 acc 0 k
         done;
-      let digit = ref 0 in
-      for bit = window_bits - 1 downto 0 do
-        let i = (w * window_bits) + bit in
-        digit := (!digit lsl 1) lor (if Bignum.test_bit e i then 1 else 0)
-      done;
-      if !digit <> 0 then begin
-        mont_mul ctx tmp acc table.(!digit);
-        Array.blit tmp 0 acc 0 ctx.k
+      let digit = plan.digits.(w) in
+      if digit <> 0 then begin
+        mont_mul ctx tmp acc table.(digit);
+        Array.blit tmp 0 acc 0 k
       end
     done
   end;
   (* leave the Montgomery domain: multiply by 1. *)
-  let one = Array.make ctx.k 0 in
-  one.(0) <- 1;
-  mont_mul ctx tmp acc one;
+  mont_mul ctx tmp acc plan.one;
   Bignum.of_limbs tmp
+
+let pow_many plan bs = List.map (pow_with plan) bs
+
+let pow ctx b e =
+  if Bignum.sign e < 0 then invalid_arg "Montgomery.pow: negative exponent";
+  (* Single exponentiation = a batch of one; sharing the plan machinery
+     keeps the two paths value-identical by construction. *)
+  pow_with (powers ctx e) b
 
 let mul ctx a b =
   let a_arr = to_array ctx a and b_arr = to_array ctx b in

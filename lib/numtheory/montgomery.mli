@@ -21,6 +21,27 @@ val pow : ctx -> Bignum.t -> Bignum.t -> Bignum.t
 (** [pow ctx b e] is [b^e mod m] for [e >= 0].
     @raise Invalid_argument on negative exponents. *)
 
+type powers
+(** A fixed-exponent exponentiation plan: the exponent's 4-bit window
+    digits recoded once, plus every scratch array a single
+    exponentiation needs (16-entry table, accumulator, temporaries)
+    preallocated for reuse across a batch of bases.  Ring encryption in
+    the relaxed-SMC protocols raises whole sets to one key exponent, so
+    the per-call recoding and allocation amortize to zero. *)
+
+val powers : ctx -> Bignum.t -> powers
+(** [powers ctx e] prepares a plan for computing [b^e mod m] over many
+    bases [b].
+    @raise Invalid_argument on a negative exponent. *)
+
+val pow_with : powers -> Bignum.t -> Bignum.t
+(** [pow_with plan b] is [b^e mod m] — value-identical to
+    [pow ctx b e] ({!pow} itself is a batch of one). *)
+
+val pow_many : powers -> Bignum.t list -> Bignum.t list
+(** [pow_many plan bs] maps {!pow_with} over [bs], reusing the plan's
+    scratch state; order is preserved. *)
+
 val mul : ctx -> Bignum.t -> Bignum.t -> Bignum.t
 (** One modular multiplication through the Montgomery domain (includes
     conversion; use {!pow} for chains). *)

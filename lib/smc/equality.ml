@@ -22,8 +22,11 @@ let via_ttp ~net ~rng ~p ~ttp ~left:(lnode, lval) ~right:(rnode, rval) =
               ~label:"equality:negotiate"
               ~bytes:(2 * Proto_util.bignum_wire_size p);
             Net.Network.round ~label:"equality" net;
-            ( Crypto.Blinding.apply_affine blind lval,
-              Crypto.Blinding.apply_affine blind rval ))
+            (* Both values blind under the one agreed map in a single
+               batch pass. *)
+            match Crypto.Blinding.apply_affine_many blind [ lval; rval ] with
+            | [ wl; wr ] -> (wl, wr)
+            | _ -> assert false)
       in
       Proto_util.span net "smc.equality.blind-ttp" (fun () ->
           Net.Network.send_exn net ~src:lnode ~dst:ttp ~label:"equality:submit"
@@ -78,8 +81,11 @@ let via_mapping_table ~net ~rng ~ttp ~domain ~left:(lnode, lval)
   let p = Bignum.of_int (max 2 (2 * List.length domain)) in
   let p = if Bignum.is_even p then Bignum.succ p else p in
   let blind = Crypto.Blinding.generate_affine rng ~p in
-  let wl = Crypto.Blinding.apply_affine blind yl in
-  let wr = Crypto.Blinding.apply_affine blind yr in
+  let wl, wr =
+    match Crypto.Blinding.apply_affine_many blind [ yl; yr ] with
+    | [ wl; wr ] -> (wl, wr)
+    | _ -> assert false
+  in
   List.iter
     (fun (src, w) ->
       Net.Network.send_exn net ~src ~dst:ttp ~label:"equality:submit"

@@ -54,13 +54,21 @@ let run ~net ~rng ~ttp parties =
       let blinded =
         Proto_util.span net "smc.ranking.transform" (fun () ->
             let blind = Crypto.Blinding.generate_monotone rng ~bits:64 in
+            List.iter
+              (fun party ->
+                Net.Ledger.record ledger ~node:party.node
+                  ~sensitivity:Net.Ledger.Plaintext ~tag:"ranking:own-value"
+                  (Bignum.to_string party.value))
+              parties;
+            (* Every party applies the same agreed map, so the whole
+               column blinds as one batch pass before the submissions. *)
+            let ws =
+              Crypto.Blinding.apply_monotone_many blind
+                (List.map (fun party -> party.value) parties)
+            in
             let blinded =
-              List.map
-                (fun party ->
-                  Net.Ledger.record ledger ~node:party.node
-                    ~sensitivity:Net.Ledger.Plaintext ~tag:"ranking:own-value"
-                    (Bignum.to_string party.value);
-                  let w = Crypto.Blinding.apply_monotone blind party.value in
+              List.map2
+                (fun party w ->
                   Net.Network.send_exn net ~src:party.node ~dst:ttp
                     ~label:"ranking:submit"
                     ~bytes:(Proto_util.bignum_wire_size w);
@@ -68,7 +76,7 @@ let run ~net ~rng ~ttp parties =
                     ~sensitivity:Net.Ledger.Blinded ~tag:"ranking:submit"
                     (Bignum.to_string w);
                   (party.node, w))
-                parties
+                parties ws
             in
             Net.Network.round ~label:"ranking" net;
             blinded)
@@ -94,8 +102,11 @@ let comparisons ~net ~rng ~ttp ~left:(lnode, lval) ~right:(rnode, rval) =
     ~bytes:16;
   Net.Network.round ~label:"compare" net;
   let blind = Crypto.Blinding.generate_monotone rng ~bits:64 in
-  let wl = Crypto.Blinding.apply_monotone blind lval in
-  let wr = Crypto.Blinding.apply_monotone blind rval in
+  let wl, wr =
+    match Crypto.Blinding.apply_monotone_many blind [ lval; rval ] with
+    | [ wl; wr ] -> (wl, wr)
+    | _ -> assert false
+  in
   List.iter
     (fun (src, w) ->
       Net.Network.send_exn net ~src ~dst:ttp ~label:"compare:submit"

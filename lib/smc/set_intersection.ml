@@ -44,10 +44,8 @@ let ring_encrypt ~net ~scheme ~receiver parties =
           (fun (node, set) ->
             let kp = keypair_of node in
             let cts =
-              List.map
-                (fun e ->
-                  kp.Crypto.Commutative.enc (scheme.Crypto.Commutative.encode e))
-                set
+              kp.Crypto.Commutative.enc_many
+                (List.map scheme.Crypto.Commutative.encode set)
             in
             (node, node, cts))
           own_sets)
@@ -64,7 +62,7 @@ let ring_encrypt ~net ~scheme ~receiver parties =
             Proto_util.send_bignums net ~src:holder ~dst:next
               ~label:"intersection:relay" cts;
             let kp = keypair_of next in
-            (origin, next, List.map kp.Crypto.Commutative.enc cts))
+            (origin, next, kp.Crypto.Commutative.enc_many cts))
           state
       in
       Net.Network.round ~label:"intersection" net;

@@ -34,10 +34,8 @@ let ring_collect ~net ~scheme ~receiver parties =
             (* Remember plaintext alongside, so the receiver can later verify
                nothing: the mapping never leaves the origin. *)
             ( p.node,
-              List.map
-                (fun e ->
-                  kp.Crypto.Commutative.enc (scheme.Crypto.Commutative.encode e))
-                set ))
+              kp.Crypto.Commutative.enc_many
+                (List.map scheme.Crypto.Commutative.encode set) ))
           parties)
   in
   let n = List.length parties in
@@ -51,7 +49,7 @@ let ring_collect ~net ~scheme ~receiver parties =
             Proto_util.send_bignums net ~src:holder ~dst:next
               ~label:"union:relay" cts;
             let kp = keypair_of next in
-            (next, List.map kp.Crypto.Commutative.enc cts))
+            (next, kp.Crypto.Commutative.enc_many cts))
           state
       in
       Net.Network.round ~label:"union" net;
@@ -106,7 +104,7 @@ let run ~net ~scheme ~rng ~receiver parties =
                   Net.Network.round ~label:"union" net
                 end;
                 let kp = keypair_of next in
-                (next, List.map kp.Crypto.Commutative.dec cts))
+                (next, kp.Crypto.Commutative.dec_many cts))
               (receiver, shuffled) ring
           in
           let holder, group_elements = decoded in

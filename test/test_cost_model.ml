@@ -203,6 +203,66 @@ let test_sum_costs () =
     [ (2, 2); (3, 2); (4, 3); (5, 5) ]
 
 (* ------------------------------------------------------------------ *)
+(* Σₛ (TTP-coordinated) — Paillier cost accounting                     *)
+(*   messages n+1, rounds 2, modexps n+1: the closed-form encryption   *)
+(*   costs ONE modexp per party (the r^n blinding; the g^m factor is   *)
+(*   the closed form 1+m·n), plus one for the receiver's decryption.   *)
+(* ------------------------------------------------------------------ *)
+
+let test_sum_ttp_paillier_costs () =
+  (* Key generation churns counters; build it outside the measured
+     window. *)
+  let public, secret =
+    Crypto.Paillier.generate (Prng.create ~seed:2025) ~bits:128
+  in
+  List.iter
+    (fun n ->
+      let label = Printf.sprintf "ttp sum n=%d" n in
+      let parties =
+        List.init n (fun i -> { Smc.Sum.node = node i; value = bn (10 + i) })
+      in
+      let _ =
+        measured (fun net ->
+            ignore
+              (Smc.Sum.run_ttp_coordinated ~net
+                 ~rng:(Prng.create ~seed:n)
+                 ~public ~secret ~coordinator:(Net.Node_id.Ttp "sum")
+                 ~receiver:Net.Node_id.Auditor parties))
+      in
+      check label (n + 1) "net.msgs";
+      check label 2 "net.rounds";
+      check label n "net.msg.sum:paillier-ct";
+      check label 1 "net.msg.sum:paillier-total";
+      check label (n - 1) "crypto.paillier.add";
+      check label (n + 1) "crypto.modexp")
+    [ 2; 3; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Montgomery context cache: interleaved moduli cost O(#moduli)        *)
+(* context creations, not O(#calls)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_interleaved_moduli_ctx_creations () =
+  (* Two parties exponentiating under two distinct moduli in strict
+     alternation — the access pattern that defeated the previous
+     one-slot cache (every call was a miss).  The LRU must create
+     exactly one context per modulus. *)
+  let m1 = Bignum.succ (Bignum.shift_left Bignum.one 89) in
+  let m2 = Bignum.succ (Bignum.shift_left Bignum.one 107) in
+  let e = Bignum.pred (Bignum.shift_left Bignum.one 64) in
+  let b = bn 987654321 in
+  Obs.Metrics.reset ();
+  Obs.Trace.reset ();
+  Modular.reset_mont_cache ();
+  for _ = 1 to 20 do
+    ignore (Modular.pow b e ~m:m1);
+    ignore (Modular.pow b e ~m:m2)
+  done;
+  check "interleaved" 2 "crypto.mont.ctx_create";
+  check "interleaved" 2 "crypto.mont.cache_miss";
+  check "interleaved" 38 "crypto.mont.cache_hit"
+
+(* ------------------------------------------------------------------ *)
 (* Phase spans: every protocol run leaves its phase structure behind   *)
 (* ------------------------------------------------------------------ *)
 
@@ -254,7 +314,13 @@ let () =
         ] );
       ( "sum",
         [ Alcotest.test_case "message/round/shamir counts" `Quick
-            test_sum_costs
+            test_sum_costs;
+          Alcotest.test_case "ttp paillier counts" `Quick
+            test_sum_ttp_paillier_costs
+        ] );
+      ( "mont-cache",
+        [ Alcotest.test_case "interleaved moduli" `Quick
+            test_interleaved_moduli_ctx_creations
         ] );
       ( "spans",
         [ Alcotest.test_case "phase spans recorded" `Quick test_protocol_spans ]

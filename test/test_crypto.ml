@@ -154,6 +154,71 @@ let test_ph_commutativity_sweep () =
         [ 0; 1; 2; 3; 4 ])
     sweep_seeds
 
+let test_modexp_fastpath_sweep () =
+  (* All exponentiation paths agree, per sweep seed: scalar Montgomery
+     dispatch, the batch plan, and the classic square-and-multiply
+     reference — across odd and even moduli and across exponent widths
+     straddling the tiny-exponent fallback (< 16 bits) and the windowed
+     path. *)
+  List.iter
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let odd_m =
+        Bignum.logor (Prng.bits rng 80) (Bignum.succ (Bignum.shift_left Bignum.one 79))
+      in
+      let even_m = Bignum.shift_left (Prng.bits rng 40) 1 in
+      let even_m = if Bignum.is_zero even_m then Bignum.two else even_m in
+      let bases = List.init 5 (fun _ -> Prng.bits rng 90) in
+      List.iter
+        (fun m ->
+          List.iter
+            (fun ebits ->
+              let e = Prng.bits rng ebits in
+              let reference = List.map (fun b -> Modular.pow_classic b e ~m) bases in
+              List.iter2
+                (fun b r ->
+                  check_bn
+                    (Printf.sprintf "seed %d scalar (%d-bit e)" seed ebits)
+                    r (Modular.pow b e ~m))
+                bases reference;
+              List.iter2
+                (fun r r' ->
+                  check_bn
+                    (Printf.sprintf "seed %d batch (%d-bit e)" seed ebits)
+                    r r')
+                reference
+                (Modular.pow_many bases e ~m))
+            [ 3; 15; 17; 128 ])
+        [ odd_m; even_m ])
+    sweep_seeds
+
+let test_ph_batch_matches_scalar () =
+  (* encrypt_many/decrypt_many are pure batching: element-for-element
+     identical to the scalar calls. *)
+  let params = Lazy.force ph_params in
+  List.iter
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let key = Crypto.Pohlig_hellman.generate_key rng params in
+      let ms =
+        List.init 6 (fun i ->
+            Crypto.Pohlig_hellman.encode params
+              (Printf.sprintf "batch-%d-%d" seed i))
+      in
+      let cts = Crypto.Pohlig_hellman.encrypt_many params key ms in
+      List.iter2
+        (fun m c ->
+          check_bn
+            (Printf.sprintf "seed %d batch = scalar encrypt" seed)
+            (Crypto.Pohlig_hellman.encrypt params key m)
+            c)
+        ms cts;
+      List.iter2
+        (fun m m' -> check_bn (Printf.sprintf "seed %d batch decrypt" seed) m m')
+        ms
+        (Crypto.Pohlig_hellman.decrypt_many params key cts))
+    sweep_seeds
+
 let test_ph_distinct_messages_distinct_ciphertexts () =
   (* Equation (7): different plaintexts stay different. *)
   let params = Lazy.force ph_params in
@@ -584,6 +649,62 @@ let test_paillier_domain () =
     (Invalid_argument "Paillier.encrypt: plaintext outside [0, n)") (fun () ->
       ignore (Crypto.Paillier.encrypt rng public (bn (-1))))
 
+let test_paillier_closed_form () =
+  (* The encrypt fast path relies on (1+n)^m = 1 + m·n (mod n²) — the
+     binomial expansion collapses because n² | C(m,k)·n^k for k ≥ 2.
+     Check it against the textbook exponentiation for edge and random
+     messages. *)
+  let public, _ = Lazy.force paillier_fixture in
+  let n = public.Crypto.Paillier.n in
+  let n_squared = public.Crypto.Paillier.n_squared in
+  let g = Bignum.succ n in
+  let rng = Prng.create ~seed:25 in
+  let messages =
+    Bignum.zero :: Bignum.one :: Bignum.pred n
+    :: List.init 5 (fun _ -> Prng.bignum_below rng n)
+  in
+  List.iter
+    (fun m ->
+      check_bn
+        (Printf.sprintf "(1+n)^%s" (Bignum.to_string m))
+        (Modular.pow_classic g m ~m:n_squared)
+        (Modular.normalize (Bignum.succ (Bignum.mul m n)) ~m:n_squared))
+    messages
+
+let test_paillier_crt_decrypt_sweep () =
+  (* Decryption runs through the CRT split (c^λ computed mod p² and q²
+     then recombined); roundtrip over swept random plaintexts pins the
+     recombination against the closed-form encrypt. *)
+  let public, secret = Lazy.force paillier_fixture in
+  let n = public.Crypto.Paillier.n in
+  List.iter
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      List.iter
+        (fun i ->
+          let m = Prng.bignum_below rng n in
+          let c = Crypto.Paillier.encrypt rng public m in
+          check_bn (Printf.sprintf "seed %d msg %d" seed i) m
+            (Crypto.Paillier.decrypt public secret c))
+        [ 0; 1; 2 ])
+    sweep_seeds
+
+let test_blinding_batch_matches_scalar () =
+  let rng = Prng.create ~seed:26 in
+  let p = Lazy.force shamir_p in
+  let affine = Crypto.Blinding.generate_affine rng ~p in
+  let monotone = Crypto.Blinding.generate_monotone rng ~bits:64 in
+  let values = [ bn (-9); bn 0; bn 1; bn 5000; bn 123456 ] in
+  List.iter2
+    (fun v w -> check_bn "affine batch" (Crypto.Blinding.apply_affine affine v) w)
+    values
+    (Crypto.Blinding.apply_affine_many affine values);
+  List.iter2
+    (fun v w ->
+      check_bn "monotone batch" (Crypto.Blinding.apply_monotone monotone v) w)
+    values
+    (Crypto.Blinding.apply_monotone_many monotone values)
+
 let prop_paillier_sum =
   QCheck.Test.make ~name:"paillier: decrypt(prod c_i) = sum m_i" ~count:20
     (QCheck.list_of_size (QCheck.Gen.int_range 2 6)
@@ -789,7 +910,12 @@ let () =
           Alcotest.test_case "injectivity (eq 7)" `Quick
             test_ph_distinct_messages_distinct_ciphertexts;
           Alcotest.test_case "domain check" `Quick test_ph_domain_check;
-          Alcotest.test_case "encode" `Quick test_ph_encode
+          Alcotest.test_case "encode" `Quick test_ph_encode;
+          Alcotest.test_case "batch = scalar" `Quick test_ph_batch_matches_scalar
+        ] );
+      ( "modexp-paths",
+        [ Alcotest.test_case "fast paths agree (sweep)" `Quick
+            test_modexp_fastpath_sweep
         ] );
       ( "xor-pad",
         [ Alcotest.test_case "roundtrip+commute" `Quick test_xor_roundtrip_and_commutativity;
@@ -813,6 +939,8 @@ let () =
       ( "blinding",
         Alcotest.test_case "affine equality" `Quick test_affine_blinding_preserves_equality
         :: Alcotest.test_case "monotone order" `Quick test_monotone_blinding_preserves_order
+        :: Alcotest.test_case "batch = scalar" `Quick
+             test_blinding_batch_matches_scalar
         :: qt [ prop_monotone_order ] );
       ( "rsa",
         [ Alcotest.test_case "sign/verify" `Quick test_rsa_sign_verify ] );
@@ -827,6 +955,10 @@ let () =
         :: Alcotest.test_case "homomorphic" `Quick test_paillier_homomorphic
         :: Alcotest.test_case "probabilistic" `Quick test_paillier_probabilistic
         :: Alcotest.test_case "domain" `Quick test_paillier_domain
+        :: Alcotest.test_case "closed-form encrypt" `Quick
+             test_paillier_closed_form
+        :: Alcotest.test_case "CRT decrypt sweep" `Quick
+             test_paillier_crt_decrypt_sweep
         :: qt [ prop_paillier_sum ] );
       ( "chacha20",
         [ Alcotest.test_case "RFC 8439 block" `Quick test_chacha20_rfc8439_block;

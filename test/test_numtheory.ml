@@ -372,6 +372,70 @@ let prop_modular_pow_dispatch_consistent =
       let e = bn e in
       Bignum.equal (Modular.pow b e ~m) (Modular.pow_classic b e ~m))
 
+let test_powers_plan_matches_pow () =
+  let p = bs "170141183460469231731687303715884105727" (* 2^127 - 1 *) in
+  let ctx = Montgomery.create p in
+  List.iter
+    (fun e ->
+      let e = bn e in
+      let plan = Montgomery.powers ctx e in
+      let bases = List.init 9 (fun i -> bn ((i * 7919) - 3)) in
+      List.iter2
+        (fun b r ->
+          check_bn
+            (Printf.sprintf "plan base %s" (Bignum.to_string b))
+            (Montgomery.pow ctx b e) r)
+        bases
+        (Montgomery.pow_many plan bases))
+    (* 0 and small exponents take the tiny binary fallback; larger ones
+       the 4-bit windowed path. *)
+    [ 0; 1; 2; 255; 256; 65537; 99999999 ]
+
+let prop_pow_many_equals_map_pow =
+  (* Batch dispatch agrees with element-at-a-time dispatch on arbitrary
+     moduli — odd and even, so both the Montgomery and classic branches
+     are exercised — and arbitrary exponent widths including the
+     tiny-exponent fallback. *)
+  QCheck.Test.make ~name:"Modular.pow_many = map Modular.pow" ~count:100
+    (QCheck.triple
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 8) arbitrary_bignum)
+       arbitrary_bignum arbitrary_bignum)
+    (fun (bs_, e, m) ->
+      let m = Bignum.succ (Bignum.abs m) in
+      let e = Bignum.abs e in
+      List.for_all2 Bignum.equal
+        (Modular.pow_many bs_ e ~m)
+        (List.map (fun b -> Modular.pow b e ~m) bs_))
+
+let test_pow_many_empty_and_unit_modulus () =
+  Alcotest.(check int) "empty batch" 0
+    (List.length (Modular.pow_many [] (bn 3) ~m:(bn 7)));
+  List.iter
+    (fun r -> check_bn "mod 1" Bignum.zero r)
+    (Modular.pow_many [ bn 5; bn 9 ] (bn 3) ~m:Bignum.one);
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Modular.pow_many: negative exponent") (fun () ->
+      ignore (Modular.pow_many [ bn 2 ] (bn (-1)) ~m:(bn 7)))
+
+let test_mont_cache_lru () =
+  (* Interleaving more moduli than the cache holds: LRU keeps the
+     working set as long as it fits, so creations stay O(#moduli). *)
+  Modular.reset_mont_cache ();
+  let moduli =
+    List.init 3 (fun i ->
+        Bignum.succ
+          (Bignum.shift_left Bignum.one (70 + i))
+        (* 2^(70+i) + 1: odd, >= 64 bits, pairwise distinct *))
+  in
+  let e = Bignum.pred (Bignum.shift_left Bignum.one 20) in
+  let b = bn 12345 in
+  let before = Obs.Metrics.get "crypto.mont.ctx_create" in
+  for _ = 1 to 5 do
+    List.iter (fun m -> ignore (Modular.pow b e ~m)) moduli
+  done;
+  Alcotest.(check int) "one creation per modulus" 3
+    (Obs.Metrics.get "crypto.mont.ctx_create" - before)
+
 (* ------------------------------------------------------------------ *)
 (* Primes                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -521,9 +585,14 @@ let () =
         Alcotest.test_case "matches classic" `Quick test_montgomery_matches_classic
         :: Alcotest.test_case "validation" `Quick test_montgomery_validation
         :: Alcotest.test_case "mul" `Quick test_montgomery_mul
+        :: Alcotest.test_case "powers plan" `Quick test_powers_plan_matches_pow
+        :: Alcotest.test_case "pow_many edges" `Quick
+             test_pow_many_empty_and_unit_modulus
+        :: Alcotest.test_case "ctx cache LRU" `Quick test_mont_cache_lru
         :: qt
              [ prop_montgomery_equals_classic;
-               prop_modular_pow_dispatch_consistent ] );
+               prop_modular_pow_dispatch_consistent;
+               prop_pow_many_equals_map_pow ] );
       ( "primes",
         [ Alcotest.test_case "small primes" `Quick test_small_primes_list;
           Alcotest.test_case "known primes/composites" `Quick test_is_probable_prime_known;

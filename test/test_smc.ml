@@ -797,6 +797,50 @@ let test_stats_accounting () =
   Net.Network.reset_stats net;
   Alcotest.(check int) "reset" 0 (Net.Network.stats net).Net.Network.messages
 
+let test_batch_encryption_byte_identical () =
+  (* Regression guard for the batch ring-encryption rewrite: enc_many /
+     dec_many must be byte-for-byte the same ciphertexts as the scalar
+     enc/dec the ring passes used before — under both schemes, so a
+     future fast path cannot silently change wire bytes. *)
+  List.iter
+    (fun (name, scheme) ->
+      let open Crypto.Commutative in
+      let kp = scheme.fresh_keypair () in
+      let ms =
+        List.map scheme.encode
+          [ "e"; "f"; "g"; "a-longer-element"; ""; "e" (* duplicate *) ]
+      in
+      let batch = kp.enc_many ms in
+      List.iter2
+        (fun m c ->
+          Alcotest.(check string)
+            (name ^ ": batch ciphertext bytes")
+            (Bignum.to_hex (kp.enc m))
+            (Bignum.to_hex c))
+        ms batch;
+      List.iter2
+        (fun m m' ->
+          Alcotest.(check string)
+            (name ^ ": batch decrypt bytes")
+            (Bignum.to_hex m) (Bignum.to_hex m'))
+        ms
+        (kp.dec_many batch))
+    [ ("pohlig-hellman", fresh_scheme 91); ("xor-pad", xor_scheme 92) ]
+
+let test_batch_protocol_transcript_identical () =
+  (* Protocol level: the ∩ₛ result and every counted message must be
+     unchanged by batching — same scheme seed, same parties, compare
+     against the recorded Figure-4 expectations. *)
+  let net = Net.Network.create () in
+  let result =
+    Smc.Set_intersection.run ~net ~scheme:(fresh_scheme 1) ~receiver:p1
+      figure4_parties
+  in
+  Alcotest.(check (list string)) "figure 4 under batch API" [ "e" ]
+    result.Smc.Set_intersection.intersection;
+  let stats = Net.Network.stats net in
+  Alcotest.(check int) "messages" 8 stats.Net.Network.messages
+
 let test_loss_injection () =
   (* With heavy loss, ring protocols must fail loudly, never silently. *)
   let net = Net.Network.create ~seed:37 ~loss_rate:0.9 () in
@@ -874,6 +918,12 @@ let () =
         :: Alcotest.test_case "wraps mod 2^w" `Quick test_circuit_sum_wraps
         :: Alcotest.test_case "cost >> shamir" `Quick test_circuit_cost_dominates_shamir
         :: qt [ prop_circuit_sum_correct ] );
+      ( "batching",
+        [ Alcotest.test_case "ciphertext bytes identical" `Quick
+            test_batch_encryption_byte_identical;
+          Alcotest.test_case "protocol transcript identical" `Quick
+            test_batch_protocol_transcript_identical
+        ] );
       ( "network",
         [ Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
           Alcotest.test_case "loss injection" `Quick test_loss_injection
