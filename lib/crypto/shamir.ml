@@ -2,6 +2,32 @@ open Numtheory
 
 type share = { x : Bignum.t; y : Bignum.t }
 
+exception Duplicate_points of { stage : string; points : Bignum.t list }
+
+let () =
+  Printexc.register_printer (function
+    | Duplicate_points { stage; points } ->
+      Some
+        (Printf.sprintf "Shamir.Duplicate_points(%s: %s)" stage
+           (String.concat ", " (List.map Bignum.to_string points)))
+    | _ -> None)
+
+let duplicate_points xs =
+  let sorted = List.sort Bignum.compare xs in
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+      if Bignum.equal a b && not (List.exists (Bignum.equal a) acc) then
+        go (a :: acc) rest
+      else go acc rest
+    | _ -> List.rev acc
+  in
+  go [] sorted
+
+let check_distinct ~stage xs =
+  match duplicate_points xs with
+  | [] -> ()
+  | points -> raise (Duplicate_points { stage; points })
+
 let default_xs ~n = List.init n (fun i -> Bignum.of_int (i + 1))
 
 let poly_eval ~p coeffs x =
@@ -19,9 +45,7 @@ let split rng ~p ~k ~xs ~secret =
   let normalized = List.map (fun x -> Modular.normalize x ~m:p) xs in
   if List.exists Bignum.is_zero normalized then
     invalid_arg "Shamir.split: evaluation point is zero mod p";
-  let sorted = List.sort_uniq Bignum.compare normalized in
-  if List.length sorted <> List.length normalized then
-    invalid_arg "Shamir.split: duplicate evaluation points";
+  check_distinct ~stage:"split" normalized;
   (* coefficients c_{k-1} .. c_1, then the secret as constant term *)
   let high = List.init (k - 1) (fun _ -> Prng.bignum_below rng p) in
   let coeffs = high @ [ secret ] in
@@ -31,10 +55,7 @@ let reconstruct ~p shares =
   match shares with
   | [] -> invalid_arg "Shamir.reconstruct: no shares"
   | _ ->
-    let xs = List.map (fun s -> s.x) shares in
-    let sorted = List.sort_uniq Bignum.compare xs in
-    if List.length sorted <> List.length xs then
-      invalid_arg "Shamir.reconstruct: duplicate x-coordinates";
+    check_distinct ~stage:"reconstruct" (List.map (fun s -> s.x) shares);
     Obs.Metrics.incr "crypto.shamir.interpolate";
     (* F(0) = Σ_i y_i Π_{j≠i} x_j / (x_j - x_i)  (mod p) *)
     List.fold_left

@@ -11,6 +11,14 @@ open Numtheory
 
 type share = { x : Bignum.t; y : Bignum.t }
 
+exception Duplicate_points of { stage : string; points : Bignum.t list }
+(** Raised by {!split} and {!reconstruct} when two evaluation points /
+    share x-coordinates coincide.  [points] lists each offending
+    x-coordinate once; [stage] is ["split"] or ["reconstruct"].
+    Lagrange interpolation through duplicated points would divide by
+    [x_j - x_i = 0] or silently produce garbage, so this is a typed,
+    catchable rejection rather than a stringly [Invalid_argument]. *)
+
 val default_xs : n:int -> Bignum.t list
 (** The canonical public evaluation points 1..n. *)
 
@@ -23,13 +31,15 @@ val split :
   share list
 (** Random degree-(k-1) polynomial with constant term [secret], evaluated
     at each point of [xs].
-    @raise Invalid_argument if [k < 1], [k > length xs], points are not
-    distinct and non-zero mod [p], or the secret is outside [\[0, p)]. *)
+    @raise Invalid_argument if [k < 1], [k > length xs], a point is zero
+    mod [p], or the secret is outside [\[0, p)].
+    @raise Duplicate_points if two points coincide mod [p]. *)
 
 val reconstruct : p:Bignum.t -> share list -> Bignum.t
 (** Lagrange interpolation at zero.  Correct whenever at least [k] shares
     of the original polynomial are supplied (extras are consistent).
-    @raise Invalid_argument on duplicate x-coordinates or empty input. *)
+    @raise Invalid_argument on empty input.
+    @raise Duplicate_points on repeated x-coordinates. *)
 
 val add_shares : p:Bignum.t -> share -> share -> share
 (** Pointwise sum; both shares must sit at the same [x].

@@ -35,6 +35,19 @@ let create ?(seed = 0) ?(latency_ms = fun _ _ -> 1.0) ?(loss_rate = 0.0)
     dropped = 0;
   }
 
+let latency_profile ~seed ?(min_ms = 0.5) ?(max_ms = 8.0) () =
+  if min_ms <= 0.0 || max_ms < min_ms then
+    invalid_arg "Sim.latency_profile: need 0 < min_ms <= max_ms";
+  fun src dst ->
+    (* Pure in (seed, src, dst): the profile is a value, not a stream, so
+       Sim and Network schedules built from the same seed agree and the
+       call order never matters. *)
+    let h =
+      Hashtbl.hash (seed, Node_id.to_string src, Node_id.to_string dst)
+    in
+    let unit = float_of_int (h land 0xFFFF) /. 65536.0 in
+    min_ms +. (unit *. (max_ms -. min_ms))
+
 let now t = t.clock
 
 let on_message t node handler =

@@ -25,6 +25,22 @@ val create :
     each delivery is delayed by an extra uniform [0, jitter_ms) — which
     can reorder messages, so handlers must not assume FIFO links. *)
 
+val latency_profile :
+  seed:int ->
+  ?min_ms:float ->
+  ?max_ms:float ->
+  unit ->
+  Node_id.t ->
+  Node_id.t ->
+  float
+(** Deterministic skewed link latencies: each (src, dst) pair gets a
+    fixed pseudo-random latency in [\[min_ms, max_ms)] (defaults 0.5 and
+    8.0) derived purely from [seed] and the pair.  Usable as the
+    [latency_ms] of both {!create} and {!Network.create}, which is how
+    the spec layer's differential schedules reorder protocol traffic
+    without touching protocol code.
+    @raise Invalid_argument unless [0 < min_ms <= max_ms]. *)
+
 val now : 'msg t -> float
 (** Current virtual time, ms. *)
 

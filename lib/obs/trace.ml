@@ -40,6 +40,8 @@ let with_span ?(t = global) name f =
       Metrics.observe ~m:t.metrics ("span." ^ name) span.duration_ms)
     f
 
+let current_path ?(t = global) () = List.rev_map (fun s -> s.name) t.stack
+
 let spans ?(t = global) () = List.rev t.completed
 
 let reset ?(t = global) () =

@@ -32,6 +32,12 @@ val with_span : ?t:t -> string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a new span.  The span is closed (and its
     duration histogram sample recorded) even if the thunk raises. *)
 
+val current_path : ?t:t -> unit -> string list
+(** Names of the currently-open spans, outermost first — the "phase
+    path" of whatever the instrumented code is doing right now.  Used by
+    the spec layer's transcript recorder to stamp each wire observation
+    with the protocol phase it happened in. *)
+
 val spans : ?t:t -> unit -> span list
 (** Completed spans in completion order (children before parents). *)
 

@@ -77,12 +77,11 @@ let secure_sum ~net ~rng ~dealer ~receiver ~width parties =
       then invalid_arg "Circuit_baseline.secure_sum: value exceeds width")
     parties;
   let nodes = List.map (fun party -> party.node) parties in
-  let ledger = Net.Network.ledger net in
   (* Input phase: party i shares each bit of its value with everyone. *)
   let shared_inputs =
     List.map
       (fun party ->
-        Net.Ledger.record ledger ~node:party.node
+        Proto_util.observe net ~node:party.node
           ~sensitivity:Net.Ledger.Plaintext ~tag:"circuit:own-value"
           (Bignum.to_string party.value);
         List.iter
@@ -120,6 +119,6 @@ let secure_sum ~net ~rng ~dealer ~receiver ~width parties =
       (Bignum.zero, 0) bits
     |> fst
   in
-  Net.Ledger.record ledger ~node:receiver ~sensitivity:Net.Ledger.Aggregate
+  Proto_util.observe net ~node:receiver ~sensitivity:Net.Ledger.Aggregate
     ~tag:"circuit:result" (Bignum.to_string total);
   total

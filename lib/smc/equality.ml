@@ -1,9 +1,8 @@
 open Numtheory
 
 let record_blinded net node value =
-  Net.Ledger.record (Net.Network.ledger net) ~node
-    ~sensitivity:Net.Ledger.Blinded ~tag:"equality:blinded"
-    (Bignum.to_string value)
+  Proto_util.observe net ~node ~sensitivity:Net.Ledger.Blinded
+    ~tag:"equality:blinded" (Bignum.to_string value)
 
 let via_ttp ~net ~rng ~p ~ttp ~left:(lnode, lval) ~right:(rnode, rval) =
   let check v =
@@ -102,13 +101,12 @@ let via_mapping_table ~net ~rng ~ttp ~domain ~left:(lnode, lval)
   verdict
 
 let naive ~net ~coordinator ~left:(lnode, lval) ~right:(rnode, rval) =
-  let ledger = Net.Network.ledger net in
   List.iter
     (fun (node, v) ->
       if not (Net.Node_id.equal node coordinator) then
         Net.Network.send_exn net ~src:node ~dst:coordinator
           ~label:"equality:naive" ~bytes:(Proto_util.bignum_wire_size v);
-      Net.Ledger.record ledger ~node:coordinator
+      Proto_util.observe net ~node:coordinator
         ~sensitivity:Net.Ledger.Plaintext ~tag:"equality:naive"
         (Bignum.to_string v))
     [ (lnode, lval); (rnode, rval) ];

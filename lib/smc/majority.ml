@@ -24,7 +24,6 @@ let run ~net ~rng ~votes ?(cheaters = []) () =
     List.length (List.sort_uniq Net.Node_id.compare nodes)
     <> List.length nodes
   then invalid_arg "Majority.run: duplicate voters";
-  let ledger = Net.Network.ledger net in
   (* Phase 1: commitments. *)
   let committed =
     List.map
@@ -35,7 +34,7 @@ let run ~net ~rng ~votes ?(cheaters = []) () =
         broadcast net nodes ~src:node ~label:"majority:commit" ~bytes:32;
         List.iter
           (fun dst ->
-            Net.Ledger.record ledger ~node:dst
+            Proto_util.observe net ~node:dst
               ~sensitivity:Net.Ledger.Ciphertext ~tag:"majority:commit"
               (Crypto.Commitment.to_hex commitment))
           nodes;
@@ -59,6 +58,13 @@ let run ~net ~rng ~votes ?(cheaters = []) () =
         in
         broadcast net nodes ~src:node ~label:"majority:reveal"
           ~bytes:(String.length opening.Crypto.Commitment.value + 32);
+        (* Opened votes are public by design: every voter sees them. *)
+        List.iter
+          (fun dst ->
+            Proto_util.observe net ~node:dst
+              ~sensitivity:Net.Ledger.Plaintext ~tag:"majority:reveal"
+              opening.Crypto.Commitment.value)
+          nodes;
         (node, vote, commitment, opening))
       committed
   in
@@ -87,7 +93,7 @@ let run ~net ~rng ~votes ?(cheaters = []) () =
   in
   List.iter
     (fun node ->
-      Net.Ledger.record ledger ~node ~sensitivity:Net.Ledger.Aggregate
+      Proto_util.observe net ~node ~sensitivity:Net.Ledger.Aggregate
         ~tag:"majority:verdict"
         (match verdict with
         | Some v -> vote_to_string v

@@ -5,10 +5,9 @@ let run ~net ~rng ?(bits = 192) ~domain ~alice:(alice_node, i)
   if domain < 2 then invalid_arg "Millionaire.run: domain too small";
   if i < 1 || i > domain || j < 1 || j > domain then
     invalid_arg "Millionaire.run: wealth outside [1, domain]";
-  let ledger = Net.Network.ledger net in
-  Net.Ledger.record ledger ~node:alice_node ~sensitivity:Net.Ledger.Plaintext
+  Proto_util.observe net ~node:alice_node ~sensitivity:Net.Ledger.Plaintext
     ~tag:"millionaire:own-wealth" (string_of_int i);
-  Net.Ledger.record ledger ~node:bob_node ~sensitivity:Net.Ledger.Plaintext
+  Proto_util.observe net ~node:bob_node ~sensitivity:Net.Ledger.Plaintext
     ~tag:"millionaire:own-wealth" (string_of_int j);
   (* Alice's trapdoor permutation; the public key is already with Bob. *)
   let secret = Crypto.Rsa.generate rng ~bits () in
@@ -20,7 +19,7 @@ let run ~net ~rng ?(bits = 192) ~domain ~alice:(alice_node, i)
   let m = Modular.sub k (Bignum.of_int j) ~m:n in
   Net.Network.send_exn net ~src:bob_node ~dst:alice_node
     ~label:"millionaire:blinded" ~bytes:(Proto_util.bignum_wire_size m);
-  Net.Ledger.record ledger ~node:alice_node ~sensitivity:Net.Ledger.Ciphertext
+  Proto_util.observe net ~node:alice_node ~sensitivity:Net.Ledger.Ciphertext
     ~tag:"millionaire:blinded" (Bignum.to_hex m);
   Net.Network.round net;
   (* 2. Alice decrypts all domain candidates; y_j recovers Bob's x. *)
@@ -69,7 +68,7 @@ let run ~net ~rng ?(bits = 192) ~domain ~alice:(alice_node, i)
          ws);
   Array.iter
     (fun w ->
-      Net.Ledger.record ledger ~node:bob_node ~sensitivity:Net.Ledger.Blinded
+      Proto_util.observe net ~node:bob_node ~sensitivity:Net.Ledger.Blinded
         ~tag:"millionaire:residues" (Bignum.to_string w))
     ws;
   Net.Network.round net;

@@ -11,7 +11,6 @@ let transfer ~net ~rng ?(bits = 192) ~sender:(sender_node, m0, m1)
   in
   check m0;
   check m1;
-  let ledger = Net.Network.ledger net in
   let wire = Proto_util.bignum_wire_size in
   (* 1. Sender publishes the key and the two random points. *)
   let x0 = Prng.bignum_below rng n and x1 = Prng.bignum_below rng n in
@@ -24,7 +23,7 @@ let transfer ~net ~rng ?(bits = 192) ~sender:(sender_node, m0, m1)
   let v = Modular.add xb (Crypto.Rsa.encrypt_raw public k) ~m:n in
   Net.Network.send_exn net ~src:receiver ~dst:sender_node ~label:"ot:choice"
     ~bytes:(wire v);
-  Net.Ledger.record ledger ~node:sender_node ~sensitivity:Net.Ledger.Blinded
+  Proto_util.observe net ~node:sender_node ~sensitivity:Net.Ledger.Blinded
     ~tag:"ot:choice" (Bignum.to_hex v);
   Net.Network.round net;
   (* 3. Sender cannot tell which k is real; it masks both messages. *)
@@ -35,14 +34,14 @@ let transfer ~net ~rng ?(bits = 192) ~sender:(sender_node, m0, m1)
     ~bytes:(wire c0 + wire c1);
   List.iter
     (fun c ->
-      Net.Ledger.record ledger ~node:receiver
+      Proto_util.observe net ~node:receiver
         ~sensitivity:Net.Ledger.Ciphertext ~tag:"ot:masked" (Bignum.to_hex c))
     [ c0; c1 ];
   Net.Network.round net;
   (* 4. Receiver unmasks its slot. *)
   let cb = if choice then c1 else c0 in
   let m = Modular.sub cb k ~m:n in
-  Net.Ledger.record ledger ~node:receiver ~sensitivity:Net.Ledger.Aggregate
+  Proto_util.observe net ~node:receiver ~sensitivity:Net.Ledger.Aggregate
     ~tag:"ot:received" (Bignum.to_hex m);
   m
 

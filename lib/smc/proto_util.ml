@@ -31,12 +31,33 @@ let span net name f =
   Obs.Trace.set_clock (fun () -> Net.Network.virtual_time_ms net);
   Obs.Trace.with_span name f
 
+type wire_event = {
+  node : Net.Node_id.t;
+  sensitivity : Net.Ledger.sensitivity;
+  tag : string;
+  value : string;
+  phase : string list;
+}
+
+let transcript_hook : (wire_event -> unit) option ref = ref None
+
+let with_transcript_hook hook f =
+  let previous = !transcript_hook in
+  transcript_hook := Some hook;
+  Fun.protect ~finally:(fun () -> transcript_hook := previous) f
+
+let observe net ~node ~sensitivity ~tag value =
+  Net.Ledger.record (Net.Network.ledger net) ~node ~sensitivity ~tag value;
+  match !transcript_hook with
+  | None -> ()
+  | Some hook ->
+    hook { node; sensitivity; tag; value; phase = Obs.Trace.current_path () }
+
 let send_bignums net ~src ~dst ~label values =
   let bytes = List.fold_left (fun acc v -> acc + bignum_wire_size v) 0 values in
   Net.Network.send_exn net ~src ~dst ~label ~bytes;
-  let ledger = Net.Network.ledger net in
   List.iter
     (fun v ->
-      Net.Ledger.record ledger ~node:dst ~sensitivity:Net.Ledger.Ciphertext
-        ~tag:label (Bignum.to_hex v))
+      observe net ~node:dst ~sensitivity:Net.Ledger.Ciphertext ~tag:label
+        (Bignum.to_hex v))
     values

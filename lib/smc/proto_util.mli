@@ -18,6 +18,39 @@ val span : Net.Network.t -> string -> (unit -> 'a) -> 'a
     the network's virtual time (so span durations are simulated
     protocol latency). *)
 
+type wire_event = {
+  node : Net.Node_id.t;  (** who observed the value *)
+  sensitivity : Net.Ledger.sensitivity;
+  tag : string;
+  value : string;
+  phase : string list;
+      (** open {!Obs.Trace} span names when the value was observed,
+          outermost first — e.g. [\["smc.sum"; "smc.sum.exchange"\]] *)
+}
+
+val transcript_hook : (wire_event -> unit) option ref
+(** When set, every {!observe} call (i.e. every per-node value
+    observation a protocol makes) is also delivered here, stamped with
+    the current span path.  The spec layer's transcript recorder is the
+    intended consumer; protocol code never reads it. *)
+
+val with_transcript_hook : (wire_event -> unit) -> (unit -> 'a) -> 'a
+(** Install [hook] for the extent of the thunk, restoring whatever hook
+    was installed before (hooks nest but do not stack: the innermost
+    wins). *)
+
+val observe :
+  Net.Network.t ->
+  node:Net.Node_id.t ->
+  sensitivity:Net.Ledger.sensitivity ->
+  tag:string ->
+  string ->
+  unit
+(** Record a per-node value observation in the network's {!Net.Ledger}
+    {e and} mirror it to {!transcript_hook}.  All protocol modules route
+    their ledger writes through this, so an installed recorder sees the
+    complete per-participant view of the transcript. *)
+
 val send_bignums :
   Net.Network.t ->
   src:Net.Node_id.t ->

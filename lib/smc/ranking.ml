@@ -47,7 +47,6 @@ let run ~net ~rng ~ttp parties =
   if List.length parties < 2 then
     invalid_arg "Ranking.run: need at least 2 parties";
   Proto_util.span net "smc.ranking" (fun () ->
-      let ledger = Net.Network.ledger net in
       let nodes = List.map (fun party -> party.node) parties in
       Proto_util.span net "smc.ranking.exchange" (fun () ->
           broadcast_negotiation net nodes);
@@ -56,7 +55,7 @@ let run ~net ~rng ~ttp parties =
             let blind = Crypto.Blinding.generate_monotone rng ~bits:64 in
             List.iter
               (fun party ->
-                Net.Ledger.record ledger ~node:party.node
+                Proto_util.observe net ~node:party.node
                   ~sensitivity:Net.Ledger.Plaintext ~tag:"ranking:own-value"
                   (Bignum.to_string party.value))
               parties;
@@ -72,7 +71,7 @@ let run ~net ~rng ~ttp parties =
                   Net.Network.send_exn net ~src:party.node ~dst:ttp
                     ~label:"ranking:submit"
                     ~bytes:(Proto_util.bignum_wire_size w);
-                  Net.Ledger.record ledger ~node:ttp
+                  Proto_util.observe net ~node:ttp
                     ~sensitivity:Net.Ledger.Blinded ~tag:"ranking:submit"
                     (Bignum.to_string w);
                   (party.node, w))
@@ -89,7 +88,7 @@ let run ~net ~rng ~ttp parties =
             (fun node ->
               Net.Network.send_exn net ~src:ttp ~dst:node
                 ~label:"ranking:verdict" ~bytes:(4 * List.length parties);
-              Net.Ledger.record ledger ~node ~sensitivity:Net.Ledger.Aggregate
+              Proto_util.observe net ~node ~sensitivity:Net.Ledger.Aggregate
                 ~tag:"ranking:verdict"
                 (Net.Node_id.to_string verdict.max_holder))
             nodes;
@@ -97,7 +96,6 @@ let run ~net ~rng ~ttp parties =
           verdict))
 
 let comparisons ~net ~rng ~ttp ~left:(lnode, lval) ~right:(rnode, rval) =
-  let ledger = Net.Network.ledger net in
   Net.Network.send_exn net ~src:lnode ~dst:rnode ~label:"compare:negotiate"
     ~bytes:16;
   Net.Network.round ~label:"compare" net;
@@ -111,7 +109,7 @@ let comparisons ~net ~rng ~ttp ~left:(lnode, lval) ~right:(rnode, rval) =
     (fun (src, w) ->
       Net.Network.send_exn net ~src ~dst:ttp ~label:"compare:submit"
         ~bytes:(Proto_util.bignum_wire_size w);
-      Net.Ledger.record ledger ~node:ttp ~sensitivity:Net.Ledger.Blinded
+      Proto_util.observe net ~node:ttp ~sensitivity:Net.Ledger.Blinded
         ~tag:"compare:submit" (Bignum.to_string w))
     [ (lnode, wl); (rnode, wr) ];
   Net.Network.round ~label:"compare" net;
@@ -124,14 +122,13 @@ let comparisons ~net ~rng ~ttp ~left:(lnode, lval) ~right:(rnode, rval) =
   verdict
 
 let naive ~net ~coordinator parties =
-  let ledger = Net.Network.ledger net in
   List.iter
     (fun party ->
       if not (Net.Node_id.equal party.node coordinator) then
         Net.Network.send_exn net ~src:party.node ~dst:coordinator
           ~label:"ranking:naive"
           ~bytes:(Proto_util.bignum_wire_size party.value);
-      Net.Ledger.record ledger ~node:coordinator
+      Proto_util.observe net ~node:coordinator
         ~sensitivity:Net.Ledger.Plaintext ~tag:"ranking:naive"
         (Bignum.to_string party.value))
     parties;

@@ -16,7 +16,6 @@ let dedupe items = String_set.elements (String_set.of_list items)
    parties' deduplicated plaintexts (for owner-side resolution) and the
    fully-encrypted sets keyed by origin. *)
 let ring_encrypt ~net ~scheme ~receiver parties =
-  let ledger = Net.Network.ledger net in
   let ring = List.map (fun p -> p.node) parties in
   let keypairs =
     List.map (fun p -> (p.node, scheme.Crypto.Commutative.fresh_keypair ())) parties
@@ -31,7 +30,7 @@ let ring_encrypt ~net ~scheme ~receiver parties =
         let set = dedupe p.set in
         List.iter
           (fun e ->
-            Net.Ledger.record ledger ~node:p.node
+            Proto_util.observe net ~node:p.node
               ~sensitivity:Net.Ledger.Plaintext ~tag:"intersection:own-set" e)
           set;
         (p.node, set))
@@ -107,7 +106,6 @@ let run ~net ~scheme ~receiver parties =
   if not (List.exists (fun p -> Net.Node_id.equal p.node receiver) parties)
   then invalid_arg "Set_intersection.run: receiver must be a party";
   Proto_util.span net "smc.intersection" (fun () ->
-      let ledger = Net.Network.ledger net in
       let own_sets, encrypted_by_all =
         ring_encrypt ~net ~scheme ~receiver parties
       in
@@ -135,7 +133,7 @@ let run ~net ~scheme ~receiver parties =
           in
           List.iter
             (fun e ->
-              Net.Ledger.record ledger ~node:receiver
+              Proto_util.observe net ~node:receiver
                 ~sensitivity:Net.Ledger.Aggregate ~tag:"intersection:result" e)
             intersection;
           { intersection; encrypted_by_all }))
@@ -146,13 +144,11 @@ let cardinality ~net ~scheme ~receiver parties =
   Proto_util.span net "smc.intersection" (fun () ->
       let _, encrypted_by_all = ring_encrypt ~net ~scheme ~receiver parties in
       let count = String_set.cardinal (common_ciphertexts encrypted_by_all) in
-      Net.Ledger.record (Net.Network.ledger net) ~node:receiver
-        ~sensitivity:Net.Ledger.Aggregate ~tag:"intersection:cardinality"
-        (string_of_int count);
+      Proto_util.observe net ~node:receiver ~sensitivity:Net.Ledger.Aggregate
+        ~tag:"intersection:cardinality" (string_of_int count);
       count)
 
 let naive ~net ~coordinator parties =
-  let ledger = Net.Network.ledger net in
   let sets =
     List.map
       (fun p ->
@@ -164,7 +160,7 @@ let naive ~net ~coordinator parties =
         end;
         List.iter
           (fun e ->
-            Net.Ledger.record ledger ~node:coordinator
+            Proto_util.observe net ~node:coordinator
               ~sensitivity:Net.Ledger.Plaintext ~tag:"intersection:naive" e)
           set;
         String_set.of_list set)

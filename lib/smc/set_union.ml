@@ -11,7 +11,6 @@ let dedupe items = String_set.elements (String_set.of_list items)
    distinct fully-encrypted elements at the receiver plus the keypair
    lookup (needed by the decode ring). *)
 let ring_collect ~net ~scheme ~receiver parties =
-  let ledger = Net.Network.ledger net in
   let ring = List.map (fun p -> p.node) parties in
   let keypairs =
     List.map (fun p -> (p.node, scheme.Crypto.Commutative.fresh_keypair ())) parties
@@ -27,7 +26,7 @@ let ring_collect ~net ~scheme ~receiver parties =
             let set = dedupe p.set in
             List.iter
               (fun e ->
-                Net.Ledger.record ledger ~node:p.node
+                Proto_util.observe net ~node:p.node
                   ~sensitivity:Net.Ledger.Plaintext ~tag:"union:own-set" e)
               set;
             let kp = keypair_of p.node in
@@ -86,7 +85,6 @@ let run ~net ~scheme ~rng ~receiver parties =
   if List.length parties < 2 then
     invalid_arg "Set_union.run: need at least 2 parties";
   Proto_util.span net "smc.union" (fun () ->
-      let ledger = Net.Network.ledger net in
       let distinct, keypair_of, ring =
         ring_collect ~net ~scheme ~receiver parties
       in
@@ -139,7 +137,7 @@ let run ~net ~scheme ~rng ~receiver parties =
           in
           List.iter
             (fun e ->
-              Net.Ledger.record ledger ~node:receiver
+              Proto_util.observe net ~node:receiver
                 ~sensitivity:Net.Ledger.Aggregate ~tag:"union:result" e)
             union;
           union))
@@ -150,13 +148,11 @@ let cardinality ~net ~scheme ~receiver parties =
   Proto_util.span net "smc.union" (fun () ->
       let distinct, _, _ = ring_collect ~net ~scheme ~receiver parties in
       let count = List.length distinct in
-      Net.Ledger.record (Net.Network.ledger net) ~node:receiver
-        ~sensitivity:Net.Ledger.Aggregate ~tag:"union:cardinality"
-        (string_of_int count);
+      Proto_util.observe net ~node:receiver ~sensitivity:Net.Ledger.Aggregate
+        ~tag:"union:cardinality" (string_of_int count);
       count)
 
 let naive ~net ~coordinator parties =
-  let ledger = Net.Network.ledger net in
   let union =
     List.fold_left
       (fun acc p ->
@@ -168,7 +164,7 @@ let naive ~net ~coordinator parties =
         end;
         List.iter
           (fun e ->
-            Net.Ledger.record ledger ~node:coordinator
+            Proto_util.observe net ~node:coordinator
               ~sensitivity:Net.Ledger.Plaintext ~tag:"union:naive" e)
           set;
         String_set.union acc (String_set.of_list set))

@@ -17,7 +17,6 @@ let share_tag = "sum:share"
 let run_general ~net ~rng ~p ~k ~receiver ~weight_of parties =
   check_inputs ~p ~k parties;
   Proto_util.span net "smc.sum" (fun () ->
-      let ledger = Net.Network.ledger net in
       let n = List.length parties in
       let nodes = List.map (fun party -> party.node) parties in
       let xs = Crypto.Shamir.default_xs ~n in
@@ -26,7 +25,7 @@ let run_general ~net ~rng ~p ~k ~receiver ~weight_of parties =
         Proto_util.span net "smc.sum.transform" (fun () ->
             List.map
               (fun party ->
-                Net.Ledger.record ledger ~node:party.node
+                Proto_util.observe net ~node:party.node
                   ~sensitivity:Net.Ledger.Plaintext ~tag:"sum:own-value"
                   (Bignum.to_string party.value);
                 Crypto.Shamir.split rng ~p ~k ~xs ~secret:party.value
@@ -43,7 +42,7 @@ let run_general ~net ~rng ~p ~k ~receiver ~weight_of parties =
                     Net.Network.send_exn net ~src:party.node ~dst
                       ~label:share_tag
                       ~bytes:(Proto_util.bignum_wire_size share.y);
-                  Net.Ledger.record ledger ~node:dst
+                  Proto_util.observe net ~node:dst
                     ~sensitivity:Net.Ledger.Share ~tag:share_tag
                     (Bignum.to_string share.y))
                 nodes shares)
@@ -67,7 +66,7 @@ let run_general ~net ~rng ~p ~k ~receiver ~weight_of parties =
                   Net.Network.send_exn net ~src:node ~dst:receiver
                     ~label:"sum:aggregate"
                     ~bytes:(Proto_util.bignum_wire_size share.y);
-                Net.Ledger.record ledger ~node:receiver
+                Proto_util.observe net ~node:receiver
                   ~sensitivity:Net.Ledger.Share ~tag:"sum:aggregate"
                   (Bignum.to_string share.y);
                 share)
@@ -75,7 +74,7 @@ let run_general ~net ~rng ~p ~k ~receiver ~weight_of parties =
           in
           Net.Network.round ~label:"sum" net;
           let total = Crypto.Shamir.reconstruct ~p collected in
-          Net.Ledger.record ledger ~node:receiver
+          Proto_util.observe net ~node:receiver
             ~sensitivity:Net.Ledger.Aggregate ~tag:"sum:result"
             (Bignum.to_string total);
           total))
@@ -94,19 +93,18 @@ let run_weighted ~net ~rng ~p ~k ~receiver ~weights parties =
 let run_ttp_coordinated ~net ~rng ~public ~secret ~coordinator ~receiver
     parties =
   if List.length parties < 2 then invalid_arg "Sum: need at least 2 parties";
-  let ledger = Net.Network.ledger net in
   (* Round 1: each party sends one ciphertext to the coordinator. *)
   let ciphertexts =
     List.map
       (fun party ->
-        Net.Ledger.record ledger ~node:party.node
+        Proto_util.observe net ~node:party.node
           ~sensitivity:Net.Ledger.Plaintext ~tag:"sum:own-value"
           (Bignum.to_string party.value);
         let c = Crypto.Paillier.encrypt rng public party.value in
         Net.Network.send_exn net ~src:party.node ~dst:coordinator
           ~label:"sum:paillier-ct"
           ~bytes:(Proto_util.bignum_wire_size c);
-        Net.Ledger.record ledger ~node:coordinator
+        Proto_util.observe net ~node:coordinator
           ~sensitivity:Net.Ledger.Ciphertext ~tag:"sum:paillier-ct"
           (Bignum.to_hex c);
         c)
@@ -124,12 +122,11 @@ let run_ttp_coordinated ~net ~rng ~public ~secret ~coordinator ~receiver
     ~label:"sum:paillier-total" ~bytes:(Proto_util.bignum_wire_size folded);
   Net.Network.round ~label:"sum" net;
   let total = Crypto.Paillier.decrypt public secret folded in
-  Net.Ledger.record ledger ~node:receiver ~sensitivity:Net.Ledger.Aggregate
+  Proto_util.observe net ~node:receiver ~sensitivity:Net.Ledger.Aggregate
     ~tag:"sum:result" (Bignum.to_string total);
   total
 
 let naive ~net ~coordinator parties =
-  let ledger = Net.Network.ledger net in
   let total =
     List.fold_left
       (fun acc party ->
@@ -137,7 +134,7 @@ let naive ~net ~coordinator parties =
           Net.Network.send_exn net ~src:party.node ~dst:coordinator
             ~label:"sum:naive"
             ~bytes:(Proto_util.bignum_wire_size party.value);
-        Net.Ledger.record ledger ~node:coordinator
+        Proto_util.observe net ~node:coordinator
           ~sensitivity:Net.Ledger.Plaintext ~tag:"sum:naive"
           (Bignum.to_string party.value);
         Bignum.add acc party.value)

@@ -1,0 +1,25 @@
+open Numtheory
+
+let equality_via_ttp ~net ~ttp ~left:(lnode, lval) ~right:(rnode, rval) =
+  Smc.Proto_util.span net "spec.leaky-equality" (fun () ->
+      Net.Network.send_exn net ~src:lnode ~dst:ttp ~label:"leaky:submit"
+        ~bytes:(Smc.Proto_util.bignum_wire_size lval);
+      (* Honest labeling of a dishonest protocol: the TTP really does
+         see the raw value. *)
+      Smc.Proto_util.observe net ~node:ttp ~sensitivity:Net.Ledger.Plaintext
+        ~tag:"leaky:submit" (Bignum.to_string lval);
+      Net.Network.send_exn net ~src:rnode ~dst:ttp ~label:"leaky:submit"
+        ~bytes:(Smc.Proto_util.bignum_wire_size rval);
+      (* Mislabeled: the value traveled unblinded but is recorded as if
+         it had been transformed — the verbatim-secret rule must catch
+         this one. *)
+      Smc.Proto_util.observe net ~node:ttp ~sensitivity:Net.Ledger.Blinded
+        ~tag:"leaky:submit" (Bignum.to_string rval);
+      Net.Network.round ~label:"equality" net;
+      let verdict = Bignum.equal lval rval in
+      Net.Network.send_exn net ~src:ttp ~dst:lnode ~label:"leaky:verdict"
+        ~bytes:1;
+      Net.Network.send_exn net ~src:ttp ~dst:rnode ~label:"leaky:verdict"
+        ~bytes:1;
+      Net.Network.round ~label:"equality" net;
+      verdict)

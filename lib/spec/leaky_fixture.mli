@@ -1,0 +1,18 @@
+(** A deliberately privacy-broken equality "protocol".
+
+    Returns exactly the oracle's answer — and ships both raw inputs to
+    the TTP, once recorded honestly as [Plaintext] and once mislabeled
+    as [Blinded].  It exists to prove the harness's negative case: a
+    protocol can pass every result-equality check and still fail
+    {!View_auditor}, which must flag both the plaintext-at-TTP
+    observation and the mislabeled verbatim secret.  Never call this
+    outside tests. *)
+
+open Numtheory
+
+val equality_via_ttp :
+  net:Net.Network.t ->
+  ttp:Net.Node_id.t ->
+  left:Net.Node_id.t * Bignum.t ->
+  right:Net.Node_id.t * Bignum.t ->
+  bool

@@ -1,0 +1,69 @@
+open Numtheory
+module String_set = Set.Make (String)
+
+let intersection = function
+  | [] -> []
+  | first :: rest ->
+    String_set.elements
+      (List.fold_left
+         (fun acc s -> String_set.inter acc (String_set.of_list s))
+         (String_set.of_list first) rest)
+
+let union sets =
+  String_set.elements
+    (List.fold_left
+       (fun acc s -> String_set.union acc (String_set.of_list s))
+       String_set.empty sets)
+
+let equality = Bignum.equal
+
+let sum ~p values =
+  List.fold_left (fun acc v -> Modular.add acc v ~m:p) Bignum.zero values
+
+let weighted_sum ~p ~weights parties =
+  let weight_of node =
+    match List.find_opt (fun (n, _) -> Net.Node_id.equal n node) weights with
+    | Some (_, w) -> Modular.normalize w ~m:p
+    | None -> Bignum.one
+  in
+  List.fold_left
+    (fun acc (node, v) ->
+      Modular.add acc (Modular.mul (weight_of node) v ~m:p) ~m:p)
+    Bignum.zero parties
+
+let ranking values =
+  if values = [] then failwith "Oracle.ranking: no parties";
+  (* Same conventions as Smc.Ranking.verdict_of_values: stable sort,
+     rank 1 = smallest, ties share the lower rank. *)
+  let sorted = List.sort (fun (_, a) (_, b) -> Bignum.compare a b) values in
+  let ranks =
+    let rec go idx prev acc = function
+      | [] -> List.rev acc
+      | (node, v) :: rest ->
+        let rank =
+          match prev with
+          | Some (pv, prank) when Bignum.equal pv v -> prank
+          | _ -> idx
+        in
+        go (idx + 1) (Some (v, rank)) ((node, rank) :: acc) rest
+    in
+    go 1 None [] sorted
+  in
+  {
+    Smc.Ranking.max_holder = fst (List.nth sorted (List.length sorted - 1));
+    min_holder = fst (List.hd sorted);
+    ranks;
+  }
+
+let majority votes =
+  let count v =
+    List.length (List.filter (fun (_, v') -> v' = v) votes)
+  in
+  let approvals = count Smc.Majority.Approve in
+  let rejections = count Smc.Majority.Reject in
+  let verdict =
+    if approvals > rejections then Some Smc.Majority.Approve
+    else if rejections > approvals then Some Smc.Majority.Reject
+    else None
+  in
+  { Smc.Majority.verdict; approvals; rejections; flagged = [] }

@@ -1,0 +1,45 @@
+(** Cleartext reference oracles for the §3 protocols.
+
+    Each oracle computes what the paper's trusted third party would
+    return given every input in the clear — the "ideal functionality"
+    the secure protocols must agree with.  The differential harness
+    ({!Differential}) runs real protocol executions and these oracles on
+    the same inputs and asserts equal answers; the oracles themselves
+    are deliberately naive so that a reviewer can check them against §3
+    by inspection. *)
+
+open Numtheory
+
+val intersection : string list list -> string list
+(** ∩ₛ (§3.1): sorted, deduplicated intersection of all input sets.
+    Empty input list yields the empty set. *)
+
+val union : string list list -> string list
+(** ∪ₛ (§3.4): sorted, deduplicated union of all input sets. *)
+
+val equality : Bignum.t -> Bignum.t -> bool
+(** =ₛ (§3.2). *)
+
+val sum : p:Bignum.t -> Bignum.t list -> Bignum.t
+(** Σₛ (§3.5): sum of the values mod [p]. *)
+
+val weighted_sum :
+  p:Bignum.t ->
+  weights:(Net.Node_id.t * Bignum.t) list ->
+  (Net.Node_id.t * Bignum.t) list ->
+  Bignum.t
+(** Σ αᵢ·aᵢ mod [p] (§3.5, final paragraph).  Mirrors
+    {!Smc.Sum.run_weighted}: nodes without a listed weight default to
+    weight 1, listed weights are normalized mod [p]. *)
+
+val ranking : (Net.Node_id.t * Bignum.t) list -> Smc.Ranking.verdict
+(** Maxₛ/Minₛ/Rankₛ (§3.3) on cleartext values, with exactly
+    {!Smc.Ranking}'s tie conventions: rank 1 is the smallest and ties
+    share the lower rank; with tied extrema the minimum holder is the
+    earliest such party in input order and the maximum holder the
+    latest (both inherited from the stable sort).
+    @raise Failure on an empty input list. *)
+
+val majority : (Net.Node_id.t * Smc.Majority.vote) list -> Smc.Majority.outcome
+(** Honest commit-then-reveal majority (§2): straight vote count, no
+    flagged nodes, [verdict = None] on a tie. *)

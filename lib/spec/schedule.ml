@@ -1,0 +1,56 @@
+type kind = Uniform | Skewed | Lossy
+
+type t = { kind : kind; seed : int }
+
+let name t =
+  match t.kind with
+  | Uniform -> "uniform"
+  | Skewed -> "skewed"
+  | Lossy -> "lossy"
+
+let uniform ~seed = { kind = Uniform; seed }
+let skewed ~seed = { kind = Skewed; seed }
+let lossy ~seed = { kind = Lossy; seed }
+
+let suite ~seed =
+  [ uniform ~seed; skewed ~seed:(seed + 1); lossy ~seed:(seed + 2) ]
+
+exception Gave_up of { schedule : string; attempts : int }
+
+let () =
+  Printexc.register_printer (function
+    | Gave_up { schedule; attempts } ->
+      Some
+        (Printf.sprintf "Spec.Schedule.Gave_up(%s after %d attempts)" schedule
+           attempts)
+    | _ -> None)
+
+let loss_rate = 0.01
+let max_attempts = 40
+
+let network t ~attempt =
+  match t.kind with
+  | Uniform -> Net.Network.create ~seed:t.seed ()
+  | Skewed ->
+    Net.Network.create ~seed:t.seed
+      ~latency_ms:(Net.Sim.latency_profile ~seed:t.seed ())
+      ()
+  | Lossy ->
+    (* A fresh seed per attempt re-rolls the drop pattern, so retries
+       explore different loss interleavings rather than replaying the
+       same doomed one. *)
+    Net.Network.create ~seed:(t.seed + (7919 * attempt)) ~loss_rate ()
+
+let run t f =
+  match t.kind with
+  | Uniform | Skewed -> f (network t ~attempt:0)
+  | Lossy ->
+    let rec attempt_from n =
+      if n >= max_attempts then
+        raise (Gave_up { schedule = name t; attempts = n })
+      else
+        match f (network t ~attempt:n) with
+        | result -> result
+        | exception Net.Network.Partitioned _ -> attempt_from (n + 1)
+    in
+    attempt_from 0

@@ -1,0 +1,43 @@
+(** Seeded network schedules for the differential harness.
+
+    A schedule is a recipe for the network a protocol executes on.  The
+    protocols' answers must be independent of message timing and of
+    loss/retry interleavings, so the harness replays every case on a
+    {!suite} of schedules:
+
+    - [uniform] — the default 1 ms-per-hop network;
+    - [skewed]  — per-pair latencies from {!Net.Sim.latency_profile},
+      so rounds are paced by different bottleneck links;
+    - [lossy]   — probabilistic message loss; {!run} retries the whole
+      protocol on a fresh network (new seed each attempt, so the drop
+      pattern differs) until an attempt completes without a partition.
+
+    Retried attempts share whatever {!Transcript} recorder is
+    installed, so views leaked during abandoned runs are audited
+    too. *)
+
+type t
+
+val name : t -> string
+(** ["uniform"], ["skewed"] or ["lossy"]. *)
+
+val uniform : seed:int -> t
+val skewed : seed:int -> t
+val lossy : seed:int -> t
+
+val suite : seed:int -> t list
+(** The three schedules above, derived from one chaos seed. *)
+
+exception Gave_up of { schedule : string; attempts : int }
+(** A lossy run hit a partition on every attempt.  With the configured
+    loss rate and attempt budget this is a (deterministic, seeded)
+    probability-≈0 event for the §3 protocols' message counts; seeing
+    it means the schedule parameters and the protocol's traffic volume
+    need a second look. *)
+
+val run : t -> (Net.Network.t -> 'a) -> 'a
+(** Build the schedule's network and run the protocol on it.  On the
+    lossy schedule, {!Net.Network.Partitioned} aborts the attempt and
+    the protocol is re-run on a freshly-seeded network; other
+    exceptions propagate.
+    @raise Gave_up when the attempt budget is exhausted. *)

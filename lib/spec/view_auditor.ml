@@ -1,0 +1,94 @@
+module String_set = Set.Make (String)
+
+type role = Participant | Blind_ttp
+
+type spec = {
+  node : Net.Node_id.t;
+  role : role;
+  secrets : string list;
+  allowed_outputs : string list;
+}
+
+type reason =
+  | Unknown_observer
+  | Foreign_secret
+  | Plaintext_at_ttp
+  | Unauthorized_plaintext
+  | Unauthorized_aggregate
+
+type violation = { event : Transcript.event; reason : reason }
+
+let reason_to_string = function
+  | Unknown_observer -> "observation by a node outside the protocol spec"
+  | Foreign_secret -> "foreign secret visible verbatim"
+  | Plaintext_at_ttp -> "plaintext in a blind role's view"
+  | Unauthorized_plaintext ->
+    "plaintext outside own secrets and authorized outputs"
+  | Unauthorized_aggregate -> "aggregate output the spec does not authorize"
+
+let violation_to_string { event; reason } =
+  Printf.sprintf "%s saw %S (%s, tag %s, phase %s): %s"
+    (Net.Node_id.to_string event.Smc.Proto_util.node)
+    event.Smc.Proto_util.value
+    (Net.Ledger.sensitivity_to_string event.Smc.Proto_util.sensitivity)
+    event.Smc.Proto_util.tag
+    (match event.Smc.Proto_util.phase with
+    | [] -> "-"
+    | path -> String.concat "/" path)
+    (reason_to_string reason)
+
+let pp_violation fmt v = Format.pp_print_string fmt (violation_to_string v)
+
+let audit ~specs transcript =
+  let all_secrets =
+    List.fold_left
+      (fun acc s -> String_set.union acc (String_set.of_list s.secrets))
+      String_set.empty specs
+  in
+  let spec_of node =
+    List.find_opt (fun s -> Net.Node_id.equal s.node node) specs
+  in
+  List.filter_map
+    (fun (e : Transcript.event) ->
+      let fail reason = Some { event = e; reason } in
+      match spec_of e.node with
+      | None -> fail Unknown_observer
+      | Some s ->
+        let own = String_set.of_list s.secrets in
+        let allowed = String_set.of_list s.allowed_outputs in
+        let by_sensitivity =
+          match e.sensitivity with
+          | Net.Ledger.Plaintext -> (
+            match s.role with
+            | Blind_ttp -> Some Plaintext_at_ttp
+            | Participant ->
+              if
+                String_set.mem e.value own || String_set.mem e.value allowed
+              then None
+              else Some Unauthorized_plaintext)
+          | Net.Ledger.Aggregate ->
+            let ok =
+              match s.role with
+              | Blind_ttp -> String_set.mem e.value allowed
+              | Participant ->
+                String_set.mem e.value own || String_set.mem e.value allowed
+            in
+            if ok then None else Some Unauthorized_aggregate
+          | Net.Ledger.Ciphertext | Net.Ledger.Blinded | Net.Ledger.Share
+          | Net.Ledger.Metadata ->
+            (* Definition 1's permitted "secondary forms". *)
+            None
+        in
+        (match by_sensitivity with
+        | Some reason -> fail reason
+        | None ->
+          (* A secret this node neither holds nor is owed as output must
+             never appear verbatim — whatever sensitivity the protocol
+             claims for the observation.  Catches leaks mislabeled as
+             blinded/encrypted material. *)
+          let foreign =
+            String_set.diff (String_set.diff all_secrets own) allowed
+          in
+          if String_set.mem e.value foreign then fail Foreign_secret
+          else None))
+    (Transcript.events transcript)

@@ -1,0 +1,103 @@
+(* Shared seeded-sweep helpers and qcheck generators for the test
+   executables.  Every module in this directory is linked into each
+   test binary (dune's (tests) stanza), so suites reference these as
+   [Generators.*] instead of redefining them.
+
+   Seeding conventions, shared with CI:
+   - QCHECK_SEED drives qcheck-style generated inputs ([qcheck_seed],
+     [cases]); qcheck-alcotest also reads it natively for
+     [QCheck.Test.make] properties.
+   - CHAOS_SEED drives network schedules ([chaos_seed] and the chaos
+     suite's extra sweep seed).
+   - CRYPTO_SEED appends one replay seed to [sweep_seeds]. *)
+
+open Numtheory
+
+let env_int name ~default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "%s must be an integer, got %S" name s))
+
+let env_extra_seed name base =
+  match Sys.getenv_opt name with
+  | None -> base
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some seed -> base @ [ seed ]
+    | None -> failwith (Printf.sprintf "%s must be an integer, got %S" name s))
+
+(* Seeded sweep in the style of the chaos suite: the built-in seeds run
+   always; exporting CRYPTO_SEED=<int> adds one more, so a failure seed
+   found elsewhere (CI, fuzzing) replays here verbatim. *)
+let sweep_seeds = env_extra_seed "CRYPTO_SEED" [ 101; 102; 103; 104; 105 ]
+
+let chaos_seeds = env_extra_seed "CHAOS_SEED" [ 0; 1; 2; 3; 4 ]
+let qcheck_seed () = env_int "QCHECK_SEED" ~default:4242
+let chaos_seed () = env_int "CHAOS_SEED" ~default:0
+
+(* ------------------------------------------------------------------ *)
+(* Crypto material                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ph_params =
+  lazy
+    (let rng = Prng.create ~seed:555 in
+     Crypto.Pohlig_hellman.generate_params rng ~bits:128)
+
+let fresh_scheme seed =
+  Crypto.Commutative.pohlig_hellman (Prng.create ~seed) (Lazy.force ph_params)
+
+let xor_scheme seed =
+  Crypto.Commutative.xor_pad (Prng.create ~seed)
+    (Crypto.Xor_pad.params ~width_bits:256)
+
+let commutative_keypair seed = (fresh_scheme seed).Crypto.Commutative.fresh_keypair ()
+
+(* 2^61 - 1: the shared sum/equality modulus, far above any test sum. *)
+let sum_p = lazy (Bignum.of_string "2305843009213693951")
+
+(* ------------------------------------------------------------------ *)
+(* qcheck generators                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Attribute values from a small shared universe, so generated sets
+   overlap often enough to make intersections non-trivial. *)
+let element_gen =
+  QCheck.Gen.oneofl [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" ]
+
+let set_gen ?(max_size = 4) () =
+  QCheck.Gen.list_size (QCheck.Gen.int_range 0 max_size) element_gen
+
+let set_triple_gen =
+  QCheck.Gen.triple (set_gen ()) (set_gen ()) (set_gen ())
+
+(* Participant input sets: per-party small non-negative values. *)
+let values_gen ?(parties_min = 2) ?(parties_max = 5) ?(hi = 1_000_000) () =
+  QCheck.Gen.list_size
+    (QCheck.Gen.int_range parties_min parties_max)
+    (QCheck.Gen.int_range 0 hi)
+
+let bignum_gen ?(hi = 1_000_000) () =
+  QCheck.Gen.map Bignum.of_int (QCheck.Gen.int_range 0 hi)
+
+(* Equality inputs: bias toward actual equality so both verdicts get
+   exercised. *)
+let equality_pair_gen =
+  let open QCheck.Gen in
+  bool >>= fun same ->
+  int_range 0 1_000_000 >>= fun l ->
+  if same then return (l, l)
+  else map (fun r -> (l, r)) (int_range 0 1_000_000)
+
+let votes_gen ?(voters_min = 2) ?(voters_max = 7) () =
+  QCheck.Gen.list_size
+    (QCheck.Gen.int_range voters_min voters_max)
+    QCheck.Gen.bool
+
+(* Deterministic qcheck sampling for data-driven (non-property) suites:
+   same QCHECK_SEED, same cases. *)
+let cases ~seed ~count gen =
+  QCheck.Gen.generate ~rand:(Random.State.make [| seed |]) ~n:count gen

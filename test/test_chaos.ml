@@ -196,14 +196,7 @@ let run_acceptance_schedule ~seed ~crashed =
 
 let test_acceptance () = run_acceptance_schedule ~seed:42 ~crashed:1
 
-let chaos_seeds =
-  let base = [ 0; 1; 2; 3; 4 ] in
-  match Sys.getenv_opt "CHAOS_SEED" with
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some seed -> base @ [ seed ]
-    | None -> failwith (Printf.sprintf "CHAOS_SEED must be an integer, got %S" s))
-  | None -> base
+let chaos_seeds = Generators.chaos_seeds
 
 let test_schedule_sweep () =
   (* Same schedule, every seed, every choice of crashed node. *)

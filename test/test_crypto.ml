@@ -115,17 +115,9 @@ let test_ph_commutativity () =
   let dec k c = Crypto.Pohlig_hellman.decrypt params k c in
   check_bn "unstack any order" m (dec k2 (dec k3 (dec k1 c123)))
 
-(* Seeded sweep in the style of the chaos suite: the built-in seeds run
-   always; exporting CRYPTO_SEED=<int> adds one more, so a failure seed
-   found elsewhere (CI, fuzzing) replays here verbatim. *)
-let sweep_seeds =
-  let base = [ 101; 102; 103; 104; 105 ] in
-  match Sys.getenv_opt "CRYPTO_SEED" with
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some seed -> base @ [ seed ]
-    | None -> failwith (Printf.sprintf "CRYPTO_SEED must be an integer, got %S" s))
-  | None -> base
+(* Seeded sweep in the style of the chaos suite; shared via Generators
+   (CRYPTO_SEED=<int> appends a replay seed). *)
+let sweep_seeds = Generators.sweep_seeds
 
 let test_ph_commutativity_sweep () =
   (* E_a(E_b(x)) = E_b(E_a(x)) over fresh key pairs and hashed-in group
@@ -348,6 +340,74 @@ let test_shamir_validation () =
   Alcotest.check_raises "empty reconstruct"
     (Invalid_argument "Shamir.reconstruct: no shares") (fun () ->
       ignore (Crypto.Shamir.reconstruct ~p []))
+
+let test_shamir_k_equals_n () =
+  (* Degenerate threshold: every share is required.  All n reconstruct
+     exactly; any n-1 of them interpolate a different polynomial and
+     (with overwhelming probability over the fixed seed) miss the
+     secret. *)
+  let p = Lazy.force shamir_p in
+  List.iter
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let n = 2 + (seed mod 5) in
+      let secret = bn (7 + ((seed * 31) mod 100_000)) in
+      let xs = Crypto.Shamir.default_xs ~n in
+      let shares = Crypto.Shamir.split rng ~p ~k:n ~xs ~secret in
+      check_bn
+        (Printf.sprintf "seed %d: k=n=%d reconstructs" seed n)
+        secret
+        (Crypto.Shamir.reconstruct ~p shares);
+      List.iteri
+        (fun drop _ ->
+          let partial =
+            List.filteri (fun i _ -> i <> drop) shares
+          in
+          if partial <> [] then
+            Alcotest.(check bool)
+              (Printf.sprintf "seed %d: missing share %d hides secret" seed
+                 drop)
+              false
+              (Bignum.equal secret (Crypto.Shamir.reconstruct ~p partial)))
+        shares)
+    sweep_seeds
+
+let test_shamir_duplicate_points () =
+  (* Duplicated evaluation points are a typed rejection, not garbage:
+     Lagrange through coincident x-coordinates divides by zero. *)
+  let p = Lazy.force shamir_p in
+  let rng = Prng.create ~seed:12 in
+  let two = bn 2 in
+  (match
+     Crypto.Shamir.split rng ~p ~k:2 ~xs:[ Bignum.one; two; two ]
+       ~secret:(bn 99)
+   with
+  | (_ : Crypto.Shamir.share list) ->
+    Alcotest.fail "split accepted duplicate evaluation points"
+  | exception Crypto.Shamir.Duplicate_points { stage; points } ->
+    Alcotest.(check string) "split stage" "split" stage;
+    Alcotest.(check int) "one offending point" 1 (List.length points);
+    check_bn "offending point is 2" two (List.hd points));
+  (* Points congruent mod p collide even when textually distinct. *)
+  (match
+     Crypto.Shamir.split rng ~p ~k:2
+       ~xs:[ Bignum.one; Bignum.add p Bignum.one ]
+       ~secret:(bn 99)
+   with
+  | (_ : Crypto.Shamir.share list) ->
+    Alcotest.fail "split accepted points congruent mod p"
+  | exception Crypto.Shamir.Duplicate_points { stage; _ } ->
+    Alcotest.(check string) "congruent stage" "split" stage);
+  (* Reconstruct rejects repeated share x-coordinates the same way. *)
+  let xs = Crypto.Shamir.default_xs ~n:3 in
+  let shares = Crypto.Shamir.split rng ~p ~k:2 ~xs ~secret:(bn 555) in
+  let dup = List.hd shares :: shares in
+  match Crypto.Shamir.reconstruct ~p dup with
+  | (_ : Bignum.t) ->
+    Alcotest.fail "reconstruct accepted duplicate shares"
+  | exception Crypto.Shamir.Duplicate_points { stage; points } ->
+    Alcotest.(check string) "reconstruct stage" "reconstruct" stage;
+    check_bn "duplicated x reported" Bignum.one (List.hd points)
 
 let test_shamir_threshold_sweep () =
   (* Exhaustive k-of-n property per sweep seed: EVERY k-subset of the
@@ -927,6 +987,9 @@ let () =
         :: Alcotest.test_case "too few shares" `Quick test_shamir_too_few_shares_wrong
         :: Alcotest.test_case "linearity" `Quick test_shamir_linearity
         :: Alcotest.test_case "validation" `Quick test_shamir_validation
+        :: Alcotest.test_case "k = n" `Quick test_shamir_k_equals_n
+        :: Alcotest.test_case "duplicate points" `Quick
+             test_shamir_duplicate_points
         :: Alcotest.test_case "threshold sweep" `Quick
              test_shamir_threshold_sweep
         :: qt [ prop_shamir_any_k_subset ] );

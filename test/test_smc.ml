@@ -15,17 +15,10 @@ let p1 = Net.Node_id.Dla 1
 let p2 = Net.Node_id.Dla 2
 let p3 = Net.Node_id.Dla 3
 
-let ph_params =
-  lazy
-    (let rng = Prng.create ~seed:555 in
-     Crypto.Pohlig_hellman.generate_params rng ~bits:128)
-
-let fresh_scheme seed =
-  Crypto.Commutative.pohlig_hellman (Prng.create ~seed) (Lazy.force ph_params)
-
-let xor_scheme seed =
-  Crypto.Commutative.xor_pad (Prng.create ~seed)
-    (Crypto.Xor_pad.params ~width_bits:256)
+(* Scheme constructors and parameters live in Generators, shared with
+   the spec-oracle differential suite. *)
+let fresh_scheme = Generators.fresh_scheme
+let xor_scheme = Generators.xor_scheme
 
 (* ------------------------------------------------------------------ *)
 (* Secure set intersection                                             *)
@@ -145,8 +138,7 @@ let test_intersection_partition_fault () =
      with Net.Network.Partitioned _ -> true)
 
 let prop_intersection_matches_naive =
-  let elem = QCheck.Gen.oneofl [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" ] in
-  let set_gen = QCheck.Gen.list_size (QCheck.Gen.int_range 0 6) elem in
+  let set_gen = Generators.set_gen ~max_size:6 () in
   QCheck.Test.make ~name:"secure intersection = naive intersection" ~count:25
     (QCheck.make
        QCheck.Gen.(triple set_gen set_gen set_gen)
@@ -276,7 +268,7 @@ let test_union_cardinality () =
 (* Secure sum                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let sum_p = lazy (Bignum.of_string "2305843009213693951")
+let sum_p = Generators.sum_p
 
 let sum_parties values =
   List.mapi (fun i v -> { Smc.Sum.node = Net.Node_id.Dla i; value = bn v }) values
@@ -470,6 +462,149 @@ let test_equality_mapping_table_privacy () =
   let ledger = Net.Network.ledger net in
   Alcotest.(check bool) "TTP never saw b" false
     (Net.Ledger.saw_plaintext ledger ~node:ttp "b")
+
+let test_equality_affine_domain_edges () =
+  (* The affine map must behave at the ends of [0, p): zero, p-1, and
+     the mixed pair all compare correctly, and p itself is rejected. *)
+  let p = Lazy.force sum_p in
+  let pm1 = Bignum.sub p Bignum.one in
+  let run l r seed =
+    let net = Net.Network.create () in
+    Smc.Equality.via_ttp ~net ~rng:(Prng.create ~seed) ~p ~ttp ~left:(p1, l)
+      ~right:(p2, r)
+  in
+  Alcotest.(check bool) "zero = zero" true (run Bignum.zero Bignum.zero 70);
+  Alcotest.(check bool) "p-1 = p-1" true (run pm1 pm1 71);
+  Alcotest.(check bool) "zero <> p-1" false (run Bignum.zero pm1 72);
+  Alcotest.(check bool) "p-1 <> zero" false (run pm1 Bignum.zero 73);
+  let net = Net.Network.create () in
+  Alcotest.check_raises "value = p rejected"
+    (Invalid_argument "Equality.via_ttp: value outside [0, p)") (fun () ->
+      ignore
+        (Smc.Equality.via_ttp ~net ~rng:(Prng.create ~seed:74) ~p ~ttp
+           ~left:(p1, p) ~right:(p2, Bignum.zero)))
+
+let test_equality_blinded_no_collision () =
+  (* The agreed map is an affine bijection on [0, p): distinct inputs
+     must land on distinct blinded images at the TTP (otherwise the TTP
+     would report a false "equal"), and equal inputs must collide.
+     Swept over seeds at the domain edges, where a buggy reduction is
+     likeliest to wrap two values onto one image. *)
+  let p = Lazy.force sum_p in
+  let pm1 = Bignum.sub p Bignum.one in
+  let blinded_at_ttp l r seed =
+    let captured = ref [] in
+    let verdict =
+      Smc.Proto_util.with_transcript_hook
+        (fun ev ->
+          if String.equal ev.Smc.Proto_util.tag "equality:blinded" then
+            captured := ev.Smc.Proto_util.value :: !captured)
+        (fun () ->
+          let net = Net.Network.create () in
+          Smc.Equality.via_ttp ~net ~rng:(Prng.create ~seed) ~p ~ttp
+            ~left:(p1, l) ~right:(p2, r))
+    in
+    (verdict, List.rev !captured)
+  in
+  List.iter
+    (fun seed ->
+      (match blinded_at_ttp Bignum.zero pm1 seed with
+      | false, [ a; b ] ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: distinct inputs, distinct images" seed)
+          false (String.equal a b)
+      | true, _ -> Alcotest.fail "0 and p-1 reported equal"
+      | _, _ -> Alcotest.fail "expected exactly two blinded observations");
+      match blinded_at_ttp pm1 pm1 seed with
+      | true, [ a; b ] ->
+        Alcotest.(check string)
+          (Printf.sprintf "seed %d: equal inputs, equal images" seed)
+          a b
+      | false, _ -> Alcotest.fail "p-1 and p-1 reported unequal"
+      | _, _ -> Alcotest.fail "expected exactly two blinded observations")
+    Generators.sweep_seeds
+
+(* ------------------------------------------------------------------ *)
+(* Proto_util                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_next () =
+  let ring = Net.Node_id.dla_ring 3 in
+  let next node = Net.Node_id.to_string (Smc.Proto_util.ring_next ring node) in
+  Alcotest.(check string) "successor" "P1" (next (Net.Node_id.Dla 0));
+  Alcotest.(check string) "wrap to head" "P0" (next (Net.Node_id.Dla 2));
+  Alcotest.check_raises "not in ring"
+    (Invalid_argument "Proto_util.ring_next: node not in ring") (fun () ->
+      ignore (Smc.Proto_util.ring_next ring (Net.Node_id.Dla 9)));
+  Alcotest.check_raises "empty ring"
+    (Invalid_argument "Proto_util.ring_next: empty ring") (fun () ->
+      ignore (Smc.Proto_util.ring_next [] (Net.Node_id.Dla 0)))
+
+let test_shuffle_preserves_multiset () =
+  List.iter
+    (fun seed ->
+      let items = List.init 17 (fun i -> i mod 7) in
+      let shuffled = Smc.Proto_util.shuffle (Prng.create ~seed) items in
+      Alcotest.(check (list int))
+        (Printf.sprintf "seed %d: same multiset" seed)
+        (List.sort compare items)
+        (List.sort compare shuffled);
+      (* Same seed, same permutation: failures replay. *)
+      let again = Smc.Proto_util.shuffle (Prng.create ~seed) items in
+      Alcotest.(check (list int))
+        (Printf.sprintf "seed %d: deterministic" seed)
+        shuffled again)
+    Generators.sweep_seeds
+
+let test_bignum_wire_size_edges () =
+  let size = Smc.Proto_util.bignum_wire_size in
+  Alcotest.(check int) "zero is empty" 0 (size Bignum.zero);
+  Alcotest.(check int) "one byte" 1 (size (bn 1));
+  Alcotest.(check int) "255 fits one byte" 1 (size (bn 255));
+  Alcotest.(check int) "256 needs two" 2 (size (bn 256));
+  Alcotest.(check int) "2^61-1 needs eight" 8 (size (Lazy.force sum_p))
+
+let test_observe_phase_and_hook_nesting () =
+  (* [observe] stamps events with the open span path and mirrors to the
+     innermost installed hook only; exiting a [with_transcript_hook]
+     restores the previous hook (or none). *)
+  let net = Net.Network.create () in
+  let outer = ref [] and inner = ref [] in
+  let values events = List.rev_map (fun ev -> ev.Smc.Proto_util.value) events in
+  let say value =
+    Smc.Proto_util.observe net ~node:p1 ~sensitivity:Net.Ledger.Metadata
+      ~tag:"hook-test" value
+  in
+  Smc.Proto_util.with_transcript_hook
+    (fun ev -> outer := ev :: !outer)
+    (fun () ->
+      Smc.Proto_util.span net "hook-test-span" (fun () ->
+          say "before";
+          Smc.Proto_util.with_transcript_hook
+            (fun ev -> inner := ev :: !inner)
+            (fun () -> say "nested");
+          say "after"));
+  say "outside";
+  Alcotest.(check (list string))
+    "outer hook saw only its extent (innermost wins while nested)"
+    [ "before"; "after" ] (values !outer);
+  Alcotest.(check (list string)) "inner hook saw the nested event"
+    [ "nested" ] (values !inner);
+  List.iter
+    (fun ev ->
+      Alcotest.(check (list string))
+        "phase is the open span path"
+        [ "hook-test-span" ] ev.Smc.Proto_util.phase)
+    (!outer @ !inner);
+  (* Every observation — hooked or not — still lands in the ledger. *)
+  let ledger = Net.Network.ledger net in
+  List.iter
+    (fun value ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S in ledger" value)
+        true
+        (Net.Ledger.saw ledger ~node:p1 ~sensitivity:Net.Ledger.Metadata value))
+    [ "before"; "nested"; "after"; "outside" ]
 
 (* ------------------------------------------------------------------ *)
 (* Ranking                                                             *)
@@ -890,7 +1025,20 @@ let () =
           Alcotest.test_case "via intersection" `Quick test_equality_via_intersection;
           Alcotest.test_case "via mapping table" `Quick test_equality_via_mapping_table;
           Alcotest.test_case "mapping table privacy" `Quick
-            test_equality_mapping_table_privacy
+            test_equality_mapping_table_privacy;
+          Alcotest.test_case "affine domain edges" `Quick
+            test_equality_affine_domain_edges;
+          Alcotest.test_case "blinded collision-freedom" `Quick
+            test_equality_blinded_no_collision
+        ] );
+      ( "proto-util",
+        [ Alcotest.test_case "ring next" `Quick test_ring_next;
+          Alcotest.test_case "shuffle preserves multiset" `Quick
+            test_shuffle_preserves_multiset;
+          Alcotest.test_case "wire size edges" `Quick
+            test_bignum_wire_size_edges;
+          Alcotest.test_case "observe phases and hook nesting" `Quick
+            test_observe_phase_and_hook_nesting
         ] );
       ( "ranking",
         Alcotest.test_case "basic" `Quick test_ranking_basic

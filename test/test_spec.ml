@@ -1,0 +1,628 @@
+(* Spec-oracle conformance suite (paper §3, Definition 1).
+
+   Differential testing: every §3 protocol (plus the weighted-sum and
+   majority extensions) runs on generated inputs across three seeded
+   network schedules — uniform, skewed latency, lossy-with-retries —
+   and must (a) return exactly what the cleartext oracle returns and
+   (b) leave every recorded per-node view simulatable from that node's
+   own inputs and authorized outputs.  Failures append a replayable
+   counterexample to Spec.Differential.counterexample_path ().
+
+   Seeds: QCHECK_SEED picks the generated inputs, CHAOS_SEED the
+   network schedules. *)
+
+open Numtheory
+
+let bn = Bignum.of_int
+let dla = Net.Node_id.dla_ring
+let ttp = Net.Node_id.Ttp "cmp"
+
+let qseed = Generators.qcheck_seed ()
+let case_count = Generators.env_int "SPEC_CASES" ~default:50
+let schedules = Spec.Schedule.suite ~seed:(Generators.chaos_seed ())
+
+let participant node secrets =
+  {
+    Spec.View_auditor.node;
+    role = Spec.View_auditor.Participant;
+    secrets;
+    allowed_outputs = [];
+  }
+
+let blind_ttp node allowed_outputs =
+  {
+    Spec.View_auditor.node;
+    role = Spec.View_auditor.Blind_ttp;
+    secrets = [];
+    allowed_outputs;
+  }
+
+let show_strings l = "{" ^ String.concat "," l ^ "}"
+
+let run_cases schedule cases =
+  List.iter
+    (fun case ->
+      match Spec.Differential.check ~schedule case with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Differential cases, one builder per protocol family                 *)
+(* ------------------------------------------------------------------ *)
+
+let intersection_cases () =
+  List.mapi
+    (fun i (s1, s2, s3) ->
+      let nodes = dla 3 in
+      let parties =
+        List.map2
+          (fun node set -> { Smc.Set_intersection.node; set })
+          nodes [ s1; s2; s3 ]
+      in
+      let receiver = List.hd nodes in
+      let scheme_seed = qseed + (31 * i) in
+      {
+        Spec.Differential.protocol = "intersection";
+        input = String.concat " " (List.map show_strings [ s1; s2; s3 ]);
+        run =
+          (fun net ->
+            (Smc.Set_intersection.run ~net
+               ~scheme:(Generators.xor_scheme scheme_seed)
+               ~receiver parties)
+              .Smc.Set_intersection.intersection);
+        oracle = Spec.Oracle.intersection [ s1; s2; s3 ];
+        equal = (fun a b -> a = b);
+        show = show_strings;
+        specs =
+          (fun result ->
+            List.map
+              (fun (p : Smc.Set_intersection.party) ->
+                if Net.Node_id.equal p.node receiver then
+                  { (participant p.node p.set) with allowed_outputs = result }
+                else participant p.node p.set)
+              parties);
+      })
+    (Generators.cases ~seed:qseed ~count:case_count Generators.set_triple_gen)
+
+let union_cases () =
+  List.mapi
+    (fun i (s1, s2, s3) ->
+      let nodes = dla 3 in
+      let parties =
+        List.map2
+          (fun node set -> { Smc.Set_union.node; set })
+          nodes [ s1; s2; s3 ]
+      in
+      let receiver = List.hd nodes in
+      let scheme_seed = qseed + (37 * i) in
+      {
+        Spec.Differential.protocol = "union";
+        input = String.concat " " (List.map show_strings [ s1; s2; s3 ]);
+        run =
+          (fun net ->
+            Smc.Set_union.run ~net
+              ~scheme:(Generators.xor_scheme scheme_seed)
+              ~rng:(Prng.create ~seed:scheme_seed)
+              ~receiver parties);
+        oracle = Spec.Oracle.union [ s1; s2; s3 ];
+        equal = (fun a b -> a = b);
+        show = show_strings;
+        specs =
+          (fun result ->
+            (* The union is the receiver's authorized output — it may
+               contain other parties' elements by design. *)
+            List.map
+              (fun (p : Smc.Set_union.party) ->
+                if Net.Node_id.equal p.node receiver then
+                  { (participant p.node p.set) with allowed_outputs = result }
+                else participant p.node p.set)
+              parties);
+      })
+    (Generators.cases ~seed:(qseed + 1) ~count:case_count
+       Generators.set_triple_gen)
+
+let equality_cases () =
+  let p = Lazy.force Generators.sum_p in
+  let top = Bignum.pred p in
+  (* Domain edges always run: zero, the largest representable value,
+     and the extreme unequal pair. *)
+  let edges = [ (Bignum.zero, Bignum.zero); (top, top); (Bignum.zero, top) ] in
+  let generated =
+    List.map
+      (fun (l, r) -> (bn l, bn r))
+      (Generators.cases ~seed:(qseed + 2) ~count:case_count
+         Generators.equality_pair_gen)
+  in
+  List.mapi
+    (fun i (l, r) ->
+      let lnode = Net.Node_id.Dla 0 and rnode = Net.Node_id.Dla 1 in
+      let rng_seed = qseed + (41 * i) in
+      {
+        Spec.Differential.protocol = "equality";
+        input =
+          Printf.sprintf "%s =? %s" (Bignum.to_string l) (Bignum.to_string r);
+        run =
+          (fun net ->
+            Smc.Equality.via_ttp ~net
+              ~rng:(Prng.create ~seed:rng_seed)
+              ~p ~ttp ~left:(lnode, l) ~right:(rnode, r));
+        oracle = Spec.Oracle.equality l r;
+        equal = Bool.equal;
+        show = string_of_bool;
+        specs =
+          (fun _ ->
+            [ participant lnode [ Bignum.to_string l ];
+              participant rnode [ Bignum.to_string r ];
+              blind_ttp ttp []
+            ]);
+      })
+    (edges @ generated)
+
+let ranking_cases () =
+  (* Explicit tie shapes on top of the generated lists: the rank/holder
+     conventions only differ from a naive sort on ties. *)
+  let edges = [ [ 5; 5 ]; [ 3; 7; 3 ]; [ 0; 0; 0 ]; [ 9; 1; 9; 1 ] ] in
+  let generated =
+    Generators.cases ~seed:(qseed + 3) ~count:case_count
+      (Generators.values_gen ~parties_min:2 ~parties_max:5 ~hi:1000 ())
+  in
+  List.mapi
+    (fun i values ->
+      let parties =
+        List.mapi
+          (fun j v -> { Smc.Ranking.node = Net.Node_id.Dla j; value = bn v })
+          values
+      in
+      let pairs =
+        List.map (fun (p : Smc.Ranking.party) -> (p.node, p.value)) parties
+      in
+      let rng_seed = qseed + (43 * i) in
+      {
+        Spec.Differential.protocol = "ranking";
+        input =
+          show_strings (List.map string_of_int values);
+        run =
+          (fun net ->
+            Smc.Ranking.run ~net ~rng:(Prng.create ~seed:rng_seed) ~ttp parties);
+        oracle = Spec.Oracle.ranking pairs;
+        equal = (fun a b -> a = b);
+        show =
+          (fun v ->
+            Printf.sprintf "max=%s min=%s ranks=[%s]"
+              (Net.Node_id.to_string v.Smc.Ranking.max_holder)
+              (Net.Node_id.to_string v.Smc.Ranking.min_holder)
+              (String.concat ";"
+                 (List.map
+                    (fun (n, r) ->
+                      Printf.sprintf "%s:%d" (Net.Node_id.to_string n) r)
+                    v.Smc.Ranking.ranks)));
+        specs =
+          (fun verdict ->
+            (* The TTP announces who holds the maximum: that identity is
+               every party's authorized output. *)
+            let announced =
+              Net.Node_id.to_string verdict.Smc.Ranking.max_holder
+            in
+            blind_ttp ttp []
+            :: List.map
+                 (fun (p : Smc.Ranking.party) ->
+                   { (participant p.node [ Bignum.to_string p.value ]) with
+                     allowed_outputs = [ announced ]
+                   })
+                 parties);
+      })
+    (edges @ generated)
+
+let sum_cases ~weighted () =
+  let p = Lazy.force Generators.sum_p in
+  let generated =
+    Generators.cases
+      ~seed:(qseed + if weighted then 5 else 4)
+      ~count:case_count
+      (Generators.values_gen ~parties_min:2 ~parties_max:5 ())
+  in
+  (* k sweeps 2..n per case, hitting the k = n edge regularly. *)
+  List.mapi
+    (fun i values ->
+      let n = List.length values in
+      let parties =
+        List.mapi
+          (fun j v -> { Smc.Sum.node = Net.Node_id.Dla j; value = bn v })
+          values
+      in
+      let k = 2 + (i mod (n - 1)) in
+      let weights =
+        if weighted then
+          List.mapi
+            (fun j _ -> (Net.Node_id.Dla j, bn ((i + (3 * j)) mod 21)))
+            values
+        else []
+      in
+      let pairs = List.map (fun (p : Smc.Sum.party) -> (p.node, p.value)) parties in
+      let receiver = Net.Node_id.Auditor in
+      let rng_seed = qseed + (47 * i) in
+      {
+        Spec.Differential.protocol = (if weighted then "weighted-sum" else "sum");
+        input =
+          Printf.sprintf "k=%d %s%s" k
+            (show_strings (List.map string_of_int values))
+            (if weighted then
+               " w="
+               ^ show_strings
+                   (List.map (fun (_, w) -> Bignum.to_string w) weights)
+             else "");
+        run =
+          (fun net ->
+            let rng = Prng.create ~seed:rng_seed in
+            if weighted then
+              Smc.Sum.run_weighted ~net ~rng ~p ~k ~receiver ~weights parties
+            else Smc.Sum.run ~net ~rng ~p ~k ~receiver parties);
+        oracle =
+          (if weighted then
+             Spec.Oracle.weighted_sum ~p ~weights pairs
+           else Spec.Oracle.sum ~p (List.map snd pairs));
+        equal = Bignum.equal;
+        show = Bignum.to_string;
+        specs =
+          (fun total ->
+            (* The receiver is a pure output party: its whole view must
+               be shares plus exactly the final answer. *)
+            blind_ttp receiver [ Bignum.to_string total ]
+            :: List.map
+                 (fun (p : Smc.Sum.party) ->
+                   participant p.node [ Bignum.to_string p.value ])
+                 parties);
+      })
+    generated
+
+let majority_cases () =
+  let generated =
+    Generators.cases ~seed:(qseed + 6) ~count:case_count
+      (Generators.votes_gen ())
+  in
+  List.mapi
+    (fun i bools ->
+      let votes =
+        List.mapi
+          (fun j b ->
+            ( Net.Node_id.Dla j,
+              if b then Smc.Majority.Approve else Smc.Majority.Reject ))
+          bools
+      in
+      let rng_seed = qseed + (53 * i) in
+      {
+        Spec.Differential.protocol = "majority";
+        input =
+          show_strings
+            (List.map (fun (_, v) -> Smc.Majority.vote_to_string v) votes);
+        run =
+          (fun net ->
+            Smc.Majority.run ~net ~rng:(Prng.create ~seed:rng_seed) ~votes ());
+        oracle = Spec.Oracle.majority votes;
+        equal = (fun a b -> a = b);
+        show =
+          (fun o ->
+            Printf.sprintf "%s (%d/%d)"
+              (match o.Smc.Majority.verdict with
+              | Some v -> Smc.Majority.vote_to_string v
+              | None -> "tie")
+              o.Smc.Majority.approvals o.Smc.Majority.rejections);
+        specs =
+          (fun _ ->
+            (* Commit-then-reveal publishes every vote on purpose; the
+               inputs are not secrets, only binding matters. *)
+            List.map
+              (fun (node, _) ->
+                { (participant node []) with
+                  allowed_outputs = [ "approve"; "reject"; "tie" ]
+                })
+              votes);
+      })
+    generated
+
+let families : (string * (Spec.Schedule.t -> unit)) list =
+  [ ("intersection", fun s -> run_cases s (intersection_cases ()));
+    ("union", fun s -> run_cases s (union_cases ()));
+    ("equality", fun s -> run_cases s (equality_cases ()));
+    ("ranking", fun s -> run_cases s (ranking_cases ()));
+    ("sum", fun s -> run_cases s (sum_cases ~weighted:false ()));
+    ("weighted-sum", fun s -> run_cases s (sum_cases ~weighted:true ()));
+    ("majority", fun s -> run_cases s (majority_cases ()))
+  ]
+
+let differential_tests =
+  List.concat_map
+    (fun schedule ->
+      let sname = Spec.Schedule.name schedule in
+      List.map
+        (fun (proto, check) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s vs oracle [%s]" proto sname)
+            `Slow
+            (fun () -> check schedule))
+        families)
+    schedules
+
+(* ------------------------------------------------------------------ *)
+(* Oracle unit tests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_oracle_figure4 () =
+  Alcotest.(check (list string))
+    "Figure 4 worked example" [ "e" ]
+    (Spec.Oracle.intersection [ [ "c"; "d"; "e" ]; [ "d"; "e"; "f" ]; [ "e"; "f"; "g" ] ]);
+  Alcotest.(check (list string))
+    "union of the same sets"
+    [ "c"; "d"; "e"; "f"; "g" ]
+    (Spec.Oracle.union [ [ "c"; "d"; "e" ]; [ "d"; "e"; "f" ]; [ "e"; "f"; "g" ] ])
+
+let test_oracle_edge_sets () =
+  Alcotest.(check (list string)) "empty input" [] (Spec.Oracle.intersection []);
+  Alcotest.(check (list string))
+    "empty member annihilates" []
+    (Spec.Oracle.intersection [ [ "a" ]; [] ]);
+  Alcotest.(check (list string))
+    "duplicates collapse" [ "a" ]
+    (Spec.Oracle.union [ [ "a"; "a" ]; [ "a" ] ])
+
+let test_oracle_ranking_ties () =
+  (* The conventions under test: ties share the lower rank, min holder
+     is the earliest tied party, max holder the latest. *)
+  let nodes = dla 4 in
+  let values = List.map2 (fun n v -> (n, bn v)) nodes [ 7; 3; 7; 3 ] in
+  let v = Spec.Oracle.ranking values in
+  Alcotest.(check string)
+    "min is the first tied party" "P1"
+    (Net.Node_id.to_string v.Smc.Ranking.min_holder);
+  Alcotest.(check string)
+    "max is the last tied party" "P2"
+    (Net.Node_id.to_string v.Smc.Ranking.max_holder);
+  Alcotest.(check (list (pair string int)))
+    "tied ranks share the lower rank"
+    [ ("P1", 1); ("P3", 1); ("P0", 3); ("P2", 3) ]
+    (List.map
+       (fun (n, r) -> (Net.Node_id.to_string n, r))
+       v.Smc.Ranking.ranks)
+
+let test_oracle_majority_tie () =
+  let votes =
+    [ (Net.Node_id.Dla 0, Smc.Majority.Approve);
+      (Net.Node_id.Dla 1, Smc.Majority.Reject)
+    ]
+  in
+  let o = Spec.Oracle.majority votes in
+  Alcotest.(check bool) "tie verdict" true (o.Smc.Majority.verdict = None);
+  Alcotest.(check int) "approvals" 1 o.Smc.Majority.approvals;
+  Alcotest.(check int) "rejections" 1 o.Smc.Majority.rejections
+
+let test_oracle_weighted_sum_defaults () =
+  let p = Lazy.force Generators.sum_p in
+  let total =
+    Spec.Oracle.weighted_sum ~p
+      ~weights:[ (Net.Node_id.Dla 0, bn 3) ]
+      [ (Net.Node_id.Dla 0, bn 10); (Net.Node_id.Dla 1, bn 5) ]
+  in
+  (* Listed weight applies; unlisted party defaults to weight 1. *)
+  Alcotest.(check string) "3*10 + 1*5" "35" (Bignum.to_string total)
+
+(* ------------------------------------------------------------------ *)
+(* Transcript recorder                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_transcript_captures_views () =
+  let p = Lazy.force Generators.sum_p in
+  let parties =
+    List.mapi (fun j v -> { Smc.Sum.node = Net.Node_id.Dla j; value = bn v })
+      [ 10; 20; 30 ]
+  in
+  let total, transcript =
+    Spec.Transcript.record (fun () ->
+        let net = Net.Network.create () in
+        Smc.Sum.run ~net ~rng:(Prng.create ~seed:77) ~p ~k:3
+          ~receiver:Net.Node_id.Auditor parties)
+  in
+  Alcotest.(check string) "sum" "60" (Bignum.to_string total);
+  Alcotest.(check bool) "events captured" true (Spec.Transcript.size transcript > 0);
+  (* Every protocol principal shows up in the transcript. *)
+  let observed = Spec.Transcript.nodes transcript in
+  List.iter
+    (fun node ->
+      Alcotest.(check bool)
+        (Net.Node_id.to_string node ^ " observed")
+        true
+        (List.exists (Net.Node_id.equal node) observed))
+    (Net.Node_id.Auditor :: dla 3);
+  (* The receiver's authorized output is exactly the total. *)
+  Alcotest.(check (list string))
+    "auditor aggregates" [ "60" ]
+    (Spec.Transcript.aggregates transcript Net.Node_id.Auditor);
+  (* Observations carry the span path of the phase they happened in. *)
+  List.iter
+    (fun (e : Spec.Transcript.event) ->
+      match e.Smc.Proto_util.phase with
+      | "smc.sum" :: _ -> ()
+      | path ->
+        Alcotest.failf "event %s tagged with phase %s" e.Smc.Proto_util.tag
+          (String.concat "/" path))
+    (Spec.Transcript.events transcript);
+  (* The hook is uninstalled once record returns. *)
+  let net = Net.Network.create () in
+  let _ = Smc.Sum.naive ~net ~coordinator:Net.Node_id.Auditor parties in
+  Alcotest.(check int) "no late capture" (Spec.Transcript.size transcript)
+    (List.length (Spec.Transcript.events transcript))
+
+(* ------------------------------------------------------------------ *)
+(* View auditor                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let record_events events =
+  let _, transcript =
+    Spec.Transcript.record (fun () ->
+        let net = Net.Network.create () in
+        List.iter
+          (fun (node, sensitivity, value) ->
+            Smc.Proto_util.observe net ~node ~sensitivity ~tag:"unit" value)
+          events)
+  in
+  transcript
+
+let reasons violations =
+  List.map (fun v -> v.Spec.View_auditor.reason) violations
+
+let test_auditor_rules () =
+  let alice = Net.Node_id.Dla 0 and bob = Net.Node_id.Dla 1 in
+  let specs =
+    [ participant alice [ "a-secret" ];
+      participant bob [ "b-secret" ];
+      blind_ttp ttp [ "the-answer" ]
+    ]
+  in
+  let audit events =
+    Spec.View_auditor.audit ~specs (record_events events)
+  in
+  Alcotest.(check (list string)) "clean view"
+    []
+    (List.map Spec.View_auditor.reason_to_string
+       (reasons
+          (audit
+             [ (alice, Net.Ledger.Plaintext, "a-secret");
+               (bob, Net.Ledger.Share, "1234577");
+               (ttp, Net.Ledger.Blinded, "99021");
+               (ttp, Net.Ledger.Aggregate, "the-answer")
+             ])));
+  Alcotest.(check bool) "foreign secret under a blinded label" true
+    (reasons (audit [ (bob, Net.Ledger.Blinded, "a-secret") ])
+    = [ Spec.View_auditor.Foreign_secret ]);
+  Alcotest.(check bool) "any plaintext at the TTP" true
+    (reasons (audit [ (ttp, Net.Ledger.Plaintext, "harmless") ])
+    = [ Spec.View_auditor.Plaintext_at_ttp ]);
+  Alcotest.(check bool) "unauthorized aggregate" true
+    (reasons (audit [ (ttp, Net.Ledger.Aggregate, "something-else") ])
+    = [ Spec.View_auditor.Unauthorized_aggregate ]);
+  Alcotest.(check bool) "plaintext outside own inputs" true
+    (reasons (audit [ (alice, Net.Ledger.Plaintext, "not-mine") ])
+    = [ Spec.View_auditor.Unauthorized_plaintext ]);
+  Alcotest.(check bool) "bystander observation" true
+    (reasons (audit [ (Net.Node_id.User 9, Net.Ledger.Metadata, "n=3") ])
+    = [ Spec.View_auditor.Unknown_observer ])
+
+let test_leaky_fixture_fails_auditor () =
+  let l = bn 13 and r = bn 29 in
+  let lnode = Net.Node_id.Dla 0 and rnode = Net.Node_id.Dla 1 in
+  let verdict, transcript =
+    Spec.Transcript.record (fun () ->
+        Spec.Schedule.run
+          (Spec.Schedule.uniform ~seed:0)
+          (fun net ->
+            Spec.Leaky_fixture.equality_via_ttp ~net ~ttp ~left:(lnode, l)
+              ~right:(rnode, r)))
+  in
+  (* The broken protocol still computes the right answer: result
+     equality alone cannot reject it... *)
+  Alcotest.(check bool) "verdict matches oracle" (Spec.Oracle.equality l r)
+    verdict;
+  (* ...but the auditor must flag both leak shapes. *)
+  let specs =
+    [ participant lnode [ "13" ]; participant rnode [ "29" ]; blind_ttp ttp [] ]
+  in
+  let rs = reasons (Spec.View_auditor.audit ~specs transcript) in
+  Alcotest.(check bool) "plaintext at the TTP flagged" true
+    (List.mem Spec.View_auditor.Plaintext_at_ttp rs);
+  Alcotest.(check bool) "mislabeled verbatim secret flagged" true
+    (List.mem Spec.View_auditor.Foreign_secret rs)
+
+let test_counterexample_written () =
+  (* A diverging case must fail AND leave a replayable counterexample
+     where CI picks it up. *)
+  let path = Spec.Differential.counterexample_path () in
+  if Sys.file_exists path then Sys.remove path;
+  let case =
+    {
+      Spec.Differential.protocol = "fixture-divergence";
+      input = "n/a";
+      run = (fun _net -> 1);
+      oracle = 2;
+      equal = Int.equal;
+      show = string_of_int;
+      specs = (fun _ -> []);
+    }
+  in
+  let outcome = Spec.Differential.check ~schedule:(List.hd schedules) case in
+  Alcotest.(check bool) "check fails" true (Result.is_error outcome);
+  Alcotest.(check bool) "counterexample file written" true
+    (Sys.file_exists path);
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "counterexample names the protocol" true
+    (String.length line >= 18
+    && String.sub line 0 18 = "fixture-divergence")
+
+(* ------------------------------------------------------------------ *)
+(* Schedules                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_schedule_suite_shapes () =
+  Alcotest.(check (list string))
+    "suite names" [ "uniform"; "skewed"; "lossy" ]
+    (List.map Spec.Schedule.name schedules);
+  (* The skewed profile is deterministic in the seed and stays within
+     its bounds. *)
+  let profile = Net.Sim.latency_profile ~seed:5 () in
+  let a = Net.Node_id.Dla 0 and b = Net.Node_id.Dla 1 in
+  Alcotest.(check (float 0.0)) "deterministic" (profile a b) (profile a b);
+  Alcotest.(check bool) "within bounds" true
+    (profile a b >= 0.5 && profile a b <= 8.0);
+  Alcotest.(check bool) "rejects bad bounds" true
+    (match Net.Sim.latency_profile ~seed:1 ~min_ms:3.0 ~max_ms:1.0 () with
+    | (_ : Net.Node_id.t -> Net.Node_id.t -> float) -> false
+    | exception Invalid_argument _ -> true)
+
+let test_lossy_schedule_retries () =
+  (* The lossy schedule must converge on a multi-round protocol and
+     agree with the oracle: retries change the interleaving, never the
+     answer. *)
+  let p = Lazy.force Generators.sum_p in
+  let parties =
+    List.mapi (fun j v -> { Smc.Sum.node = Net.Node_id.Dla j; value = bn v })
+      [ 5; 6; 7; 8 ]
+  in
+  let total =
+    Spec.Schedule.run
+      (Spec.Schedule.lossy ~seed:12345)
+      (fun net ->
+        Smc.Sum.run ~net ~rng:(Prng.create ~seed:9) ~p ~k:4
+          ~receiver:Net.Node_id.Auditor parties)
+  in
+  Alcotest.(check string) "lossy run total" "26" (Bignum.to_string total)
+
+let () =
+  Alcotest.run "spec"
+    [ ( "oracle",
+        [ Alcotest.test_case "figure-4 example" `Quick test_oracle_figure4;
+          Alcotest.test_case "set edges" `Quick test_oracle_edge_sets;
+          Alcotest.test_case "ranking ties" `Quick test_oracle_ranking_ties;
+          Alcotest.test_case "majority tie" `Quick test_oracle_majority_tie;
+          Alcotest.test_case "weighted-sum defaults" `Quick
+            test_oracle_weighted_sum_defaults
+        ] );
+      ( "transcript",
+        [ Alcotest.test_case "captures per-node views" `Quick
+            test_transcript_captures_views
+        ] );
+      ( "view-auditor",
+        [ Alcotest.test_case "rule matrix" `Quick test_auditor_rules;
+          Alcotest.test_case "leaky fixture rejected" `Quick
+            test_leaky_fixture_fails_auditor;
+          Alcotest.test_case "counterexample artifact" `Quick
+            test_counterexample_written
+        ] );
+      ( "schedules",
+        [ Alcotest.test_case "suite shapes" `Quick test_schedule_suite_shapes;
+          Alcotest.test_case "lossy retries converge" `Quick
+            test_lossy_schedule_retries
+        ] );
+      ("differential", differential_tests)
+    ]
