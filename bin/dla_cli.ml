@@ -3,6 +3,7 @@
    Subcommands:
      tables       render the paper's Tables 1-6 from a live cluster
      audit        run a confidential audit query over a chosen workload
+     batch        run several queries as one session (shared-predicate CSE)
      count        secret counting: only the cardinality reaches the auditor
      correlate    cluster-wide event correlation (intrusion workload)
      certify      majority-vote + threshold-sign an audit verdict
@@ -72,10 +73,14 @@ let audit_cmd =
       exit 1
     | Ok cluster -> (
       match
-        Auditor_engine.audit_string cluster ~auditor:Net.Node_id.Auditor query
+        try
+          Auditor_engine.run cluster ~auditor:Net.Node_id.Auditor
+            (Auditor_engine.Text query)
+        with Net.Network.Partitioned { dst; reason; _ } ->
+          Error (Audit_error.of_partition ~during:"audit" ~node:dst ~reason)
       with
       | Error e ->
-        prerr_endline e;
+        prerr_endline (Audit_error.to_string e);
         exit 1
       | Ok audit ->
         Format.printf "%a@." Auditor_engine.pp_audit audit;
@@ -215,7 +220,7 @@ let metrics_cmd =
         | Error e -> Printf.printf "  %s: parse error %s\n" s e
         | Ok query -> (
           match Planner.plan frag (Query.normalize query) with
-          | Error e -> Printf.printf "  %s: %s\n" s e
+          | Error e -> Printf.printf "  %s: %s\n" s (Audit_error.to_string e)
           | Ok plan ->
             Printf.printf "  %-40s C_auditing=%.3f\n" s
               (Confidentiality.c_auditing plan)))
@@ -240,16 +245,50 @@ let count_cmd =
       exit 1
     | Ok cluster -> (
       match
-        Auditor_engine.secret_count cluster ~auditor:Net.Node_id.Auditor query
+        Auditor_engine.run cluster ~delivery:Executor.Count_only
+          ~auditor:Net.Node_id.Auditor (Auditor_engine.Text query)
       with
       | Error e ->
-        prerr_endline e;
+        prerr_endline (Audit_error.to_string e);
         exit 1
-      | Ok n -> Printf.printf "%d record(s) match (glsn's stay in-cluster)\n" n)
+      | Ok audit ->
+        Printf.printf "%d record(s) match (glsn's stay in-cluster)\n"
+          audit.Auditor_engine.count)
   in
   Cmd.v
     (Cmd.info "count" ~doc:"Secret counting: learn only how many records match")
     Term.(const run $ workload_arg $ seed_arg $ query_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let batch_cmd =
+  let queries_arg =
+    let doc =
+      "Auditing criteria to run as one session; shared predicates are \
+       planned and evaluated once."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY" ~doc)
+  in
+  let run workload seed queries =
+    match build_workload workload seed with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok cluster -> (
+      match
+        Audit_session.run_strings cluster ~auditor:Net.Node_id.Auditor queries
+      with
+      | Error e ->
+        prerr_endline (Audit_error.to_string e);
+        exit 1
+      | Ok summary -> Format.printf "%a@." Audit_session.pp_summary summary)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run several audit queries as one session (shared-predicate \
+          planning + glsn-set caching)")
+    Term.(const run $ workload_arg $ seed_arg $ queries_arg)
 
 let correlate_cmd =
   let threshold_arg =
@@ -301,10 +340,11 @@ let certify_cmd =
       exit 1
     | Ok cluster -> (
       match
-        Auditor_engine.audit_string cluster ~auditor:Net.Node_id.Auditor query
+        Auditor_engine.run cluster ~auditor:Net.Node_id.Auditor
+          (Auditor_engine.Text query)
       with
       | Error e ->
-        prerr_endline e;
+        prerr_endline (Audit_error.to_string e);
         exit 1
       | Ok audit ->
         let authority = Certification.setup cluster ~k:3 () in
@@ -354,15 +394,19 @@ let report_cmd =
       let report = Report.create ~title:(workload ^ " engagement") cluster in
       let auditor = Net.Node_id.Auditor in
       (match
-         Auditor_engine.audit_string cluster ~auditor {|C1 > 30 && id != tid|}
+         Auditor_engine.run cluster ~auditor
+           (Auditor_engine.Text {|C1 > 30 && id != tid|})
        with
       | Ok audit -> Report.add_audit report audit
-      | Error e -> prerr_endline e);
+      | Error e -> prerr_endline (Audit_error.to_string e));
       (match
-         Auditor_engine.secret_count cluster ~auditor {|protocl = "UDP"|}
+         Auditor_engine.run cluster ~delivery:Executor.Count_only ~auditor
+           (Auditor_engine.Text {|protocl = "UDP"|})
        with
-      | Ok n -> Report.add_count report ~criteria:{|protocl = "UDP"|} n
-      | Error e -> prerr_endline e);
+      | Ok audit ->
+        Report.add_count report ~criteria:{|protocl = "UDP"|}
+          audit.Auditor_engine.count
+      | Error e -> prerr_endline (Audit_error.to_string e));
       Report.add_integrity_sweep report
         (Integrity.check_all cluster ~initiator:(Net.Node_id.Dla 0));
       print_string (Report.render report)
@@ -399,7 +443,7 @@ let sum_cmd =
         | Ok m -> Printf.printf "mean: %.4f
 " m
         | Error e ->
-          prerr_endline e;
+          prerr_endline (Audit_error.to_string e);
           exit 1)
       else
         match
@@ -409,7 +453,7 @@ let sum_cmd =
         | Ok total -> Printf.printf "total: %s
 " (Value.to_string total)
         | Error e ->
-          prerr_endline e;
+          prerr_endline (Audit_error.to_string e);
           exit 1
   in
   Cmd.v
@@ -471,19 +515,22 @@ let shell_cmd =
             in
             (if count_only then
                match
-                 Auditor_engine.secret_count cluster
-                   ~auditor:Net.Node_id.Auditor query
+                 Auditor_engine.run cluster ~delivery:Executor.Count_only
+                   ~auditor:Net.Node_id.Auditor (Auditor_engine.Text query)
                with
-               | Ok n -> Printf.printf "%d record(s)\n%!" n
-               | Error e -> Printf.printf "error: %s\n%!" e
+               | Ok audit ->
+                 Printf.printf "%d record(s)\n%!" audit.Auditor_engine.count
+               | Error e ->
+                 Printf.printf "error: %s\n%!" (Audit_error.to_string e)
              else
                match
-                 Auditor_engine.audit_string cluster
-                   ~auditor:Net.Node_id.Auditor query
+                 Auditor_engine.run cluster ~auditor:Net.Node_id.Auditor
+                   (Auditor_engine.Text query)
                with
                | Ok audit ->
                  Format.printf "%a@." Auditor_engine.pp_audit audit
-               | Error e -> Printf.printf "error: %s\n%!" e);
+               | Error e ->
+                 Printf.printf "error: %s\n%!" (Audit_error.to_string e));
             loop ()
           end
       in
@@ -566,7 +613,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ tables_cmd; audit_cmd; count_cmd; correlate_cmd; certify_cmd;
-            integrity_cmd; archive_cmd; membership_cmd; metrics_cmd;
-            export_cmd; import_cmd; shell_cmd; exposure_cmd; report_cmd;
-            sum_cmd ]))
+          [ tables_cmd; audit_cmd; batch_cmd; count_cmd; correlate_cmd;
+            certify_cmd; integrity_cmd; archive_cmd; membership_cmd;
+            metrics_cmd; export_cmd; import_cmd; shell_cmd; exposure_cmd;
+            report_cmd; sum_cmd ]))

@@ -43,9 +43,14 @@ let () =
     violating;
 
   (* 2. Secret counting: how many UDP events, without learning which. *)
-  (match Auditor_engine.secret_count cluster ~auditor {|protocl = "UDP"|} with
-  | Ok n -> Printf.printf "\nsecret count of UDP events: %d\n" n
-  | Error e -> failwith e);
+  (match
+     Auditor_engine.run cluster ~delivery:Executor.Count_only ~auditor
+       (Auditor_engine.Text {|protocl = "UDP"|})
+   with
+  | Ok audit ->
+    Printf.printf "\nsecret count of UDP events: %d\n"
+      audit.Auditor_engine.count
+  | Error e -> failwith (Audit_error.to_string e));
 
   (* 3. Event correlation: per-user activity counts (aggregate only). *)
   let subjects =
@@ -66,10 +71,10 @@ let () =
   let authority = Certification.setup cluster ~k:3 () in
   let audit =
     match
-      Auditor_engine.audit_string cluster ~auditor {|C2 > 100.00|}
+      Auditor_engine.run cluster ~auditor (Auditor_engine.Text {|C2 > 100.00|})
     with
     | Ok a -> a
-    | Error e -> failwith e
+    | Error e -> failwith (Audit_error.to_string e)
   in
   (match Certification.certify authority cluster audit with
   | Ok certificate ->

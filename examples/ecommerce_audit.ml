@@ -55,10 +55,11 @@ let () =
      sees only the matching glsn sets. *)
   let audit criteria =
     match
-      Auditor_engine.audit_string cluster ~auditor:Net.Node_id.Auditor criteria
+      Auditor_engine.run cluster ~auditor:Net.Node_id.Auditor
+        (Auditor_engine.Text criteria)
     with
     | Ok a -> List.length a.Auditor_engine.matching
-    | Error e -> failwith e
+    | Error e -> failwith (Audit_error.to_string e)
   in
   let incomplete =
     List.filter
@@ -100,10 +101,10 @@ let () =
     (fun glsn -> Shared_column.record fees ~glsn (Value.Money 25))
     glsns;
   (match
-     Auditor_engine.audit_string cluster ~auditor:Net.Node_id.Auditor
-       {|C3 = "payment"|}
+     Auditor_engine.run cluster ~auditor:Net.Node_id.Auditor
+       (Auditor_engine.Text {|C3 = "payment"|})
    with
-  | Error e -> failwith e
+  | Error e -> failwith (Audit_error.to_string e)
   | Ok audit ->
     (match
        Shared_column.secret_total fees ~over:audit.Auditor_engine.matching

@@ -44,12 +44,14 @@ let () =
     (fun (member, truth) ->
       let local =
         match
-          Auditor_engine.secret_count member.Federation.cluster
+          Auditor_engine.run member.Federation.cluster
+            ~delivery:Executor.Count_only
             ~auditor:member.Federation.representative
-            (Printf.sprintf {|id = "%s"|} truth.Workload.Intrusion.attacker)
+            (Auditor_engine.Text
+               (Printf.sprintf {|id = "%s"|} truth.Workload.Intrusion.attacker))
         with
-        | Ok n -> n
-        | Error e -> failwith e
+        | Ok audit -> audit.Auditor_engine.count
+        | Error e -> failwith (Audit_error.to_string e)
       in
       Printf.printf "  %-10s sees %2d event(s) from %s -> %s\n"
         member.Federation.name local truth.Workload.Intrusion.attacker
@@ -78,12 +80,14 @@ let () =
     List.map
       (fun (member, truth) ->
         match
-          Auditor_engine.secret_count member.Federation.cluster
+          Auditor_engine.run member.Federation.cluster
+            ~delivery:Executor.Count_only
             ~auditor:member.Federation.representative
-            (Printf.sprintf {|id = "%s"|} truth.Workload.Intrusion.attacker)
+            (Auditor_engine.Text
+               (Printf.sprintf {|id = "%s"|} truth.Workload.Intrusion.attacker))
         with
-        | Ok n -> (member, n)
-        | Error e -> failwith e)
+        | Ok audit -> (member, audit.Auditor_engine.count)
+        | Error e -> failwith (Audit_error.to_string e))
       orgs
   in
   let leaked =

@@ -37,11 +37,11 @@ let () =
      aggregate counts (matching glsn sets). *)
   let count_for source =
     match
-      Auditor_engine.audit_string cluster ~auditor:Net.Node_id.Auditor
-        (Printf.sprintf {|id = "%s"|} source)
+      Auditor_engine.run cluster ~auditor:Net.Node_id.Auditor
+        (Auditor_engine.Text (Printf.sprintf {|id = "%s"|} source))
     with
     | Ok audit -> List.length audit.Auditor_engine.matching
-    | Error e -> failwith e
+    | Error e -> failwith (Audit_error.to_string e)
   in
   let suspects =
     truth.Workload.Intrusion.attacker

@@ -71,10 +71,10 @@ let () =
 
   (* And audits still work on it. *)
   match
-    Auditor_engine.audit_string cluster ~auditor:Net.Node_id.Auditor
-      {|C2 = C3 || C1 > 30|}
+    Auditor_engine.run cluster ~auditor:Net.Node_id.Auditor
+      (Auditor_engine.Text {|C2 = C3 || C1 > 30|})
   with
   | Ok audit ->
     Printf.printf "\nsample audit on deployed layout: %d match(es)\n"
       (List.length audit.Auditor_engine.matching)
-  | Error e -> failwith e
+  | Error e -> failwith (Audit_error.to_string e)

@@ -17,9 +17,12 @@ let () =
     config.Workload.Library.patrons;
 
   let count criteria =
-    match Auditor_engine.secret_count cluster ~auditor criteria with
-    | Ok n -> n
-    | Error e -> failwith e
+    match
+      Auditor_engine.run cluster ~delivery:Executor.Count_only ~auditor
+        (Auditor_engine.Text criteria)
+    with
+    | Ok audit -> audit.Auditor_engine.count
+    | Error e -> failwith (Audit_error.to_string e)
   in
 
   (* Service-usage statistics — "the number of specific services that
@@ -44,7 +47,7 @@ let () =
   | Ok total ->
     Printf.printf "\nrecords touched across all searches: %s (sum only)\n"
       (Value.to_string total)
-  | Error e -> failwith e);
+  | Error e -> failwith (Audit_error.to_string e));
 
   (* Per-branch load, still without reading any circulation row. *)
   print_endline "\nper-branch event counts:";

@@ -42,9 +42,10 @@ let () =
      the auditor receives only the matching glsn's. *)
   let criteria = {|id = "U1" && C2 > 100.00|} in
   (match
-     Auditor_engine.audit_string cluster ~auditor:Net.Node_id.Auditor criteria
+     Auditor_engine.run cluster ~auditor:Net.Node_id.Auditor
+       (Auditor_engine.Text criteria)
    with
-  | Error e -> failwith e
+  | Error e -> failwith (Audit_error.to_string e)
   | Ok audit ->
     Printf.printf "\naudit %s\n%s\n" criteria
       (Format.asprintf "%a" Auditor_engine.pp_audit audit));

@@ -1,0 +1,141 @@
+type entry = {
+  criteria : Query.t;
+  matching : Glsn.t list;
+  count : int;
+  c_auditing : float;
+  coverage : Executor.coverage;
+}
+
+type summary = {
+  entries : entry list;
+  unique_atoms : int;
+  unique_clauses : int;
+  dedup_atoms : int;
+  dedup_clauses : int;
+  cache_hits : int;
+  messages : int;
+  bytes : int;
+  rounds : int;
+}
+
+(* Scheduling weight of one clause: local atoms are a single in-situ
+   scan, cross atoms cost a negotiate + two blinded-column transfers +
+   a TTP round.  Cheap clauses drain first, so every query's local
+   work pipelines ahead of the TTP-bound tail; FIFO tie-breaking keeps
+   the order deterministic. *)
+let clause_cost (clause : Planner.planned_clause) =
+  List.fold_left
+    (fun acc { Planner.home; _ } ->
+      match home with Planner.Local _ -> acc +. 1.0 | Planner.Cross _ -> acc +. 8.0)
+    0.0 clause.Planner.atoms
+
+let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Executor.Glsns)
+    ?(failure_mode = Executor.Fail) ~auditor criteria_list =
+  let net = Cluster.net cluster in
+  let before = Net.Network.stats net in
+  let normalized = List.map Query.normalize criteria_list in
+  match Planner.plan_many (Cluster.fragmentation cluster) normalized with
+  | Error _ as e -> e
+  | Ok multi ->
+    Obs.Metrics.incr ~by:multi.Planner.dedup_atoms "audit.dedup_atoms";
+    Obs.Metrics.incr ~by:multi.Planner.dedup_clauses "audit.dedup_clauses";
+    Obs.Trace.set_clock (fun () -> Net.Network.virtual_time_ms net);
+    Obs.Trace.with_span "session.audit" @@ fun () ->
+    let cache = Executor.cache_create () in
+    (* Phase 1 — pipeline the batch's unique clauses.  Every distinct
+       SQ_i across all criteria is enqueued once, ordered by estimated
+       cost, and evaluated into the session cache. *)
+    let queue = Net.Event_queue.create () in
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun plan ->
+        List.iter
+          (fun clause ->
+            let key =
+              Planner.clause_key
+                (List.map
+                   (fun { Planner.atom; _ } -> atom)
+                   clause.Planner.atoms)
+            in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.add seen key ();
+              Net.Event_queue.push queue ~time:(clause_cost clause) clause
+            end)
+          plan.Planner.clauses)
+      multi.Planner.plans;
+    let rec drain () =
+      match Net.Event_queue.pop queue with
+      | None -> ()
+      | Some (_, clause) ->
+        Executor.warm_clause cluster ~ttp ~on_failure:failure_mode ~cache
+          clause;
+        drain ()
+    in
+    drain ();
+    (* Phase 2 — per-query conjunction and delivery.  Each execution
+       serves its clauses from the cache, paying only its own ∩ₛ and
+       final transfer. *)
+    let rec exec acc = function
+      | [] -> Ok (List.rev acc)
+      | criteria :: rest -> (
+        match
+          Executor.run cluster ~ttp ~delivery ~on_failure:failure_mode ~cache
+            ~auditor criteria
+        with
+        | Error _ as e -> e
+        | Ok report ->
+          exec
+            ({
+               criteria;
+               matching = report.Executor.matching;
+               count = report.Executor.count;
+               c_auditing = report.Executor.c_auditing;
+               coverage = report.Executor.coverage;
+             }
+            :: acc)
+            rest)
+    in
+    (match exec [] criteria_list with
+    | Error _ as e -> e
+    | Ok entries ->
+      let after = Net.Network.stats net in
+      Ok
+        {
+          entries;
+          unique_atoms = multi.Planner.unique_atoms;
+          unique_clauses = multi.Planner.unique_clauses;
+          dedup_atoms = multi.Planner.dedup_atoms;
+          dedup_clauses = multi.Planner.dedup_clauses;
+          cache_hits = Executor.cache_hits cache;
+          messages = after.Net.Network.messages - before.Net.Network.messages;
+          bytes = after.Net.Network.bytes - before.Net.Network.bytes;
+          rounds = after.Net.Network.rounds - before.Net.Network.rounds;
+        })
+
+let run_strings cluster ?ttp ?delivery ?failure_mode ~auditor inputs =
+  let rec parse acc = function
+    | [] -> Ok (List.rev acc)
+    | input :: rest -> (
+      match Query.parse input with
+      | Ok criteria -> parse (criteria :: acc) rest
+      | Error message -> Error (Audit_error.Parse_error { input; message }))
+  in
+  match parse [] inputs with
+  | Error _ as e -> e
+  | Ok criteria_list -> run cluster ?ttp ?delivery ?failure_mode ~auditor criteria_list
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>session: %d criteria, %d unique clauses (%d clause dups, %d atom \
+     dups eliminated)@ cache: %d glsn-set hits@ cost: %d messages, %d bytes, \
+     %d rounds@ %a@]"
+    (List.length s.entries) s.unique_clauses s.dedup_clauses s.dedup_atoms
+    s.cache_hits s.messages s.bytes s.rounds
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt "@ ")
+       (fun fmt e ->
+         Format.fprintf fmt "%s -> %d record(s)%s"
+           (Query.to_string e.criteria)
+           e.count
+           (if e.coverage.Executor.complete then "" else " (partial coverage)")))
+    s.entries

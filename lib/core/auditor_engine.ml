@@ -1,72 +1,94 @@
 type audit = {
   criteria : Query.t;
   matching : Glsn.t list;
+  count : int;
   c_auditing : float;
   mean_c_store : float;
   mean_c_query : float;
+  coverage : Executor.coverage;
   messages : int;
   bytes : int;
   rounds : int;
 }
 
-let audit cluster ?ttp ~auditor criteria =
-  let net = Cluster.net cluster in
-  let before = Net.Network.stats net in
-  match Executor.run cluster ?ttp ~auditor criteria with
+type request =
+  | Criteria of Query.t
+  | Text of string
+
+let run cluster ?ttp ?delivery ?failure_mode ~auditor request =
+  let parsed =
+    match request with
+    | Criteria criteria -> Ok criteria
+    | Text input -> (
+      match Query.parse input with
+      | Ok criteria -> Ok criteria
+      | Error message -> Error (Audit_error.Parse_error { input; message }))
+  in
+  match parsed with
   | Error _ as e -> e
-  | Ok report ->
-    let after = Net.Network.stats net in
-    let fragmentation = Cluster.fragmentation cluster in
-    let stores =
-      List.filter_map
-        (fun glsn ->
-          Option.map
-            (Confidentiality.c_store fragmentation)
-            (Cluster.record_of cluster glsn))
-        report.Executor.matching
-    in
-    let mean xs =
-      match xs with
-      | [] -> 0.0
-      | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
-    in
-    let mean_c_store = mean stores in
-    Ok
-      {
-        criteria;
-        matching = report.Executor.matching;
-        c_auditing = report.Executor.c_auditing;
-        mean_c_store;
-        mean_c_query = report.Executor.c_auditing *. mean_c_store;
-        messages = after.Net.Network.messages - before.Net.Network.messages;
-        bytes = after.Net.Network.bytes - before.Net.Network.bytes;
-        rounds = after.Net.Network.rounds - before.Net.Network.rounds;
-      }
-
-let audit_string cluster ?ttp ~auditor input =
-  match Query.parse input with
-  | Error e -> Error ("parse error: " ^ e)
-  | Ok criteria -> audit cluster ?ttp ~auditor criteria
-
-let secret_count cluster ?ttp ~auditor input =
-  match Query.parse input with
-  | Error e -> Error ("parse error: " ^ e)
   | Ok criteria -> (
+    let net = Cluster.net cluster in
+    let before = Net.Network.stats net in
     match
-      Executor.run cluster ?ttp ~delivery:Executor.Count_only ~auditor criteria
+      Executor.run cluster ?ttp ?delivery ?on_failure:failure_mode ~auditor
+        criteria
     with
     | Error _ as e -> e
-    | Ok report -> Ok report.Executor.count)
+    | Ok report ->
+      let after = Net.Network.stats net in
+      let fragmentation = Cluster.fragmentation cluster in
+      let stores =
+        List.filter_map
+          (fun glsn ->
+            Option.map
+              (Confidentiality.c_store fragmentation)
+              (Cluster.record_of cluster glsn))
+          report.Executor.matching
+      in
+      let mean xs =
+        match xs with
+        | [] -> 0.0
+        | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+      in
+      let mean_c_store = mean stores in
+      Ok
+        {
+          criteria;
+          matching = report.Executor.matching;
+          count = report.Executor.count;
+          c_auditing = report.Executor.c_auditing;
+          mean_c_store;
+          mean_c_query = report.Executor.c_auditing *. mean_c_store;
+          coverage = report.Executor.coverage;
+          messages = after.Net.Network.messages - before.Net.Network.messages;
+          bytes = after.Net.Network.bytes - before.Net.Network.bytes;
+          rounds = after.Net.Network.rounds - before.Net.Network.rounds;
+        })
+
+(* Deprecated wrappers — the names predate [run]; only the [.mli]
+   carries the deprecation alert so these definitions stay clean. *)
+let audit cluster ?ttp ~auditor criteria =
+  run cluster ?ttp ~auditor (Criteria criteria)
+
+let audit_string cluster ?ttp ~auditor input =
+  run cluster ?ttp ~auditor (Text input)
+
+let secret_count cluster ?ttp ~auditor input =
+  match
+    run cluster ?ttp ~delivery:Executor.Count_only ~auditor (Text input)
+  with
+  | Error _ as e -> e
+  | Ok audit -> Ok audit.count
 
 let secret_sum cluster ?ttp ~auditor ~attr input =
   match Query.parse input with
-  | Error e -> Error ("parse error: " ^ e)
+  | Error message -> Error (Audit_error.Parse_error { input; message })
   | Ok criteria -> (
     match Fragmentation.home_of (Cluster.fragmentation cluster) attr with
     | None ->
       Error
-        (Printf.sprintf "no DLA node supports attribute %s"
-           (Attribute.to_string attr))
+        (Audit_error.Aggregate_error
+           { attr = Attribute.to_string attr; fault = Audit_error.No_home })
     | Some home -> (
       (* The matching glsn set is metadata; deliver it to the attribute's
          home node, which sums its own column and releases the total. *)
@@ -82,6 +104,11 @@ let secret_sum cluster ?ttp ~auditor ~attr input =
               | Some fragment -> List.assoc_opt attr fragment)
             report.Executor.matching
         in
+        let aggregate_error fault =
+          Error
+            (Audit_error.Aggregate_error
+               { attr = Attribute.to_string attr; fault })
+        in
         let rec total acc = function
           | [] -> Ok acc
           | v :: rest -> (
@@ -89,8 +116,8 @@ let secret_sum cluster ?ttp ~auditor ~attr input =
             | Value.Int a, Value.Int b -> total (Value.Int (a + b)) rest
             | Value.Money a, Value.Money b -> total (Value.Money (a + b)) rest
             | Value.Time a, Value.Time b -> total (Value.Time (a + b)) rest
-            | _, Value.Str _ -> Error "cannot sum a string attribute"
-            | _, _ -> Error "mixed value kinds under the attribute")
+            | _, Value.Str _ -> aggregate_error Audit_error.String_column
+            | _, _ -> aggregate_error Audit_error.Mixed_kinds)
         in
         let zero_like =
           match values with
@@ -116,10 +143,12 @@ let secret_mean cluster ?ttp ~auditor ~attr input =
   match secret_sum cluster ?ttp ~auditor ~attr input with
   | Error _ as e -> e
   | Ok sum -> (
-    match secret_count cluster ?ttp ~auditor input with
+    match
+      run cluster ?ttp ~delivery:Executor.Count_only ~auditor (Text input)
+    with
     | Error _ as e -> e
-    | Ok 0 -> Error "no matching records"
-    | Ok count ->
+    | Ok { count = 0; _ } -> Error Audit_error.No_matching_records
+    | Ok { count; _ } ->
       let numerator =
         match sum with
         | Value.Money cents -> float_of_int cents /. 100.0

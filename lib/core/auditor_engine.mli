@@ -2,43 +2,75 @@
 
     One call audits a cluster: parse (or take) the criteria, plan,
     execute confidentially, and return the result together with the
-    §5 confidentiality scores and the network cost of the audit. *)
+    §5 confidentiality scores and the network cost of the audit.
+
+    {!run} is the single entry point: it takes a {!request} (parsed
+    criteria or query text) and the delivery/failure knobs of the
+    executor.  The historical [audit] / [audit_string] /
+    [secret_count] names remain as thin deprecated wrappers.  Batches
+    of criteria belong in an {!Audit_session}. *)
 
 type audit = {
   criteria : Query.t;
   matching : Glsn.t list;
+      (** sorted ascending; empty under [Count_only] (see [count]) *)
+  count : int;  (** cardinality of the match set *)
   c_auditing : float;  (** eq 11 *)
   mean_c_store : float;  (** eq 10 averaged over the matching records *)
   mean_c_query : float;  (** eq 12 averaged over the matching records *)
+  coverage : Executor.coverage;
+      (** complete on the fault-free path; under [Degrade] it names
+          what could not be evaluated *)
   messages : int;  (** network messages this audit cost *)
   bytes : int;
   rounds : int;
 }
+
+type request =
+  | Criteria of Query.t  (** already-parsed criteria *)
+  | Text of string  (** query-language text, parsed by {!run} *)
+
+val run :
+  Cluster.t ->
+  ?ttp:Net.Node_id.t ->
+  ?delivery:Executor.delivery ->
+  ?failure_mode:Executor.failure_mode ->
+  auditor:Net.Node_id.t ->
+  request ->
+  (audit, Audit_error.t) result
+(** Audit the cluster once.  [delivery] defaults to [Glsns]; with
+    [Count_only] the auditor learns only [count] (the paper's secret
+    counting — [matching] is empty).  [failure_mode] defaults to
+    [Fail]: a mid-audit partition raises {!Net.Network.Partitioned};
+    with [Degrade] the call always returns and [coverage] discloses
+    any gap.  Errors are typed: {!Audit_error.Parse_error} for a
+    [Text] request that does not parse,
+    {!Audit_error.Unknown_attribute} from the planner. *)
 
 val audit :
   Cluster.t ->
   ?ttp:Net.Node_id.t ->
   auditor:Net.Node_id.t ->
   Query.t ->
-  (audit, string) result
+  (audit, Audit_error.t) result
+[@@ocaml.deprecated "use Auditor_engine.run (Criteria q)"]
 
 val audit_string :
   Cluster.t ->
   ?ttp:Net.Node_id.t ->
   auditor:Net.Node_id.t ->
   string ->
-  (audit, string) result
-(** Parse the criteria from the query language, then {!audit}. *)
+  (audit, Audit_error.t) result
+[@@ocaml.deprecated "use Auditor_engine.run (Text s)"]
 
 val secret_count :
   Cluster.t ->
   ?ttp:Net.Node_id.t ->
   auditor:Net.Node_id.t ->
   string ->
-  (int, string) result
-(** The paper's secret-counting service (§1, ref [7]): the auditor
-    learns only {e how many} records satisfy the criteria — the glsn set
-    never leaves the cluster. *)
+  (int, Audit_error.t) result
+[@@ocaml.deprecated
+  "use Auditor_engine.run ~delivery:Executor.Count_only (Text s)"]
 
 val secret_sum :
   Cluster.t ->
@@ -46,13 +78,14 @@ val secret_sum :
   auditor:Net.Node_id.t ->
   attr:Attribute.t ->
   string ->
-  (Value.t, string) result
+  (Value.t, Audit_error.t) result
 (** "Total of volumes" (paper §1/abstract): sum a numeric attribute over
     the matching records.  The attribute's home node evaluates the sum
     locally over the (metadata) glsn set and releases only the total;
     the auditor never sees per-record values.  The result carries the
     attribute's kind ([Money] sums to [Money], …).
-    @raise nothing; mixed-kind or string columns yield an [Error]. *)
+    @raise nothing; mixed-kind or string columns yield an
+    {!Audit_error.Aggregate_error}. *)
 
 val secret_mean :
   Cluster.t ->
@@ -60,11 +93,11 @@ val secret_mean :
   auditor:Net.Node_id.t ->
   attr:Attribute.t ->
   string ->
-  (float, string) result
+  (float, Audit_error.t) result
 (** Mean of a numeric attribute over the matching records, computed by
     the auditor from two authorized aggregates (a secret sum and a
     secret count) — no additional disclosure beyond what those two
     already carry.  [Money] means are in currency units (not cents).
-    [Error] on string columns or an empty match set. *)
+    {!Audit_error.No_matching_records} on an empty match set. *)
 
 val pp_audit : Format.formatter -> audit -> unit

@@ -29,7 +29,7 @@ let c_dla fragmentation ~queries ~records =
         | Error _ as e -> e)
     in
     match plans [] queries with
-    | Error e -> Error e
+    | Error e -> Error (Audit_error.to_string e)
     | Ok plans ->
       let total =
         List.fold_left

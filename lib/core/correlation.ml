@@ -13,6 +13,16 @@ let pp_alert fmt a =
     (a.window.window_start + a.window.window_length)
     a.threshold
 
+(* Correlation keeps its string-error public API; the engine's typed
+   errors are rendered at this boundary. *)
+let secret_count cluster ?ttp ~auditor criteria =
+  match
+    Auditor_engine.run cluster ?ttp ~delivery:Executor.Count_only ~auditor
+      (Auditor_engine.Text criteria)
+  with
+  | Ok audit -> Ok audit.Auditor_engine.count
+  | Error e -> Error (Audit_error.to_string e)
+
 let subject_criteria ~subject_attr ~subject ?extra_criteria () =
   let base =
     Printf.sprintf {|%s = "%s"|} (Attribute.to_string subject_attr) subject
@@ -29,7 +39,7 @@ let count_by_subject cluster ?ttp ~auditor ~subject_attr ?extra_criteria
       let criteria =
         subject_criteria ~subject_attr ~subject ?extra_criteria ()
       in
-      match Auditor_engine.secret_count cluster ?ttp ~auditor criteria with
+      match secret_count cluster ?ttp ~auditor criteria with
       | Ok count -> go ((subject, count) :: acc) rest
       | Error _ as e -> e)
   in
@@ -59,7 +69,7 @@ let sliding_window_alerts cluster ?ttp ~auditor ~subject_attr ~subjects
           let criteria =
             subject_criteria ~subject_attr ~subject ~extra_criteria:extra ()
           in
-          match Auditor_engine.secret_count cluster ?ttp ~auditor criteria with
+          match secret_count cluster ?ttp ~auditor criteria with
           | Error _ as e -> e
           | Ok count ->
             if count >= threshold then

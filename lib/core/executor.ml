@@ -163,11 +163,55 @@ type degrade_ctx = {
 let mark_unreachable ctx nodes =
   List.iter (fun n -> ctx.down <- Net.Node_id.Set.add n ctx.down) nodes
 
+(* ------------------------------------------------------------------ *)
+(* Session glsn-set cache                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One memoized glsn set.  [complete = false] marks an entry evaluated
+   under Degrade with nodes down: [entry_unreachable]/[entry_skipped]
+   carry the coverage debt that any reuse must surface in its own
+   report. *)
+type cache_entry = {
+  cached_set : Glsn.Set.t;
+  complete : bool;
+  entry_unreachable : Net.Node_id.t list;
+  entry_skipped : int;
+}
+
+type cache = {
+  atom_tbl : (string, cache_entry) Hashtbl.t;
+  clause_tbl : (string, cache_entry) Hashtbl.t;
+  mutable hits : int;
+}
+
+let cache_create () =
+  { atom_tbl = Hashtbl.create 32; clause_tbl = Hashtbl.create 16; hits = 0 }
+
+let cache_hits cache = cache.hits
+let cache_entries cache =
+  (Hashtbl.length cache.atom_tbl, Hashtbl.length cache.clause_tbl)
+
+(* A complete entry is always reusable.  An incomplete one is reusable
+   only while every node it skipped is *still* unavailable — once a node
+   recovers, the predicate must be re-evaluated (under Fail, [available]
+   is constantly true, so incomplete entries are never reused). *)
+let cache_usable ~available entry =
+  entry.complete
+  || List.for_all (fun node -> not (available node)) entry.entry_unreachable
+
+let cache_find tbl ~available cache key =
+  match Hashtbl.find_opt (tbl cache) key with
+  | Some entry when cache_usable ~available entry ->
+    cache.hits <- cache.hits + 1;
+    Obs.Metrics.incr "audit.cache_hit";
+    Some entry
+  | _ -> None
+
 (* Evaluate one clause at [home] (its planned home, or a stand-in when
    degraded — glsn sets are Definition-1 metadata, so re-homing the
    union never widens plaintext observation).  [available] decides which
    nodes can serve; atoms whose nodes cannot are skipped and recorded. *)
-let eval_clause cluster ~ttp ~catch_partition ~available ~ctx ~home
+let eval_clause cluster ~ttp ~catch_partition ~available ~ctx ~cache ~home
     (clause : Planner.planned_clause) =
   let net = Cluster.net cluster in
   Obs.Trace.with_span "executor.clause" @@ fun () ->
@@ -210,23 +254,52 @@ let eval_clause cluster ~ttp ~catch_partition ~available ~ctx ~home
             end
           | Query.Const _ -> assert false (* planner never crosses a const *))
       in
-      let set =
+      let eval_and_memo () =
         (* Under degraded execution a mid-protocol drop (loss) converts
            into a skipped atom instead of an aborted audit. *)
-        if catch_partition then
-          try eval () with
-          | Net.Network.Partitioned { dst; _ } ->
-            Obs.Metrics.incr "executor.atoms.skipped";
-            ctx.n_skipped_atoms <- ctx.n_skipped_atoms + 1;
-            mark_unreachable ctx [ dst ];
-            None
-        else eval ()
+        let computed =
+          if catch_partition then
+            try eval () with
+            | Net.Network.Partitioned { dst; _ } ->
+              Obs.Metrics.incr "executor.atoms.skipped";
+              ctx.n_skipped_atoms <- ctx.n_skipped_atoms + 1;
+              mark_unreachable ctx [ dst ];
+              None
+          else eval ()
+        in
+        (match (computed, cache) with
+        | Some set, Some c ->
+          Hashtbl.replace c.atom_tbl (Planner.atom_key atom)
+            {
+              cached_set = set;
+              complete = true;
+              entry_unreachable = [];
+              entry_skipped = 0;
+            }
+        | _ -> ());
+        computed
+      in
+      let set =
+        (* A session-cache hit reuses the memoized glsn set: the atom's
+           SMC work (blinding, TTP round, local-result transfer) is
+           skipped entirely.  Atom entries are only ever stored after a
+           successful evaluation, so they are always complete. *)
+        match cache with
+        | None -> eval_and_memo ()
+        | Some c -> (
+          match
+            cache_find (fun c -> c.atom_tbl) ~available c
+              (Planner.atom_key atom)
+          with
+          | Some entry -> Some entry.cached_set
+          | None -> eval_and_memo ())
       in
       match set with None -> acc | Some set -> Glsn.Set.union acc set)
     Glsn.Set.empty clause.Planner.atoms
 
 let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
-    ?(optimize = false) ?(on_failure = Fail) ?replication ~auditor criteria =
+    ?(optimize = false) ?(on_failure = Fail) ?replication ?cache ~auditor
+    criteria =
   let normalized = Query.normalize criteria in
   match Planner.plan (Cluster.fragmentation cluster) normalized with
   | Error _ as e -> e
@@ -284,6 +357,10 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
       if available home then Some home
       else List.find_opt available (Cluster.nodes cluster)
     in
+    let clause_key_of clause =
+      Planner.clause_key
+        (List.map (fun { Planner.atom; _ } -> atom) clause.Planner.atoms)
+    in
     let clause_sets =
       let rec eval acc = function
         | [] -> List.rev acc
@@ -296,29 +373,66 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
             ctx.n_skipped_clauses <- ctx.n_skipped_clauses + 1;
             mark_unreachable ctx [ clause.Planner.clause_home ];
             eval acc rest
-          | Some home ->
-            let before_skipped = ctx.n_skipped_atoms in
-            let set =
-              eval_clause cluster ~ttp
-                ~catch_partition:(on_failure = Degrade)
-                ~available ~ctx ~home clause
+          | Some home -> (
+            let cached =
+              match cache with
+              | None -> None
+              | Some c ->
+                cache_find (fun c -> c.clause_tbl) ~available c
+                  (clause_key_of clause)
             in
-            let all_atoms_skipped =
-              ctx.n_skipped_atoms - before_skipped
-              >= List.length clause.Planner.atoms
-            in
-            if all_atoms_skipped then begin
-              (* An entirely unevaluated disjunction is unknowable — drop
-                 it from the conjunction rather than intersecting with a
-                 spurious empty set; the coverage report names it. *)
-              Obs.Metrics.incr "executor.clauses.skipped";
-            ctx.n_skipped_clauses <- ctx.n_skipped_clauses + 1;
-              eval acc rest
-            end
-            else if optimize && Glsn.Set.is_empty set then
-              (* Short-circuit: one empty clause empties the conjunction. *)
-              [ (home, set) ]
-            else eval ((home, set) :: acc) rest)
+            match cached with
+            | Some entry ->
+              (* The whole SQ_i is served from the session cache: no
+                 atom evaluation, no transfers, no TTP round.  An
+                 incomplete entry carries its coverage debt into this
+                 report, so degraded reuse stays truthful. *)
+              if not entry.complete then begin
+                ctx.n_skipped_atoms <- ctx.n_skipped_atoms + entry.entry_skipped;
+                mark_unreachable ctx entry.entry_unreachable
+              end;
+              if optimize && Glsn.Set.is_empty entry.cached_set then
+                [ (home, entry.cached_set) ]
+              else eval ((home, entry.cached_set) :: acc) rest
+            | None ->
+              let before_skipped = ctx.n_skipped_atoms in
+              let before_down = ctx.down in
+              let set =
+                eval_clause cluster ~ttp
+                  ~catch_partition:(on_failure = Degrade)
+                  ~available ~ctx ~cache ~home clause
+              in
+              let skipped_delta = ctx.n_skipped_atoms - before_skipped in
+              let all_atoms_skipped =
+                skipped_delta >= List.length clause.Planner.atoms
+              in
+              if all_atoms_skipped then begin
+                (* An entirely unevaluated disjunction is unknowable — drop
+                   it from the conjunction rather than intersecting with a
+                   spurious empty set; the coverage report names it. *)
+                Obs.Metrics.incr "executor.clauses.skipped";
+                ctx.n_skipped_clauses <- ctx.n_skipped_clauses + 1;
+                eval acc rest
+              end
+              else begin
+                (match cache with
+                | Some c ->
+                  Hashtbl.replace c.clause_tbl (clause_key_of clause)
+                    {
+                      cached_set = set;
+                      complete = skipped_delta = 0;
+                      entry_unreachable =
+                        Net.Node_id.Set.elements
+                          (Net.Node_id.Set.diff ctx.down before_down);
+                      entry_skipped = skipped_delta;
+                    }
+                | None -> ());
+                if optimize && Glsn.Set.is_empty set then
+                  (* Short-circuit: one empty clause empties the
+                     conjunction. *)
+                  [ (home, set) ]
+                else eval ((home, set) :: acc) rest
+              end))
       in
       eval [] ordered_clauses
     in
@@ -418,3 +532,52 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
         c_auditing;
         coverage;
       }
+
+(* Evaluate one clause purely to populate the session cache — the same
+   messages, rounds and coverage accounting as the first [run] over the
+   clause, minus the per-query conjunction and delivery. *)
+let warm_clause cluster ?(ttp = Net.Node_id.Ttp "query") ?(on_failure = Fail)
+    ~cache (clause : Planner.planned_clause) =
+  let net = Cluster.net cluster in
+  let available node =
+    match on_failure with
+    | Fail -> true
+    | Degrade -> Net.Network.is_up net node
+  in
+  let key =
+    Planner.clause_key
+      (List.map (fun { Planner.atom; _ } -> atom) clause.Planner.atoms)
+  in
+  let already_cached =
+    match Hashtbl.find_opt cache.clause_tbl key with
+    | Some entry -> cache_usable ~available entry
+    | None -> false
+  in
+  let home =
+    if available clause.Planner.clause_home then
+      Some clause.Planner.clause_home
+    else List.find_opt available (Cluster.nodes cluster)
+  in
+  match (already_cached, home) with
+  | true, _ | _, None -> () (* nothing to warm; [run] will account for it *)
+  | false, Some home ->
+    let ctx =
+      {
+        down = Net.Node_id.Set.empty;
+        n_skipped_atoms = 0;
+        n_skipped_clauses = 0;
+      }
+    in
+    let set =
+      eval_clause cluster ~ttp
+        ~catch_partition:(on_failure = Degrade)
+        ~available ~ctx ~cache:(Some cache) ~home clause
+    in
+    if ctx.n_skipped_atoms < List.length clause.Planner.atoms then
+      Hashtbl.replace cache.clause_tbl key
+        {
+          cached_set = set;
+          complete = ctx.n_skipped_atoms = 0;
+          entry_unreachable = Net.Node_id.Set.elements ctx.down;
+          entry_skipped = ctx.n_skipped_atoms;
+        }

@@ -61,6 +61,28 @@ type report = {
           unreachable; [complete = true] on the fault-free path *)
 }
 
+(** {1 Session glsn-set cache}
+
+    A per-session memo of evaluated predicates, keyed by
+    {!Planner.atom_key}/{!Planner.clause_key}.  A hit returns the glsn
+    set without re-running the SMC machinery — no blinded columns, no
+    TTP round, no local-result transfer — and bumps the
+    [audit.cache_hit] counter.  Entries evaluated under [Degrade] with
+    nodes down are stored {e incomplete} together with the unreachable
+    set; they are reused only while those nodes are still down (and
+    their skipped-atom counts flow into the new report's coverage), and
+    are re-evaluated once the nodes recover.  Glsn sets are
+    Definition-1 metadata, so caching them widens no node's
+    observations. *)
+
+type cache
+
+val cache_create : unit -> cache
+val cache_hits : cache -> int  (** hits served so far, atoms + clauses *)
+
+val cache_entries : cache -> int * int
+(** [(atom_entries, clause_entries)] currently stored. *)
+
 val run :
   Cluster.t ->
   ?ttp:Net.Node_id.t ->
@@ -68,9 +90,10 @@ val run :
   ?optimize:bool ->
   ?on_failure:failure_mode ->
   ?replication:Replication.t ->
+  ?cache:cache ->
   auditor:Net.Node_id.t ->
   Query.t ->
-  (report, string) result
+  (report, Audit_error.t) result
 (** Fails on planner errors.  Matches {!Query.eval_record} applied to
     every reassembled record (the tests assert this equivalence).
 
@@ -86,4 +109,21 @@ val run :
     the result is computed over the clauses that could be evaluated and
     [coverage] discloses the gap — the answer is exact again once the
     nodes recover (after [drain_hints]/repair), which the chaos suite
-    asserts. *)
+    asserts.
+
+    With [cache], atom and clause glsn sets are looked up before any
+    evaluation and stored after it; answers are byte-identical with and
+    without a cache (the sets depend only on stored data, never on
+    message timing or blinding randomness). *)
+
+val warm_clause :
+  Cluster.t ->
+  ?ttp:Net.Node_id.t ->
+  ?on_failure:failure_mode ->
+  cache:cache ->
+  Planner.planned_clause ->
+  unit
+(** Evaluate one planned clause at its home and store its glsn set (and
+    its atoms' sets) in [cache], exactly as the first {!run} over that
+    clause would — {!Audit_session} uses this to pipeline the unique
+    clauses of a batch before the per-query conjunctions run. *)

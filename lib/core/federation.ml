@@ -13,7 +13,12 @@ let member ~name cluster =
   { name; cluster; representative = Net.Node_id.Ttp ("fed:" ^ name) }
 
 let local_count ~auditor ~criteria member =
-  Auditor_engine.secret_count member.cluster ~auditor criteria
+  match
+    Auditor_engine.run member.cluster ~delivery:Executor.Count_only ~auditor
+      (Auditor_engine.Text criteria)
+  with
+  | Ok audit -> Ok audit.Auditor_engine.count
+  | Error e -> Error (Audit_error.to_string e)
 
 let sum_prime = Bignum.of_string "2305843009213693951"
 

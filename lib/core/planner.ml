@@ -21,9 +21,7 @@ let home_of_attr fragmentation attr =
   match Fragmentation.home_of fragmentation attr with
   | Some node -> Ok node
   | None ->
-    Error
-      (Printf.sprintf "attribute %s is not supported by any DLA node"
-         (Attribute.to_string attr))
+    Error (Audit_error.Unknown_attribute { attr = Attribute.to_string attr })
 
 let plan_atom fragmentation (atom : Query.atom) =
   match home_of_attr fragmentation atom.Query.attr with
@@ -95,9 +93,81 @@ let plan fragmentation normalized =
         conjuncts = max 0 (List.length clauses - 1);
       }
 
+(* Canonical order, not first-appearance order: reordering the clauses
+   of a query (or batching queries whose clauses interleave differently)
+   must not change the reported home set. *)
 let homes t =
-  List.fold_left
-    (fun acc clause ->
-      if List.exists (Net.Node_id.equal clause.clause_home) acc then acc
-      else acc @ [ clause.clause_home ])
-    [] t.clauses
+  List.sort_uniq Net.Node_id.compare
+    (List.map (fun clause -> clause.clause_home) t.clauses)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical predicate keys                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* [Value.to_wire] is injective across kinds and attribute names never
+   contain NUL, so '\000'/'\001' make unambiguous separators. *)
+let atom_key (atom : Query.atom) =
+  let rhs =
+    match atom.Query.rhs with
+    | Query.Attr b -> "A" ^ Attribute.to_string b
+    | Query.Const v -> "C" ^ Value.to_wire v
+  in
+  String.concat "\000"
+    [ Attribute.to_string atom.Query.attr;
+      Query.comparison_to_string atom.Query.op; rhs
+    ]
+
+(* A clause is a disjunction: atom order is semantically irrelevant, so
+   the key sorts atom keys first. *)
+let clause_key (clause : Query.clause) =
+  String.concat "\001" (List.sort compare (List.map atom_key clause))
+
+(* ------------------------------------------------------------------ *)
+(* Multi-query planning                                                *)
+(* ------------------------------------------------------------------ *)
+
+type multi = {
+  plans : t list;
+  unique_atoms : int;
+  unique_clauses : int;
+  dedup_atoms : int;
+  dedup_clauses : int;
+}
+
+let plan_many fragmentation normalized_list =
+  let rec plan_all acc = function
+    | [] -> Ok (List.rev acc)
+    | normalized :: rest -> (
+      match plan fragmentation normalized with
+      | Ok p -> plan_all (p :: acc) rest
+      | Error _ as e -> e)
+  in
+  match plan_all [] normalized_list with
+  | Error _ as e -> e
+  | Ok plans ->
+    let atom_keys = Hashtbl.create 32 and clause_keys = Hashtbl.create 16 in
+    let atom_occurrences = ref 0 and clause_occurrences = ref 0 in
+    List.iter
+      (fun plan ->
+        List.iter
+          (fun clause ->
+            incr clause_occurrences;
+            let bare = List.map (fun { atom; _ } -> atom) clause.atoms in
+            Hashtbl.replace clause_keys (clause_key bare) ();
+            List.iter
+              (fun atom ->
+                incr atom_occurrences;
+                Hashtbl.replace atom_keys (atom_key atom) ())
+              bare)
+          plan.clauses)
+      plans;
+    let unique_atoms = Hashtbl.length atom_keys in
+    let unique_clauses = Hashtbl.length clause_keys in
+    Ok
+      {
+        plans;
+        unique_atoms;
+        unique_clauses;
+        dedup_atoms = !atom_occurrences - unique_atoms;
+        dedup_clauses = !clause_occurrences - unique_clauses;
+      }

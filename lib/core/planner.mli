@@ -4,7 +4,13 @@
     live at one DLA node) or *cross* (operands homed at two nodes), and
     assigns each clause SQ_i a home node that will assemble the clause's
     glsn set.  The planner only needs the fragmentation map — never the
-    data. *)
+    data.
+
+    For batched sessions, {!plan_many} plans several queries jointly and
+    reports how much of the work is shared: atoms and clauses are keyed
+    by a canonical byte form ({!atom_key}/{!clause_key}), so identical
+    predicates appearing in different queries are recognized as one unit
+    of SMC work. *)
 
 type atom_home =
   | Local of Net.Node_id.t
@@ -25,8 +31,38 @@ type t = {
   conjuncts : int;  (** q of eq 11 *)
 }
 
-val plan : Fragmentation.t -> Query.normalized -> (t, string) result
-(** Fails when a referenced attribute has no home in the cluster. *)
+val plan : Fragmentation.t -> Query.normalized -> (t, Audit_error.t) result
+(** Fails with {!Audit_error.Unknown_attribute} when a referenced
+    attribute has no home in the cluster. *)
 
 val homes : t -> Net.Node_id.t list
-(** Distinct clause homes, in first-appearance order. *)
+(** Distinct clause homes in canonical ({!Net.Node_id.compare}) order —
+    independent of clause order, so logically equal plans report equal
+    home sets. *)
+
+(** {1 Canonical predicate keys}
+
+    Injective byte encodings used to recognize shared work: equal keys
+    iff the predicates are structurally identical (same attribute,
+    operator and right-hand side; clause keys are additionally
+    order-insensitive over their atoms, since a clause is a
+    disjunction). *)
+
+val atom_key : Query.atom -> string
+val clause_key : Query.clause -> string
+
+(** {1 Multi-query planning} *)
+
+type multi = {
+  plans : t list;  (** one plan per input query, in input order *)
+  unique_atoms : int;  (** distinct atoms across the whole batch *)
+  unique_clauses : int;  (** distinct clauses across the whole batch *)
+  dedup_atoms : int;
+      (** atom occurrences eliminated by sharing: total - unique *)
+  dedup_clauses : int;  (** clause occurrences eliminated by sharing *)
+}
+
+val plan_many :
+  Fragmentation.t -> Query.normalized list -> (multi, Audit_error.t) result
+(** Plan a batch jointly.  Fails on the first unknown attribute, like
+    {!plan} on each query in order. *)

@@ -20,9 +20,11 @@ let rule_to_string = function
     Printf.sprintf "frequency-cap(%s <= %d)" memo max_occurrences
 
 let audit_glsns cluster ?ttp ~auditor criteria =
-  match Auditor_engine.audit_string cluster ?ttp ~auditor criteria with
+  match
+    Auditor_engine.run cluster ?ttp ~auditor (Auditor_engine.Text criteria)
+  with
   | Ok audit -> Ok audit.Auditor_engine.matching
-  | Error _ as e -> e
+  | Error e -> Error (Audit_error.to_string e)
 
 (* Times live at one home node; it computes the temporal predicate
    locally and reports only the boolean to the auditor. *)
@@ -121,11 +123,12 @@ let check cluster ?ttp ~auditor ~tid rule =
        auditor. *)
     let* count =
       match
-        Auditor_engine.secret_count cluster ?ttp ~auditor
-          (Printf.sprintf {|tid = "%s" && C3 = "%s"|} tid memo)
+        Auditor_engine.run cluster ?ttp ~delivery:Executor.Count_only ~auditor
+          (Auditor_engine.Text
+             (Printf.sprintf {|tid = "%s" && C3 = "%s"|} tid memo))
       with
-      | Ok n -> Ok n
-      | Error _ as e -> e
+      | Ok audit -> Ok audit.Auditor_engine.count
+      | Error e -> Error (Audit_error.to_string e)
     in
     if count <= max_occurrences then Ok ()
     else

@@ -45,8 +45,8 @@ let ticket_of_row index =
   | Some (id, _) -> id
   | None -> invalid_arg "Paper_example: row without ticket"
 
-let build ?(seed = 0) () =
-  let cluster = Cluster.create ~seed Fragmentation.paper_partition in
+let build ?(seed = 0) ?net () =
+  let cluster = Cluster.create ~seed ?net Fragmentation.paper_partition in
   let tickets =
     List.map
       (fun (ticket_id, indexes) ->

@@ -11,10 +11,12 @@ val ticket_assignment : (string * int list) list
 (** Table 6: which ticket logs which rows, as [(ticket id, row indexes)]:
     T1 → rows 0 and 2, T2 → rows 1 and 3, T3 → row 4. *)
 
-val build : ?seed:int -> unit -> Dla.Cluster.t * Dla.Glsn.t list
+val build :
+  ?seed:int -> ?net:Net.Network.t -> unit -> Dla.Cluster.t * Dla.Glsn.t list
 (** A 4-node cluster with the paper's partition (Tables 2–5), the five
     rows submitted under the Table 6 tickets.  Returns the assigned
-    glsn's in row order. *)
+    glsn's in row order.  [net] substitutes a pre-built network (e.g. a
+    {!Spec.Schedule} one) for the default clean network. *)
 
 val build_centralized :
   ?net:Net.Network.t -> unit -> Dla.Centralized.t * Dla.Glsn.t list

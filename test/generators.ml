@@ -97,6 +97,62 @@ let votes_gen ?(voters_min = 2) ?(voters_max = 7) () =
     (QCheck.Gen.int_range voters_min voters_max)
     QCheck.Gen.bool
 
+(* Random queries over the paper schema, shared by the query-equivalence
+   and session-batching properties.  Constants are drawn near the Table 1
+   values so comparisons land on both sides. *)
+let paper_query_gen =
+  let open QCheck.Gen in
+  let open Dla in
+  let d = Attribute.defined and u = Attribute.undefined in
+  let attr =
+    oneofl [ d "time"; d "id"; d "protocl"; d "tid"; u 1; u 2; u 3 ]
+  in
+  let const_for a =
+    match Attribute.to_string a with
+    | "time" ->
+      map (fun dt -> Value.Time (1021234715 + dt)) (int_range (-500) 500)
+    | "id" -> map (fun i -> Value.Str (Printf.sprintf "U%d" i)) (int_range 1 3)
+    | "protocl" -> oneofl [ Value.Str "UDP"; Value.Str "TCP" ]
+    | "tid" -> oneofl [ Value.Str "T1100265"; Value.Str "T1100267" ]
+    | "C1" -> map (fun v -> Value.Int v) (int_range 0 60)
+    | "C2" -> map (fun v -> Value.Money v) (int_range 0 70000)
+    | _ ->
+      oneofl
+        [ Value.Str "signature"; Value.Str "bank"; Value.Str "account";
+          Value.Str "salary" ]
+  in
+  let op = oneofl Query.[ Lt; Le; Gt; Ge; Eq; Ne ] in
+  let atom =
+    let* a = attr in
+    let* o = op in
+    let* use_attr_rhs = frequency [ (2, return false); (1, return true) ] in
+    if use_attr_rhs then
+      let* b = attr in
+      return (Query.Atom { Query.attr = a; op = o; rhs = Query.Attr b })
+    else
+      let* c = const_for a in
+      return (Query.Atom { Query.attr = a; op = o; rhs = Query.Const c })
+  in
+  let rec tree depth =
+    if depth = 0 then atom
+    else
+      frequency
+        [ (3, atom);
+          ( 2,
+            let* x = tree (depth - 1) in
+            let* y = tree (depth - 1) in
+            return (Query.And (x, y)) );
+          ( 2,
+            let* x = tree (depth - 1) in
+            let* y = tree (depth - 1) in
+            return (Query.Or (x, y)) );
+          ( 1,
+            let* x = tree (depth - 1) in
+            return (Query.Not x) )
+        ]
+  in
+  tree 3
+
 (* Deterministic qcheck sampling for data-driven (non-property) suites:
    same QCHECK_SEED, same cases. *)
 let cases ~seed ~count gen =

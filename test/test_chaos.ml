@@ -47,10 +47,12 @@ let submit_ok cluster ticket attributes =
 
 let audit_matching cluster criteria =
   match
-    Auditor_engine.audit_string cluster ~auditor:Net.Node_id.Auditor criteria
+    Auditor_engine.run cluster ~auditor:Net.Node_id.Auditor
+      (Auditor_engine.Text criteria)
   with
   | Ok audit -> List.map Glsn.to_string audit.Auditor_engine.matching
-  | Error e -> Alcotest.failf "audit %s: %s" criteria e
+  | Error e ->
+    Alcotest.failf "audit %s: %s" criteria (Audit_error.to_string e)
 
 (* Every Plaintext observation at a DLA node must be one of its own
    columns ("attr=value" with attr in its supported set) — the §2 claim,
@@ -388,7 +390,7 @@ let test_degraded_audit_reports_coverage () =
     Executor.run cluster ~on_failure:Executor.Degrade
       ~auditor:Net.Node_id.Auditor query
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Audit_error.to_string e)
   | Ok report ->
     let c = report.Executor.coverage in
     Alcotest.(check bool) "incomplete" false c.Executor.complete;
@@ -416,7 +418,7 @@ let test_degraded_audit_repairs_wiped_node () =
     Executor.run cluster ~on_failure:Executor.Degrade ~replication
       ~auditor:Net.Node_id.Auditor query
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Audit_error.to_string e)
   | Ok report ->
     Alcotest.(check bool) "coverage complete after repair" true
       report.Executor.coverage.Executor.complete;

@@ -759,13 +759,13 @@ let test_replication_repair () =
     (List.length (Integrity.check_all cluster ~initiator:(Net.Node_id.Dla 0)));
   (* And queries see the restored values. *)
   match
-    Auditor_engine.audit_string cluster ~auditor:Net.Node_id.Auditor
-      {|id = "U1"|}
+    Auditor_engine.run cluster ~auditor:Net.Node_id.Auditor
+      (Auditor_engine.Text {|id = "U1"|})
   with
   | Ok audit ->
     Alcotest.(check int) "query sees repaired rows" 3
       (List.length audit.Auditor_engine.matching)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Audit_error.to_string e)
 
 let test_replication_privacy () =
   (* Replica holders see only ciphertext blobs, never foreign columns. *)

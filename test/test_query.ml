@@ -66,7 +66,7 @@ let test_parse_in_and_between () =
   let matching s =
     match Executor.run cluster ~auditor:Net.Node_id.Auditor (q s) with
     | Ok r -> List.length r.Executor.matching
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Audit_error.to_string e)
   in
   (* 'in' desugars to equality disjunction. *)
   Alcotest.(check int) "id in (U1, U3)" 3 (matching {|id in ("U1", "U3")|});
@@ -151,59 +151,10 @@ let test_eval_basics () =
   (* Kind mismatch never matches. *)
   check {|C1 = "20"|} false
 
-(* Random queries over the paper schema for the equivalence property. *)
+(* Random queries over the paper schema for the equivalence property
+   (generator shared with the session suite). *)
 let arbitrary_query =
-  let open QCheck.Gen in
-  let attr =
-    oneofl
-      [ d "time"; d "id"; d "protocl"; d "tid"; u 1; u 2; u 3 ]
-  in
-  let const_for a =
-    match Attribute.to_string a with
-    | "time" ->
-      map (fun dt -> Value.Time (1021234715 + dt)) (int_range (-500) 500)
-    | "id" -> map (fun i -> Value.Str (Printf.sprintf "U%d" i)) (int_range 1 3)
-    | "protocl" -> oneofl [ Value.Str "UDP"; Value.Str "TCP" ]
-    | "tid" ->
-      oneofl [ Value.Str "T1100265"; Value.Str "T1100267" ]
-    | "C1" -> map (fun v -> Value.Int v) (int_range 0 60)
-    | "C2" -> map (fun v -> Value.Money v) (int_range 0 70000)
-    | _ ->
-      oneofl
-        [ Value.Str "signature"; Value.Str "bank"; Value.Str "account";
-          Value.Str "salary" ]
-  in
-  let op = oneofl Query.[ Lt; Le; Gt; Ge; Eq; Ne ] in
-  let atom =
-    let* a = attr in
-    let* o = op in
-    let* use_attr_rhs = frequency [ (2, return false); (1, return true) ] in
-    if use_attr_rhs then
-      let* b = attr in
-      return (Query.Atom { Query.attr = a; op = o; rhs = Query.Attr b })
-    else
-      let* c = const_for a in
-      return (Query.Atom { Query.attr = a; op = o; rhs = Query.Const c })
-  in
-  let rec tree depth =
-    if depth = 0 then atom
-    else
-      frequency
-        [ (3, atom);
-          ( 2,
-            let* x = tree (depth - 1) in
-            let* y = tree (depth - 1) in
-            return (Query.And (x, y)) );
-          ( 2,
-            let* x = tree (depth - 1) in
-            let* y = tree (depth - 1) in
-            return (Query.Or (x, y)) );
-          ( 1,
-            let* x = tree (depth - 1) in
-            return (Query.Not x) )
-        ]
-  in
-  QCheck.make (tree 3) ~print:Query.to_string
+  QCheck.make Generators.paper_query_gen ~print:Query.to_string
 
 let prop_normalize_equivalent =
   QCheck.Test.make ~name:"normalize preserves semantics" ~count:300
@@ -231,7 +182,7 @@ let paper = Fragmentation.paper_partition
 let plan_exn query =
   match Planner.plan paper (Query.normalize query) with
   | Ok plan -> plan
-  | Error e -> Alcotest.failf "plan: %s" e
+  | Error e -> Alcotest.failf "plan: %s" (Audit_error.to_string e)
 
 let test_planner_local_vs_cross () =
   (* time lives at P0, C2 at P1: attr-vs-attr across homes is cross. *)
@@ -260,7 +211,7 @@ let test_planner_unknown_attribute () =
   | Ok _ -> Alcotest.fail "expected planner error"
   | Error e ->
     Alcotest.(check bool) "mentions attribute" true
-      (string_contains e "nonexistent")
+      (string_contains (Audit_error.to_string e) "nonexistent")
 
 
 let prop_c_auditing_matches_brute_force =
@@ -308,7 +259,9 @@ let oracle_matching cluster query =
 
 let check_executor_matches_oracle cluster query =
   match Executor.run cluster ~auditor query with
-  | Error e -> Alcotest.failf "executor: %s (%s)" e (Query.to_string query)
+  | Error e ->
+    Alcotest.failf "executor: %s (%s)" (Audit_error.to_string e)
+      (Query.to_string query)
   | Ok report ->
     Alcotest.(check (list string))
       (Query.to_string query)
@@ -357,7 +310,7 @@ let test_executor_privacy () =
   let cluster, _ = Workload.Paper_example.build () in
   let query = q "C2 = C3 && time >= 0" in
   (match Executor.run cluster ~auditor query with
-  | Error e -> Alcotest.failf "executor: %s" e
+  | Error e -> Alcotest.failf "executor: %s" (Audit_error.to_string e)
   | Ok _ -> ());
   let ledger = Net.Network.ledger (Cluster.net cluster) in
   (* The auditor never sees attribute values, only glsn's. *)
@@ -381,12 +334,12 @@ let test_executor_c_auditing () =
   (* One clause, one local atom: s=1, t=0, q=0 -> 0. *)
   (match Executor.run cluster ~auditor (q "C1 > 30") with
   | Ok r -> Alcotest.(check (float 1e-9)) "local only" 0.0 r.Executor.c_auditing
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Audit_error.to_string e));
   (* Two clauses: local + cross: s=2, t=1, q=1 -> 2/3. *)
   match Executor.run cluster ~auditor (q "C1 > 30 && C2 = C3") with
   | Ok r ->
     Alcotest.(check (float 1e-9)) "mixed" (2.0 /. 3.0) r.Executor.c_auditing
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Audit_error.to_string e)
 
 
 let prop_parse_print_roundtrip =
@@ -441,7 +394,7 @@ let test_executor_count_only () =
     Executor.run cluster ~delivery:Executor.Count_only ~auditor
       (q {|protocl = "UDP"|})
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Audit_error.to_string e)
   | Ok report ->
     Alcotest.(check int) "count" 3 report.Executor.count;
     Alcotest.(check int) "no glsns delivered" 0
@@ -474,7 +427,7 @@ let test_optimizer_short_circuit_saves_messages () =
     Net.Network.reset_stats (Cluster.net cluster);
     (match Executor.run cluster ~optimize ~auditor query with
     | Ok r -> Alcotest.(check int) "no matches" 0 (List.length r.Executor.matching)
-    | Error e -> Alcotest.fail e);
+    | Error e -> Alcotest.fail (Audit_error.to_string e));
     (Net.Network.stats (Cluster.net cluster)).Net.Network.messages
   in
   let unopt = run ~optimize:false in
@@ -540,7 +493,7 @@ let test_centralized_matches_distributed () =
       let distributed =
         match Executor.run cluster ~auditor query with
         | Ok r -> r.Executor.matching
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Audit_error.to_string e)
       in
       (* Same allocator start: positions coincide. *)
       Alcotest.(check (list string)) s

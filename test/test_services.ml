@@ -178,9 +178,9 @@ let cert_fixture =
      (cluster, authority))
 
 let audit_exn cluster criteria =
-  match Auditor_engine.audit_string cluster ~auditor criteria with
+  match Auditor_engine.run cluster ~auditor (Auditor_engine.Text criteria) with
   | Ok audit -> audit
-  | Error e -> Alcotest.failf "audit: %s" e
+  | Error e -> Alcotest.failf "audit: %s" (Audit_error.to_string e)
 
 let test_certify_audit () =
   let cluster, authority = Lazy.force cert_fixture in
@@ -249,9 +249,12 @@ let test_certify_below_threshold_fails () =
 
 let test_secret_count () =
   let cluster, _ = Workload.Paper_example.build () in
-  (match Auditor_engine.secret_count cluster ~auditor {|protocl = "UDP"|} with
-  | Ok n -> Alcotest.(check int) "UDP count" 3 n
-  | Error e -> Alcotest.fail e);
+  (match
+     Auditor_engine.run cluster ~delivery:Executor.Count_only ~auditor
+       (Auditor_engine.Text {|protocl = "UDP"|})
+   with
+  | Ok audit -> Alcotest.(check int) "UDP count" 3 audit.Auditor_engine.count
+  | Error e -> Alcotest.fail (Audit_error.to_string e));
   (* The auditor learned the count but not which glsn's matched. *)
   let ledger = Net.Network.ledger (Cluster.net cluster) in
   Alcotest.(check bool) "count observed" true
@@ -323,14 +326,16 @@ let test_secret_sum () =
    with
   | Ok (Value.Money cents) -> Alcotest.(check int) "udp volume" 60356 cents
   | Ok v -> Alcotest.failf "wrong kind: %s" (Value.to_string v)
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Audit_error.to_string e));
   (* Kind errors are reported, not mangled. *)
   (match
      Auditor_engine.secret_sum cluster ~auditor
        ~attr:(Attribute.defined "id") {|C1 > 0|}
    with
   | Ok _ -> Alcotest.fail "string sum must fail"
-  | Error e -> Alcotest.(check string) "string" "cannot sum a string attribute" e);
+  | Error e ->
+    Alcotest.(check string) "string" "cannot sum a string attribute"
+      (Audit_error.to_string e));
   (* The auditor saw the total, not the addends. *)
   let ledger = Net.Network.ledger (Cluster.net cluster) in
   Alcotest.(check bool) "total observed" true
@@ -348,7 +353,7 @@ let test_secret_mean () =
        {|protocl = "UDP"|}
    with
   | Ok mean -> Alcotest.(check (float 1e-6)) "udp mean" (603.56 /. 3.0) mean
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Audit_error.to_string e));
   (match
      Auditor_engine.secret_mean cluster ~auditor ~attr:(u 1) {|C1 >= 0|}
    with
@@ -356,12 +361,14 @@ let test_secret_mean () =
     Alcotest.(check (float 1e-6)) "C1 mean"
       (float_of_int (20 + 34 + 45 + 18 + 53) /. 5.0)
       mean
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Audit_error.to_string e));
   match
     Auditor_engine.secret_mean cluster ~auditor ~attr:(u 2) {|id = "U9"|}
   with
   | Ok _ -> Alcotest.fail "empty match set must fail"
-  | Error e -> Alcotest.(check string) "empty" "no matching records" e
+  | Error e ->
+    Alcotest.(check string) "empty" "no matching records"
+      (Audit_error.to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* Federation                                                          *)
@@ -581,10 +588,11 @@ let test_snapshot_roundtrip () =
     (* Queries agree. *)
     let audit c =
       match
-        Auditor_engine.audit_string c ~auditor {|protocl = "UDP" && C1 > 30|}
+        Auditor_engine.run c ~auditor
+          (Auditor_engine.Text {|protocl = "UDP" && C1 > 30|})
       with
       | Ok a -> List.map Glsn.to_string a.Auditor_engine.matching
-      | Error e -> Alcotest.fail e
+      | Error e -> Alcotest.fail (Audit_error.to_string e)
     in
     Alcotest.(check (list string)) "queries agree" (audit cluster) (audit restored);
     (* The restored cluster is integrity-consistent on its own material. *)
@@ -609,12 +617,12 @@ let test_snapshot_migration () =
   | Ok restored ->
     Alcotest.(check int) "records" 5 (Cluster.record_count restored);
     (match
-       Auditor_engine.audit_string restored ~auditor {|C1 > 30|}
+       Auditor_engine.run restored ~auditor (Auditor_engine.Text {|C1 > 30|})
      with
     | Ok audit ->
       Alcotest.(check int) "query works on new layout" 3
         (List.length audit.Auditor_engine.matching)
-    | Error e -> Alcotest.fail e)
+    | Error e -> Alcotest.fail (Audit_error.to_string e))
 
 let test_snapshot_bad_input () =
   (match Snapshot.import ~fragmentation:Fragmentation.paper_partition "" with
@@ -690,8 +698,10 @@ let test_shared_column_with_query_selection () =
   List.iteri
     (fun i glsn -> Shared_column.record column ~glsn (Value.Money (1000 + i)))
     glsns;
-  match Auditor_engine.audit_string cluster ~auditor {|protocl = "UDP"|} with
-  | Error e -> Alcotest.fail e
+  match
+    Auditor_engine.run cluster ~auditor (Auditor_engine.Text {|protocl = "UDP"|})
+  with
+  | Error e -> Alcotest.fail (Audit_error.to_string e)
   | Ok audit ->
     (match
        Shared_column.secret_total column ~over:audit.Auditor_engine.matching
@@ -781,11 +791,13 @@ let test_layout_greedy_improves () =
       | Ok _ -> ()
       | Error e -> Alcotest.fail e)
     Workload.Paper_example.rows;
-  match Auditor_engine.audit_string cluster ~auditor {|C1 > 30|} with
+  match
+    Auditor_engine.run cluster ~auditor (Auditor_engine.Text {|C1 > 30|})
+  with
   | Ok audit ->
     Alcotest.(check int) "query works on optimized layout" 3
       (List.length audit.Auditor_engine.matching)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Audit_error.to_string e)
 
 let test_layout_anneal () =
   let attrs, queries, records = layout_workload () in
@@ -882,22 +894,30 @@ let prop_snapshot_roundtrip_random_workloads =
 let test_report_rendering () =
   let cluster, _ = Workload.Paper_example.build () in
   let report = Report.create ~title:"test engagement" cluster in
-  (match Auditor_engine.audit_string cluster ~auditor {|C1 > 30|} with
+  (match
+     Auditor_engine.run cluster ~auditor (Auditor_engine.Text {|C1 > 30|})
+   with
   | Ok audit -> Report.add_audit report audit
-  | Error e -> Alcotest.fail e);
-  (match Auditor_engine.secret_count cluster ~auditor {|protocl = "UDP"|} with
-  | Ok n -> Report.add_count report ~criteria:{|protocl = "UDP"|} n
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Audit_error.to_string e));
+  (match
+     Auditor_engine.run cluster ~delivery:Executor.Count_only ~auditor
+       (Auditor_engine.Text {|protocl = "UDP"|})
+   with
+  | Ok audit ->
+    Report.add_count report ~criteria:{|protocl = "UDP"|}
+      audit.Auditor_engine.count
+  | Error e -> Alcotest.fail (Audit_error.to_string e));
   Report.add_rule_findings report ~tid:"T1100265" [];
   Report.add_integrity_sweep report
     (Integrity.check_all cluster ~initiator:(Net.Node_id.Dla 0));
   let authority = Certification.setup cluster ~k:3 () in
   (match
-     Auditor_engine.audit_string cluster ~auditor {|C1 > 40|}
+     Auditor_engine.run cluster ~auditor (Auditor_engine.Text {|C1 > 40|})
      |> Result.map (Certification.certify authority cluster)
    with
   | Ok (Ok certificate) -> Report.add_certificate report certificate
-  | Ok (Error e) | Error e -> Alcotest.fail e);
+  | Ok (Error e) -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Audit_error.to_string e));
   let rendered = Report.render report in
   let contains needle =
     let nl = String.length needle and hl = String.length rendered in

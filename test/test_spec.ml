@@ -598,6 +598,40 @@ let test_lossy_schedule_retries () =
   in
   Alcotest.(check string) "lossy run total" "26" (Bignum.to_string total)
 
+(* ------------------------------------------------------------------ *)
+(* Planner determinism                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Planner.homes must depend on the *set* of clause homes, never on the
+   order the normalizer happened to emit the clauses in: multi-query
+   plans reorder shared clauses freely, so two logically equal plans
+   must report byte-equal home lists. *)
+let prop_homes_clause_order_invariant =
+  QCheck.Test.make ~name:"Planner.homes invariant under clause order"
+    ~count:200
+    (QCheck.make Generators.paper_query_gen ~print:Dla.Query.to_string)
+    (fun query ->
+      let open Dla in
+      match
+        Planner.plan Fragmentation.paper_partition (Query.normalize query)
+      with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok plan ->
+        let show plan =
+          String.concat ","
+            (List.map Net.Node_id.to_string (Planner.homes plan))
+        in
+        let reversed =
+          { plan with Planner.clauses = List.rev plan.Planner.clauses }
+        in
+        let rotated =
+          match plan.Planner.clauses with
+          | [] | [ _ ] -> plan
+          | first :: rest ->
+            { plan with Planner.clauses = rest @ [ first ] }
+        in
+        show plan = show reversed && show plan = show rotated)
+
 let () =
   Alcotest.run "spec"
     [ ( "oracle",
@@ -624,5 +658,7 @@ let () =
           Alcotest.test_case "lossy retries converge" `Quick
             test_lossy_schedule_retries
         ] );
+      ( "planner",
+        [ QCheck_alcotest.to_alcotest prop_homes_clause_order_invariant ] );
       ("differential", differential_tests)
     ]

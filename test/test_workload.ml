@@ -225,11 +225,11 @@ let test_intrusion_detection_via_audit () =
      aggregate the auditor is allowed to learn (glsn sets). *)
   let count_for source =
     match
-      Auditor_engine.audit_string cluster ~auditor:Net.Node_id.Auditor
-        (Printf.sprintf {|id = "%s"|} source)
+      Auditor_engine.run cluster ~auditor:Net.Node_id.Auditor
+        (Auditor_engine.Text (Printf.sprintf {|id = "%s"|} source))
     with
     | Ok audit -> List.length audit.Auditor_engine.matching
-    | Error e -> Alcotest.failf "audit: %s" e
+    | Error e -> Alcotest.failf "audit: %s" (Audit_error.to_string e)
   in
   let attacker_count = count_for truth.Workload.Intrusion.attacker in
   Alcotest.(check int) "attacker event count"
@@ -252,11 +252,11 @@ let test_intrusion_privacy () =
   let cluster = Cluster.create ~seed:6 Fragmentation.paper_partition in
   let _ = Workload.Intrusion.populate cluster config in
   (match
-     Auditor_engine.audit_string cluster ~auditor:Net.Node_id.Auditor
-       {|id = "evil7"|}
+     Auditor_engine.run cluster ~auditor:Net.Node_id.Auditor
+       (Auditor_engine.Text {|id = "evil7"|})
    with
   | Ok _ -> ()
-  | Error e -> Alcotest.failf "audit: %s" e);
+  | Error e -> Alcotest.failf "audit: %s" (Audit_error.to_string e));
   let ledger = Net.Network.ledger (Cluster.net cluster) in
   Alcotest.(check bool) "auditor never saw a target ip" false
     (Net.Ledger.saw_plaintext ledger ~node:Net.Node_id.Auditor "ip=10.0.0.0");
@@ -284,11 +284,14 @@ let test_library_populate_and_counts () =
        0 truth.Workload.Library.per_branch);
   (* Audited counts equal ground truth. *)
   (match
-     Auditor_engine.secret_count cluster ~auditor:Net.Node_id.Auditor
-       {|protocl = "checkout"|}
+     Auditor_engine.run cluster ~delivery:Executor.Count_only
+       ~auditor:Net.Node_id.Auditor
+       (Auditor_engine.Text {|protocl = "checkout"|})
    with
-  | Ok n -> Alcotest.(check int) "checkout count" truth.Workload.Library.checkouts n
-  | Error e -> Alcotest.fail e);
+  | Ok audit ->
+    Alcotest.(check int) "checkout count" truth.Workload.Library.checkouts
+      audit.Auditor_engine.count
+  | Error e -> Alcotest.fail (Audit_error.to_string e));
   Alcotest.(check bool) "heaviest patron known to truth" true
     (truth.Workload.Library.heaviest_patron_events > 0)
 
