@@ -1647,6 +1647,124 @@ let exp_audit_batch () =
       ("audit_batch.criteria", List.length criteria)
     ]
 
+(* ------------------------------------------------------------------ *)
+(* P15: Byzantine-tolerant audit rounds                                *)
+(* ------------------------------------------------------------------ *)
+
+let exp_byzantine () =
+  section
+    "P15: Byzantine-tolerant audit rounds — commitment-verification \
+     overhead and quarantine-and-retry recovery";
+  (* id homes at P1 and time at P0, so the conjunction rides the
+     set-intersection ring — the pass the adversary attacks. *)
+  let criteria = q {|id = "U1" && time >= 0|} in
+  let clean_cluster, _ = Workload.Paper_example.build ~seed:77 () in
+  let verified_cluster, _ = Workload.Paper_example.build ~seed:77 () in
+  let attacked_cluster, _ = Workload.Paper_example.build ~seed:77 () in
+  Obs.Metrics.reset ();
+  Obs.Trace.reset ();
+  (* Clean path: no guard, no adversary — the §3 reference counters. *)
+  Net.Network.reset_stats (Cluster.net clean_cluster);
+  let clean =
+    match Executor.run clean_cluster ~auditor criteria with
+    | Ok r -> r
+    | Error e -> failwith (Audit_error.to_string e)
+  in
+  let clean_stats = Net.Network.stats (Cluster.net clean_cluster) in
+  (* Honest run under the round guard: byte-identical verdict and
+     unchanged protocol counters — the commitment exchange is accounted
+     separately, never through Network.send. *)
+  Net.Network.reset_stats (Cluster.net verified_cluster);
+  let guard = Smc.Round_guard.create () in
+  let verified =
+    Smc.Round_guard.with_guard guard (fun () ->
+        match Executor.run verified_cluster ~auditor criteria with
+        | Ok r -> r
+        | Error e -> failwith (Audit_error.to_string e))
+  in
+  let verified_stats = Net.Network.stats (Cluster.net verified_cluster) in
+  let honest_vmsgs, honest_vbytes = Smc.Round_guard.verify_cost guard in
+  if clean.Executor.matching <> verified.Executor.matching then
+    failwith "byzantine: guarded verdict diverges from the clean answer";
+  if clean_stats <> verified_stats then
+    failwith "byzantine: the guard changed the protocol's wire counters";
+  if Smc.Round_guard.accusations guard <> [] then
+    failwith "byzantine: the honest run accused someone";
+  (* Adversarial path: P1 corrupts its relay pass; the verified driver
+     detects, quarantines, re-runs, and converges to the clean verdict. *)
+  Net.Network.reset_stats (Cluster.net attacked_cluster);
+  let adv =
+    Net.Adversary.create ~seed:7
+      [ Net.Adversary.plan
+          ~labels:[ "intersection:relay" ]
+          (Net.Node_id.Dla 1) Net.Adversary.Corrupt
+      ]
+  in
+  let outcome =
+    match
+      Net.Adversary.with_active adv (fun () ->
+          Byzantine.audit attacked_cluster ~auditor criteria)
+    with
+    | Ok o -> o
+    | Error e -> failwith (Audit_error.to_string e)
+  in
+  let attacked_stats = Net.Network.stats (Cluster.net attacked_cluster) in
+  if outcome.Byzantine.report.Executor.matching <> clean.Executor.matching
+  then failwith "byzantine: recovered verdict diverges from the clean answer";
+  if Net.Adversary.injections adv = [] then
+    failwith "byzantine: the adversary never actually lied";
+  subsection
+    (Printf.sprintf "criteria %s over the paper cluster" {|id = "U1" && time >= 0|});
+  print_table
+    ~header:[ "path"; "messages"; "bytes"; "rounds"; "verify msgs";
+              "verify bytes"; "attempts" ]
+    [ [ "clean (no guard)"; fi clean_stats.Net.Network.messages;
+        fi clean_stats.Net.Network.bytes; fi clean_stats.Net.Network.rounds;
+        "0"; "0"; "1"
+      ];
+      [ "verified honest"; fi verified_stats.Net.Network.messages;
+        fi verified_stats.Net.Network.bytes;
+        fi verified_stats.Net.Network.rounds; fi honest_vmsgs;
+        fi honest_vbytes; "1"
+      ];
+      [ "attacked + recovery"; fi attacked_stats.Net.Network.messages;
+        fi attacked_stats.Net.Network.bytes;
+        fi attacked_stats.Net.Network.rounds; fi outcome.Byzantine.verify_msgs;
+        fi outcome.Byzantine.verify_bytes; fi outcome.Byzantine.attempts
+      ]
+    ];
+  Printf.printf
+    "recovery: %d attempt(s), quarantined [%s], %d detection event(s)\n"
+    outcome.Byzantine.attempts
+    (String.concat "; "
+       (List.map Net.Node_id.to_string outcome.Byzantine.quarantined))
+    (List.length outcome.Byzantine.events);
+  print_endline
+    "=> the guard is free on the wire (identical §3 counters; commitment\n\
+    \   digests ride a separate verification channel) and the attacked\n\
+    \   round converges to the byte-identical clean verdict after one\n\
+    \   quarantine-and-retry.";
+  (* Persist the comparison as explicit counters: everything above is
+     seeded, so the checked-in baseline locks the verification overhead
+     and the recovery shape byte-for-byte (diff_metrics at threshold 0). *)
+  List.iter
+    (fun (name, v) -> Obs.Metrics.incr ~by:v name)
+    [ ("byzantine.clean.messages", clean_stats.Net.Network.messages);
+      ("byzantine.clean.bytes", clean_stats.Net.Network.bytes);
+      ("byzantine.clean.rounds", clean_stats.Net.Network.rounds);
+      ("byzantine.verified.messages", verified_stats.Net.Network.messages);
+      ("byzantine.verified.verify_msgs", honest_vmsgs);
+      ("byzantine.verified.verify_bytes", honest_vbytes);
+      ("byzantine.attacked.messages", attacked_stats.Net.Network.messages);
+      ("byzantine.attacked.bytes", attacked_stats.Net.Network.bytes);
+      ("byzantine.attacked.rounds", attacked_stats.Net.Network.rounds);
+      ("byzantine.recovery.attempts", outcome.Byzantine.attempts);
+      ( "byzantine.recovery.quarantined",
+        List.length outcome.Byzantine.quarantined );
+      ("byzantine.recovery.verify_msgs", outcome.Byzantine.verify_msgs);
+      ("byzantine.recovery.verify_bytes", outcome.Byzantine.verify_bytes)
+    ]
+
 let experiments =
   [ ("tables", exp_tables);
     ("fig1", exp_fig1);
@@ -1673,7 +1791,8 @@ let experiments =
     ("millionaire", exp_millionaire);
     ("availability", exp_availability);
     ("modexp", exp_modexp);
-    ("audit_batch", exp_audit_batch)
+    ("audit_batch", exp_audit_batch);
+    ("byzantine", exp_byzantine)
   ]
 
 let () =

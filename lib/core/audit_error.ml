@@ -6,6 +6,11 @@ type t =
   | Unreachable of { node : Net.Node_id.t; during : string }
   | Aggregate_error of { attr : string; fault : aggregate_fault }
   | No_matching_records
+  | Byzantine_fault of {
+      accused : Net.Node_id.t list;
+      during : string;
+      detail : string;
+    }
 
 (* The renderings predate the typed variant; tests and CLI output
    depend on these exact strings. *)
@@ -23,6 +28,9 @@ let to_string = function
   | Aggregate_error { fault = Mixed_kinds; _ } ->
     "mixed value kinds under the attribute"
   | No_matching_records -> "no matching records"
+  | Byzantine_fault { accused; during; detail } ->
+    Printf.sprintf "byzantine fault during %s: %s (accused: %s)" during detail
+      (String.concat ", " (List.map Net.Node_id.to_string accused))
 
 let of_partition ~during ~node ~reason =
   Unreachable { node; during = Printf.sprintf "%s (%s)" during reason }

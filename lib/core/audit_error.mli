@@ -26,6 +26,14 @@ type t =
       (** a secret-sum/mean aggregate over [attr] is undefined *)
   | No_matching_records
       (** an aggregate over an empty match set (mean of nothing) *)
+  | Byzantine_fault of {
+      accused : Net.Node_id.t list;
+      during : string;
+      detail : string;
+    }
+      (** the Byzantine layer ran out of recovery room: the accused
+          nodes exceeded the collusion tolerance or the retry budget
+          was exhausted; [accused] names every node caught lying *)
 
 val to_string : t -> string
 (** Human-readable rendering, byte-compatible with the strings the

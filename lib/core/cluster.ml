@@ -21,6 +21,9 @@ type t = {
          its destination node can open it *)
   mutable clock : int;
   mutable origins : Net.Node_id.t Glsn.Map.t;
+  mutable quarantined_set : Net.Node_id.Set.t;
+      (* nodes accused of Byzantine behavior and fenced from audit
+         rounds until re-hosted on an honest replica *)
 }
 
 let create ?(seed = 0) ?net ?retry ?(accumulator_bits = 128) ?glsn_start
@@ -60,6 +63,7 @@ let create ?(seed = 0) ?net ?retry ?(accumulator_bits = 128) ?glsn_start
     hint_keys;
     clock = 0;
     origins = Glsn.Map.empty;
+    quarantined_set = Net.Node_id.Set.empty;
   }
 
 let net t = t.net
@@ -71,6 +75,18 @@ let store_of t node =
   match List.find_opt (fun (n, _) -> Net.Node_id.equal n node) t.stores with
   | Some (_, store) -> store
   | None -> raise Not_found
+
+let quarantine t node =
+  if not (Net.Node_id.Set.mem node t.quarantined_set) then begin
+    t.quarantined_set <- Net.Node_id.Set.add node t.quarantined_set;
+    Obs.Metrics.incr "cluster.quarantine"
+  end
+
+let lift_quarantine t node =
+  t.quarantined_set <- Net.Node_id.Set.remove node t.quarantined_set
+
+let is_quarantined t node = Net.Node_id.Set.mem node t.quarantined_set
+let quarantined t = Net.Node_id.Set.elements t.quarantined_set
 
 let stores t = List.map snd t.stores
 let accumulator_params t = t.accumulator

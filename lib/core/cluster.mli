@@ -54,6 +54,23 @@ val nodes : t -> Net.Node_id.t list
 val store_of : t -> Net.Node_id.t -> Storage.t
 (** @raise Not_found for nodes outside the cluster. *)
 
+val quarantine : t -> Net.Node_id.t -> unit
+(** Fence [node] from audit rounds after a Byzantine accusation.  The
+    node stays in the cluster (its stores and fragments are intact) but
+    the executor treats it as unavailable and session caches drop
+    every glsn-set it contributed to.  Idempotent; bumps the
+    [cluster.quarantine] metric on the first call. *)
+
+val lift_quarantine : t -> Net.Node_id.t -> unit
+(** Re-admit [node] — the Byzantine layer's re-hosting step: the
+    compromised process was replaced by an honest replica over the same
+    fragment data. *)
+
+val is_quarantined : t -> Net.Node_id.t -> bool
+
+val quarantined : t -> Net.Node_id.t list
+(** Currently fenced nodes, sorted. *)
+
 val stores : t -> Storage.t list
 val accumulator_params : t -> Crypto.Accumulator.params
 val rng : t -> Prng.t

@@ -176,6 +176,10 @@ type cache_entry = {
   complete : bool;
   entry_unreachable : Net.Node_id.t list;
   entry_skipped : int;
+  sources : Net.Node_id.t list;
+      (* provenance: every node whose honesty the set depends on — if
+         one of them is later quarantined, the entry is tainted and
+         must be recomputed, never served *)
 }
 
 type cache = {
@@ -199,20 +203,64 @@ let cache_usable ~available entry =
   entry.complete
   || List.for_all (fun node -> not (available node)) entry.entry_unreachable
 
-let cache_find tbl ~available cache key =
+let cache_find tbl ~available ~trusted cache key =
   match Hashtbl.find_opt (tbl cache) key with
-  | Some entry when cache_usable ~available entry ->
-    cache.hits <- cache.hits + 1;
-    Obs.Metrics.incr "audit.cache_hit";
-    Some entry
-  | _ -> None
+  | None -> None
+  | Some entry ->
+    if not (List.for_all trusted entry.sources) then begin
+      (* tainted: a contributing node has been quarantined since this
+         set was computed — drop the entry rather than serving a value
+         a liar helped assemble *)
+      Hashtbl.remove (tbl cache) key;
+      Obs.Metrics.incr "audit.cache_invalidated";
+      None
+    end
+    else if cache_usable ~available entry then begin
+      cache.hits <- cache.hits + 1;
+      Obs.Metrics.incr "audit.cache_hit";
+      Some entry
+    end
+    else None
+
+let cache_purge cache ~nodes =
+  let tainted entry =
+    List.exists
+      (fun s -> List.exists (Net.Node_id.equal s) nodes)
+      entry.sources
+  in
+  let purge tbl =
+    let doomed =
+      Hashtbl.fold
+        (fun key entry acc -> if tainted entry then key :: acc else acc)
+        tbl []
+    in
+    List.iter (Hashtbl.remove tbl) doomed;
+    List.length doomed
+  in
+  let removed = purge cache.atom_tbl + purge cache.clause_tbl in
+  Obs.Metrics.incr ~by:removed "audit.cache_invalidated";
+  removed
+
+let atom_sources = function
+  | Planner.Local node -> [ node ]
+  | Planner.Cross { left; right } -> [ left; right ]
+
+let clause_sources ~home (clause : Planner.planned_clause) =
+  Net.Node_id.Set.elements
+    (List.fold_left
+       (fun acc { Planner.home = atom_home; _ } ->
+         List.fold_left
+           (fun acc n -> Net.Node_id.Set.add n acc)
+           acc (atom_sources atom_home))
+       (Net.Node_id.Set.singleton home)
+       clause.Planner.atoms)
 
 (* Evaluate one clause at [home] (its planned home, or a stand-in when
    degraded — glsn sets are Definition-1 metadata, so re-homing the
    union never widens plaintext observation).  [available] decides which
    nodes can serve; atoms whose nodes cannot are skipped and recorded. *)
-let eval_clause cluster ~ttp ~catch_partition ~available ~ctx ~cache ~home
-    (clause : Planner.planned_clause) =
+let eval_clause cluster ~ttp ~catch_partition ~available ~trusted ~ctx ~cache
+    ~home (clause : Planner.planned_clause) =
   let net = Cluster.net cluster in
   Obs.Trace.with_span "executor.clause" @@ fun () ->
   List.fold_left
@@ -275,6 +323,7 @@ let eval_clause cluster ~ttp ~catch_partition ~available ~ctx ~cache ~home
               complete = true;
               entry_unreachable = [];
               entry_skipped = 0;
+              sources = atom_sources atom_home;
             }
         | _ -> ());
         computed
@@ -288,7 +337,7 @@ let eval_clause cluster ~ttp ~catch_partition ~available ~ctx ~cache ~home
         | None -> eval_and_memo ()
         | Some c -> (
           match
-            cache_find (fun c -> c.atom_tbl) ~available c
+            cache_find (fun c -> c.atom_tbl) ~available ~trusted c
               (Planner.atom_key atom)
           with
           | Some entry -> Some entry.cached_set
@@ -309,10 +358,14 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
     Obs.Trace.with_span "executor.audit" @@ fun () ->
     let net = Cluster.net cluster in
     let ledger = Net.Network.ledger net in
+    let trusted node = not (Cluster.is_quarantined cluster node) in
     let available node =
       match on_failure with
       | Fail -> true (* unavailability surfaces as Partitioned, as before *)
-      | Degrade -> Net.Network.is_up net node
+      | Degrade ->
+        (* a quarantined node is fenced exactly like a crashed one:
+           atoms it homes are skipped and the coverage report names it *)
+        Net.Network.is_up net node && trusted node
     in
     (* Failover step: a node that is back up but lost rows (crash then
        recover) is repaired from its sealed replicas before it serves
@@ -378,7 +431,7 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
               match cache with
               | None -> None
               | Some c ->
-                cache_find (fun c -> c.clause_tbl) ~available c
+                cache_find (fun c -> c.clause_tbl) ~available ~trusted c
                   (clause_key_of clause)
             in
             match cached with
@@ -400,7 +453,7 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
               let set =
                 eval_clause cluster ~ttp
                   ~catch_partition:(on_failure = Degrade)
-                  ~available ~ctx ~cache ~home clause
+                  ~available ~trusted ~ctx ~cache ~home clause
               in
               let skipped_delta = ctx.n_skipped_atoms - before_skipped in
               let all_atoms_skipped =
@@ -425,6 +478,7 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
                         Net.Node_id.Set.elements
                           (Net.Node_id.Set.diff ctx.down before_down);
                       entry_skipped = skipped_delta;
+                      sources = clause_sources ~home clause;
                     }
                 | None -> ());
                 if optimize && Glsn.Set.is_empty set then
@@ -539,10 +593,11 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
 let warm_clause cluster ?(ttp = Net.Node_id.Ttp "query") ?(on_failure = Fail)
     ~cache (clause : Planner.planned_clause) =
   let net = Cluster.net cluster in
+  let trusted node = not (Cluster.is_quarantined cluster node) in
   let available node =
     match on_failure with
     | Fail -> true
-    | Degrade -> Net.Network.is_up net node
+    | Degrade -> Net.Network.is_up net node && trusted node
   in
   let key =
     Planner.clause_key
@@ -550,7 +605,8 @@ let warm_clause cluster ?(ttp = Net.Node_id.Ttp "query") ?(on_failure = Fail)
   in
   let already_cached =
     match Hashtbl.find_opt cache.clause_tbl key with
-    | Some entry -> cache_usable ~available entry
+    | Some entry ->
+      List.for_all trusted entry.sources && cache_usable ~available entry
     | None -> false
   in
   let home =
@@ -571,7 +627,7 @@ let warm_clause cluster ?(ttp = Net.Node_id.Ttp "query") ?(on_failure = Fail)
     let set =
       eval_clause cluster ~ttp
         ~catch_partition:(on_failure = Degrade)
-        ~available ~ctx ~cache:(Some cache) ~home clause
+        ~available ~trusted ~ctx ~cache:(Some cache) ~home clause
     in
     if ctx.n_skipped_atoms < List.length clause.Planner.atoms then
       Hashtbl.replace cache.clause_tbl key
@@ -580,4 +636,5 @@ let warm_clause cluster ?(ttp = Net.Node_id.Ttp "query") ?(on_failure = Fail)
           complete = ctx.n_skipped_atoms = 0;
           entry_unreachable = Net.Node_id.Set.elements ctx.down;
           entry_skipped = ctx.n_skipped_atoms;
+          sources = clause_sources ~home clause;
         }

@@ -83,6 +83,15 @@ val cache_hits : cache -> int  (** hits served so far, atoms + clauses *)
 val cache_entries : cache -> int * int
 (** [(atom_entries, clause_entries)] currently stored. *)
 
+val cache_purge : cache -> nodes:Net.Node_id.t list -> int
+(** Drop every entry whose glsn set depended on one of [nodes] (it
+    homed the atom, served a cross column, or assembled the clause
+    union) and return how many entries were removed.  The Byzantine
+    layer calls this when a node is quarantined; lookups also
+    self-invalidate lazily against {!Cluster.is_quarantined}, so a
+    purge is an eager variant of what {!run} would do anyway.  Bumps
+    [audit.cache_invalidated] per removed entry. *)
+
 val run :
   Cluster.t ->
   ?ttp:Net.Node_id.t ->

@@ -73,6 +73,84 @@ let reconstruct ~p shares =
         Modular.add acc (Modular.mul si.y coeff ~m:p) ~m:p)
       Bignum.zero shares
 
+(* Lagrange interpolation of the polynomial through [basis], evaluated
+   at [x0] — generalizes [reconstruct] (which is the [x0 = 0] case). *)
+let interpolate_at ~p basis x0 =
+  List.fold_left
+    (fun acc si ->
+      let num, den =
+        List.fold_left
+          (fun (num, den) sj ->
+            if Bignum.equal si.x sj.x then (num, den)
+            else
+              ( Modular.mul num (Modular.sub x0 sj.x ~m:p) ~m:p,
+                Modular.mul den (Modular.sub si.x sj.x ~m:p) ~m:p ))
+          (Bignum.one, Bignum.one) basis
+      in
+      let coeff = Modular.mul num (Modular.inverse_exn den ~m:p) ~m:p in
+      Modular.add acc (Modular.mul si.y coeff ~m:p) ~m:p)
+    Bignum.zero basis
+
+type robust = { secret : Bignum.t; agreeing : share list; forged : share list }
+
+exception
+  Inconsistent_shares of { agreement : int; required : int; total : int }
+
+let () =
+  Printexc.register_printer (function
+    | Inconsistent_shares { agreement; required; total } ->
+      Some
+        (Printf.sprintf
+           "Shamir.Inconsistent_shares(best agreement %d of %d, need %d)"
+           agreement total required)
+    | _ -> None)
+
+let rec k_subsets k items =
+  if k = 0 then [ [] ]
+  else
+    match items with
+    | [] -> []
+    | x :: rest ->
+      List.map (fun s -> x :: s) (k_subsets (k - 1) rest) @ k_subsets k rest
+
+let reconstruct_robust ~p ~k shares =
+  let n = List.length shares in
+  if k < 1 then invalid_arg "Shamir.reconstruct_robust: k must be >= 1";
+  if n < k then invalid_arg "Shamir.reconstruct_robust: fewer shares than k";
+  check_distinct ~stage:"reconstruct" (List.map (fun s -> s.x) shares);
+  Obs.Metrics.incr "crypto.shamir.robust";
+  if n = k then
+    (* no redundancy: voting is vacuous, fall back to plain interpolation *)
+    { secret = reconstruct ~p shares; agreeing = shares; forged = [] }
+  else begin
+    (* Consistency voting over every k-subset: the true polynomial is the
+       one the most shares lie on.  n is the DLA cluster size (single
+       digits), so the binomial enumeration is cheap. *)
+    let agrees_with basis s =
+      List.exists (fun b -> Bignum.equal b.x s.x) basis
+      || Bignum.equal s.y (interpolate_at ~p basis s.x)
+    in
+    let best_basis, best_agreement =
+      List.fold_left
+        (fun (best, best_count) basis ->
+          let count =
+            List.length (List.filter (agrees_with basis) shares)
+          in
+          if count > best_count then (basis, count) else (best, best_count))
+        ([], 0) (k_subsets k shares)
+    in
+    (* A winning polynomial must be supported both by a full threshold
+       and by a strict majority — otherwise the colluders could outvote
+       the honest shares and attribution would be meaningless. *)
+    let required = max k ((n / 2) + 1) in
+    if best_agreement < required then
+      raise
+        (Inconsistent_shares
+           { agreement = best_agreement; required; total = n });
+    let agreeing, forged = List.partition (agrees_with best_basis) shares in
+    { secret = interpolate_at ~p agreeing Bignum.zero; agreeing; forged }
+  end
+
 let add_shares ~p a b =
   if not (Bignum.equal a.x b.x) then
     invalid_arg "Shamir.add_shares: mismatched evaluation points";

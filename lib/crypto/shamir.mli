@@ -41,6 +41,30 @@ val reconstruct : p:Bignum.t -> share list -> Bignum.t
     @raise Invalid_argument on empty input.
     @raise Duplicate_points on repeated x-coordinates. *)
 
+type robust = {
+  secret : Bignum.t;  (** constant term of the winning polynomial *)
+  agreeing : share list;  (** shares consistent with it *)
+  forged : share list;  (** shares that voted against it — the lies *)
+}
+
+exception
+  Inconsistent_shares of { agreement : int; required : int; total : int }
+(** Raised by {!reconstruct_robust} when no degree-(k-1) polynomial is
+    supported by at least [max k (n/2 + 1)] of the supplied shares —
+    i.e. the forgeries exceed what consistency voting can outvote. *)
+
+val reconstruct_robust : p:Bignum.t -> k:int -> share list -> robust
+(** Byzantine-tolerant reconstruction by consistency voting
+    (over-provisioned k-of-n): interpolate every k-subset and keep the
+    polynomial the most shares lie on, requiring both a full threshold
+    and a strict majority of support.  Shares off the winning
+    polynomial are returned as [forged] — their x-coordinates identify
+    the lying dealers.  With [n = length shares = k] there is no
+    redundancy to vote with and this degrades to {!reconstruct}.
+    @raise Invalid_argument if [k < 1] or fewer than [k] shares.
+    @raise Duplicate_points on repeated x-coordinates.
+    @raise Inconsistent_shares when no polynomial wins the vote. *)
+
 val add_shares : p:Bignum.t -> share -> share -> share
 (** Pointwise sum; both shares must sit at the same [x].
     Shares of [a] plus shares of [b] are shares of [a + b]. *)

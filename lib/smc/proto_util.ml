@@ -53,11 +53,45 @@ let observe net ~node ~sensitivity ~tag value =
   | Some hook ->
     hook { node; sensitivity; tag; value; phase = Obs.Trace.current_path () }
 
+(* Byzantine layer: the payload [dst] actually receives, after any
+   installed adversary has tampered with it, cross-checked by any
+   installed round guard.  Both hooks default to absent, in which case
+   this is the identity and costs nothing — the honest path stays
+   byte-identical.  The guard's commitment exchange is charged to the
+   byz.verify.* metrics, never to the network counters (the §3
+   cost-model totals are part of the paper's contract). *)
+let deliver net ~src ~dst ~label values =
+  let wire =
+    match Net.Adversary.current () with
+    | None -> values
+    | Some adv -> Net.Adversary.tamper adv ~src ~dst ~label values
+  in
+  (match Round_guard.current () with
+  | None -> ()
+  | Some guard ->
+    let commitment =
+      Round_guard.observe_pass guard ~src ~dst ~label ~claimed:values
+        ~received:wire
+    in
+    observe net ~node:dst ~sensitivity:Net.Ledger.Metadata
+      ~tag:("byz:commit:" ^ label) commitment);
+  wire
+
+let deliver_share net ~src ~dst ~label y =
+  match deliver net ~src ~dst ~label [ y ] with
+  | [ y' ] -> y'
+  | _ ->
+    (* a dropped share is an unrecoverable column hole; surface it as a
+       partition so callers keep their existing failure handling *)
+    raise (Net.Network.Partitioned { src; dst; reason = "share dropped" })
+
 let send_bignums net ~src ~dst ~label values =
-  let bytes = List.fold_left (fun acc v -> acc + bignum_wire_size v) 0 values in
+  let wire = deliver net ~src ~dst ~label values in
+  let bytes = List.fold_left (fun acc v -> acc + bignum_wire_size v) 0 wire in
   Net.Network.send_exn net ~src ~dst ~label ~bytes;
   List.iter
     (fun v ->
       observe net ~node:dst ~sensitivity:Net.Ledger.Ciphertext ~tag:label
         (Bignum.to_hex v))
-    values
+    wire;
+  wire

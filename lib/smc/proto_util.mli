@@ -51,13 +51,41 @@ val observe :
     their ledger writes through this, so an installed recorder sees the
     complete per-participant view of the transcript. *)
 
+val deliver :
+  Net.Network.t ->
+  src:Net.Node_id.t ->
+  dst:Net.Node_id.t ->
+  label:string ->
+  Bignum.t list ->
+  Bignum.t list
+(** Byzantine layer: the payload [dst] actually receives.  Applies the
+    installed {!Net.Adversary} (if any) and cross-checks the pass with
+    the installed {!Round_guard} (if any), recording the commitment as
+    a [Metadata] observation tagged ["byz:commit:<label>"] at [dst].
+    With neither installed this is the identity — the honest path is
+    byte-identical.  Does {e not} account any network traffic. *)
+
+val deliver_share :
+  Net.Network.t ->
+  src:Net.Node_id.t ->
+  dst:Net.Node_id.t ->
+  label:string ->
+  Bignum.t ->
+  Bignum.t
+(** {!deliver} for a single Shamir share ordinate.
+    @raise Net.Network.Partitioned if an adversary drops the share. *)
+
 val send_bignums :
   Net.Network.t ->
   src:Net.Node_id.t ->
   dst:Net.Node_id.t ->
   label:string ->
   Bignum.t list ->
-  unit
+  Bignum.t list
 (** Account one message carrying the given group elements and record a
-    [Ciphertext] observation of each at the destination.
+    [Ciphertext] observation of each at the destination; returns the
+    payload as delivered (identical to the argument unless a Byzantine
+    adversary is installed — see {!deliver}).  Protocol code must
+    continue with the returned payload, exactly as a real receiver
+    would.
     @raise Net.Network.Partitioned on non-delivery. *)

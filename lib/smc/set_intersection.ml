@@ -58,8 +58,10 @@ let ring_encrypt ~net ~scheme ~receiver parties =
         List.map
           (fun (origin, holder, cts) ->
             let next = Proto_util.ring_next ring holder in
-            Proto_util.send_bignums net ~src:holder ~dst:next
-              ~label:"intersection:relay" cts;
+            let cts =
+              Proto_util.send_bignums net ~src:holder ~dst:next
+                ~label:"intersection:relay" cts
+            in
             let kp = keypair_of next in
             (origin, next, kp.Crypto.Commutative.enc_many cts))
           state
@@ -77,9 +79,12 @@ let ring_encrypt ~net ~scheme ~receiver parties =
         let encrypted =
           List.map
             (fun (origin, holder, cts) ->
-              if not (Net.Node_id.equal holder receiver) then
-                Proto_util.send_bignums net ~src:holder ~dst:receiver
-                  ~label:"intersection:collect" cts;
+              let cts =
+                if Net.Node_id.equal holder receiver then cts
+                else
+                  Proto_util.send_bignums net ~src:holder ~dst:receiver
+                    ~label:"intersection:collect" cts
+              in
               (origin, cts))
             final
         in
@@ -123,12 +128,22 @@ let run ~net ~scheme ~receiver parties =
                  (fun (n', _) -> Net.Node_id.equal n' receiver)
                  encrypted_by_all)
           in
+          (* Tolerant zip: a Byzantine drop can leave the receiver with
+             fewer fully-encrypted values than plaintexts.  The honest
+             path always has equal lengths; under attack the receiver
+             resolves what it can (the round guard has already recorded
+             the accusation). *)
+          let rec zip xs ys =
+            match (xs, ys) with
+            | x :: xs, y :: ys -> (x, y) :: zip xs ys
+            | _, _ -> []
+          in
           let intersection =
             List.filter_map
               (fun (plain, ct) ->
                 if String_set.mem (Bignum.to_hex ct) common then Some plain
                 else None)
-              (List.combine receiver_plain receiver_cts)
+              (zip receiver_plain receiver_cts)
             |> List.sort compare
           in
           List.iter

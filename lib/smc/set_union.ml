@@ -45,8 +45,10 @@ let ring_collect ~net ~scheme ~receiver parties =
         List.map
           (fun (holder, cts) ->
             let next = Proto_util.ring_next ring holder in
-            Proto_util.send_bignums net ~src:holder ~dst:next
-              ~label:"union:relay" cts;
+            let cts =
+              Proto_util.send_bignums net ~src:holder ~dst:next
+                ~label:"union:relay" cts
+            in
             let kp = keypair_of next in
             (next, kp.Crypto.Commutative.enc_many cts))
           state
@@ -64,10 +66,10 @@ let ring_collect ~net ~scheme ~receiver parties =
         let cts =
           List.concat_map
             (fun (holder, cts) ->
-              if not (Net.Node_id.equal holder receiver) then
+              if Net.Node_id.equal holder receiver then cts
+              else
                 Proto_util.send_bignums net ~src:holder ~dst:receiver
-                  ~label:"union:collect" cts;
-              cts)
+                  ~label:"union:collect" cts)
             final
         in
         Net.Network.round ~label:"union" net;
@@ -96,21 +98,33 @@ let run ~net ~scheme ~rng ~receiver parties =
           let decoded =
             List.fold_left
               (fun (holder, cts) next ->
-                if not (Net.Node_id.equal holder next) then begin
-                  Proto_util.send_bignums net ~src:holder ~dst:next
-                    ~label:"union:decode" cts;
-                  Net.Network.round ~label:"union" net
-                end;
+                let cts =
+                  if Net.Node_id.equal holder next then cts
+                  else begin
+                    let cts =
+                      Proto_util.send_bignums net ~src:holder ~dst:next
+                        ~label:"union:decode" cts
+                    in
+                    Net.Network.round ~label:"union" net;
+                    cts
+                  end
+                in
                 let kp = keypair_of next in
                 (next, kp.Crypto.Commutative.dec_many cts))
               (receiver, shuffled) ring
           in
           let holder, group_elements = decoded in
-          if not (Net.Node_id.equal holder receiver) then begin
-            Proto_util.send_bignums net ~src:holder ~dst:receiver
-              ~label:"union:decode-return" group_elements;
-            Net.Network.round ~label:"union" net
-          end;
+          let group_elements =
+            if Net.Node_id.equal holder receiver then group_elements
+            else begin
+              let delivered =
+                Proto_util.send_bignums net ~src:holder ~dst:receiver
+                  ~label:"union:decode-return" group_elements
+              in
+              Net.Network.round ~label:"union" net;
+              delivered
+            end
+          in
           (* In the paper the set items are embedded reversibly, so peeling
              all layers yields the plaintext directly.  Our embedding is a
              hash, so we resolve decoded group elements through a dictionary

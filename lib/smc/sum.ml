@@ -33,27 +33,48 @@ let run_general ~net ~rng ~p ~k ~receiver ~weight_of parties =
                      (Crypto.Shamir.scale_share ~p (weight_of party.node)))
               parties)
       in
-      Proto_util.span net "smc.sum.exchange" (fun () ->
-          List.iter2
-            (fun party shares ->
-              List.iter2
-                (fun dst (share : Crypto.Shamir.share) ->
-                  if not (Net.Node_id.equal party.node dst) then
-                    Net.Network.send_exn net ~src:party.node ~dst
-                      ~label:share_tag
-                      ~bytes:(Proto_util.bignum_wire_size share.y);
-                  Proto_util.observe net ~node:dst
-                    ~sensitivity:Net.Ledger.Share ~tag:share_tag
-                    (Bignum.to_string share.y))
-                nodes shares)
-            parties dealt;
-          Net.Network.round ~label:"sum" net);
+      (* Shares continue through the protocol as actually received:
+         [Proto_util.deliver_share] is the Byzantine tamper/verify
+         point and the identity on the honest path. *)
+      let delivered =
+        Proto_util.span net "smc.sum.exchange" (fun () ->
+            let delivered =
+              List.map2
+                (fun party shares ->
+                  List.map2
+                    (fun dst (share : Crypto.Shamir.share) ->
+                      let share =
+                        if Net.Node_id.equal party.node dst then share
+                        else begin
+                          Net.Network.send_exn net ~src:party.node ~dst
+                            ~label:share_tag
+                            ~bytes:(Proto_util.bignum_wire_size share.y);
+                          {
+                            share with
+                            y =
+                              Proto_util.deliver_share net ~src:party.node
+                                ~dst ~label:share_tag share.y;
+                          }
+                        end
+                      in
+                      Proto_util.observe net ~node:dst
+                        ~sensitivity:Net.Ledger.Share ~tag:share_tag
+                        (Bignum.to_string share.y);
+                      share)
+                    nodes shares)
+                parties dealt
+            in
+            Net.Network.round ~label:"sum" net;
+            delivered)
+      in
       Proto_util.span net "smc.sum.reveal" (fun () ->
           (* Round 2: P_j sums its column — a share of F(z) = Σ f_i(z). *)
           let columns =
             List.mapi
               (fun j node ->
-                let column = List.map (fun shares -> List.nth shares j) dealt in
+                let column =
+                  List.map (fun shares -> List.nth shares j) delivered
+                in
                 (node, Crypto.Shamir.sum_shares ~p column))
               nodes
           in
@@ -62,10 +83,20 @@ let run_general ~net ~rng ~p ~k ~receiver ~weight_of parties =
           let collected =
             List.map
               (fun (node, (share : Crypto.Shamir.share)) ->
-                if not (Net.Node_id.equal node receiver) then
-                  Net.Network.send_exn net ~src:node ~dst:receiver
-                    ~label:"sum:aggregate"
-                    ~bytes:(Proto_util.bignum_wire_size share.y);
+                let share =
+                  if Net.Node_id.equal node receiver then share
+                  else begin
+                    Net.Network.send_exn net ~src:node ~dst:receiver
+                      ~label:"sum:aggregate"
+                      ~bytes:(Proto_util.bignum_wire_size share.y);
+                    {
+                      share with
+                      y =
+                        Proto_util.deliver_share net ~src:node ~dst:receiver
+                          ~label:"sum:aggregate" share.y;
+                    }
+                  end
+                in
                 Proto_util.observe net ~node:receiver
                   ~sensitivity:Net.Ledger.Share ~tag:"sum:aggregate"
                   (Bignum.to_string share.y);
@@ -73,7 +104,56 @@ let run_general ~net ~rng ~p ~k ~receiver ~weight_of parties =
               selected
           in
           Net.Network.round ~label:"sum" net;
-          let total = Crypto.Shamir.reconstruct ~p collected in
+          let total =
+            match Round_guard.current () with
+            | None -> Crypto.Shamir.reconstruct ~p collected
+            | Some guard ->
+              (* Verified mode: over-provision reconstruction with the
+                 n - k remaining aggregate shares so forged shares are
+                 identified by consistency voting.  The extras ride the
+                 verification channel — the §3 cost model counts exactly
+                 k aggregate messages, so they are charged to the guard,
+                 never to the network counters. *)
+              let extras =
+                List.filteri (fun i _ -> i >= k) columns
+                |> List.map (fun (node, (share : Crypto.Shamir.share)) ->
+                       Round_guard.charge guard ~msgs:1
+                         ~bytes:(Proto_util.bignum_wire_size share.y);
+                       let y =
+                         match Net.Adversary.current () with
+                         | None -> share.y
+                         | Some adv -> (
+                           match
+                             Net.Adversary.tamper adv ~src:node
+                               ~dst:receiver ~label:"sum:aggregate-verify"
+                               [ share.y ]
+                           with
+                           | [ y ] -> y
+                           | _ -> share.y)
+                       in
+                       Proto_util.observe net ~node:receiver
+                         ~sensitivity:Net.Ledger.Share
+                         ~tag:"sum:aggregate-verify" (Bignum.to_string y);
+                       { share with y })
+              in
+              let robust =
+                Crypto.Shamir.reconstruct_robust ~p ~k (collected @ extras)
+              in
+              let node_of_x x =
+                List.find_opt
+                  (fun (x', _) -> Bignum.equal x' x)
+                  (List.combine xs nodes)
+              in
+              List.iter
+                (fun (s : Crypto.Shamir.share) ->
+                  match node_of_x s.x with
+                  | Some (_, node) ->
+                    Round_guard.accuse guard ~accused:node
+                      ~label:"sum:aggregate" ~reason:Round_guard.Forged_share
+                  | None -> ())
+                robust.forged;
+              robust.secret
+          in
           Proto_util.observe net ~node:receiver
             ~sensitivity:Net.Ledger.Aggregate ~tag:"sum:result"
             (Bignum.to_string total);

@@ -1,6 +1,6 @@
 type kind = Uniform | Skewed | Lossy
 
-type t = { kind : kind; seed : int }
+type t = { kind : kind; seed : int; max_attempts : int }
 
 let name t =
   match t.kind with
@@ -8,25 +8,33 @@ let name t =
   | Skewed -> "skewed"
   | Lossy -> "lossy"
 
-let uniform ~seed = { kind = Uniform; seed }
-let skewed ~seed = { kind = Skewed; seed }
-let lossy ~seed = { kind = Lossy; seed }
+let default_max_attempts = 40
 
-let suite ~seed =
-  [ uniform ~seed; skewed ~seed:(seed + 1); lossy ~seed:(seed + 2) ]
+let uniform ~seed = { kind = Uniform; seed; max_attempts = 1 }
+let skewed ~seed = { kind = Skewed; seed; max_attempts = 1 }
 
-exception Gave_up of { schedule : string; attempts : int }
+let lossy ?(max_attempts = default_max_attempts) ~seed () =
+  if max_attempts < 1 then invalid_arg "Schedule.lossy: max_attempts < 1";
+  { kind = Lossy; seed; max_attempts }
+
+let suite ?max_attempts ~seed () =
+  [
+    uniform ~seed;
+    skewed ~seed:(seed + 1);
+    lossy ?max_attempts ~seed:(seed + 2) ();
+  ]
+
+exception Gave_up of { schedule : string; attempts : int; reason : string }
 
 let () =
   Printexc.register_printer (function
-    | Gave_up { schedule; attempts } ->
+    | Gave_up { schedule; attempts; reason } ->
       Some
-        (Printf.sprintf "Spec.Schedule.Gave_up(%s after %d attempts)" schedule
-           attempts)
+        (Printf.sprintf "Spec.Schedule.Gave_up(%s after %d attempts: %s)"
+           schedule attempts reason)
     | _ -> None)
 
 let loss_rate = 0.01
-let max_attempts = 40
 
 let network t ~attempt =
   match t.kind with
@@ -46,11 +54,34 @@ let run t f =
   | Uniform | Skewed -> f (network t ~attempt:0)
   | Lossy ->
     let rec attempt_from n =
-      if n >= max_attempts then
-        raise (Gave_up { schedule = name t; attempts = n })
+      if n >= t.max_attempts then
+        raise
+          (Gave_up
+             {
+               schedule = name t;
+               attempts = n;
+               reason =
+                 Printf.sprintf "attempt budget (%d) exhausted"
+                   t.max_attempts;
+             })
       else
         match f (network t ~attempt:n) with
         | result -> result
-        | exception Net.Network.Partitioned _ -> attempt_from (n + 1)
+        | exception Net.Network.Partitioned { reason = "loss"; _ } ->
+          attempt_from (n + 1)
+        | exception Net.Network.Partitioned { src; dst; reason } ->
+          (* A down endpoint is a permanent condition for the attempt
+             loop: re-rolling the drop pattern can never heal it, so
+             fail fast instead of burning the whole budget. *)
+          raise
+            (Gave_up
+               {
+                 schedule = name t;
+                 attempts = n + 1;
+                 reason =
+                   Printf.sprintf "permanent partition %s -> %s (%s)"
+                     (Net.Node_id.to_string src) (Net.Node_id.to_string dst)
+                     reason;
+               })
     in
     attempt_from 0

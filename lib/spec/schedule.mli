@@ -23,21 +23,34 @@ val name : t -> string
 
 val uniform : seed:int -> t
 val skewed : seed:int -> t
-val lossy : seed:int -> t
 
-val suite : seed:int -> t list
-(** The three schedules above, derived from one chaos seed. *)
+val lossy : ?max_attempts:int -> seed:int -> unit -> t
+(** [max_attempts] bounds the retry loop explicitly (default
+    {!default_max_attempts}).
+    @raise Invalid_argument if [max_attempts < 1]. *)
 
-exception Gave_up of { schedule : string; attempts : int }
-(** A lossy run hit a partition on every attempt.  With the configured
-    loss rate and attempt budget this is a (deterministic, seeded)
-    probability-≈0 event for the §3 protocols' message counts; seeing
-    it means the schedule parameters and the protocol's traffic volume
-    need a second look. *)
+val default_max_attempts : int
+(** 40 — the historical retry budget. *)
+
+val suite : ?max_attempts:int -> seed:int -> unit -> t list
+(** The three schedules above, derived from one chaos seed;
+    [max_attempts] applies to the lossy member. *)
+
+exception Gave_up of { schedule : string; attempts : int; reason : string }
+(** The lossy retry loop stopped without a completed attempt.  Two
+    causes, distinguished by [reason]: the attempt budget ran out on
+    transient ("loss") partitions — with the configured loss rate a
+    (deterministic, seeded) probability-≈0 event worth investigating —
+    or an attempt hit a {e permanent} partition (a node that is down
+    stays down no matter how the drop pattern is re-rolled), which
+    fails fast instead of looping the differential harness through the
+    whole budget. *)
 
 val run : t -> (Net.Network.t -> 'a) -> 'a
 (** Build the schedule's network and run the protocol on it.  On the
-    lossy schedule, {!Net.Network.Partitioned} aborts the attempt and
-    the protocol is re-run on a freshly-seeded network; other
-    exceptions propagate.
-    @raise Gave_up when the attempt budget is exhausted. *)
+    lossy schedule, a transient {!Net.Network.Partitioned} (reason
+    ["loss"]) aborts the attempt and the protocol is re-run on a
+    freshly-seeded network; a permanent partition (a down endpoint)
+    raises {!Gave_up} immediately; other exceptions propagate.
+    @raise Gave_up on fail-fast or when the attempt budget is
+    exhausted. *)

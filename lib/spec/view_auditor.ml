@@ -15,6 +15,7 @@ type reason =
   | Plaintext_at_ttp
   | Unauthorized_plaintext
   | Unauthorized_aggregate
+  | Verifier_leak
 
 type violation = { event : Transcript.event; reason : reason }
 
@@ -25,6 +26,8 @@ let reason_to_string = function
   | Unauthorized_plaintext ->
     "plaintext outside own secrets and authorized outputs"
   | Unauthorized_aggregate -> "aggregate output the spec does not authorize"
+  | Verifier_leak ->
+    "verification channel carried something other than a commitment digest"
 
 let violation_to_string { event; reason } =
   Printf.sprintf "%s saw %S (%s, tag %s, phase %s): %s"
@@ -38,6 +41,20 @@ let violation_to_string { event; reason } =
     (reason_to_string reason)
 
 let pp_violation fmt v = Format.pp_print_string fmt (violation_to_string v)
+
+(* The Byzantine round guard's cross-checks ride the transcript as
+   "byz:"-tagged events.  The defense must not become a side channel:
+   a verification event may only ever be a Metadata observation of a
+   SHA-256 commitment (64 lowercase hex) — anything else is the
+   verifier itself leaking. *)
+let is_commitment_digest v =
+  String.length v = 64
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       v
+
+let verification_tag tag =
+  String.length tag >= 4 && String.equal (String.sub tag 0 4) "byz:"
 
 let audit ~specs transcript =
   let all_secrets =
@@ -53,6 +70,20 @@ let audit ~specs transcript =
       let fail reason = Some { event = e; reason } in
       match spec_of e.node with
       | None -> fail Unknown_observer
+      | Some s when verification_tag e.tag ->
+        if
+          (match e.sensitivity with Net.Ledger.Metadata -> false | _ -> true)
+          || not (is_commitment_digest e.value)
+        then fail Verifier_leak
+        else
+          (* even a digest-shaped value must not be a secret verbatim *)
+          let own = String_set.of_list s.secrets in
+          let allowed = String_set.of_list s.allowed_outputs in
+          let foreign =
+            String_set.diff (String_set.diff all_secrets own) allowed
+          in
+          if String_set.mem e.value foreign then fail Foreign_secret
+          else None
       | Some s ->
         let own = String_set.of_list s.secrets in
         let allowed = String_set.of_list s.allowed_outputs in

@@ -43,6 +43,10 @@ type reason =
           outputs *)
   | Unauthorized_aggregate
       (** a final-answer observation the spec does not authorize *)
+  | Verifier_leak
+      (** a ["byz:"]-tagged verification event that is not a [Metadata]
+          observation of a 64-hex SHA-256 commitment — the Byzantine
+          defenses themselves must leak nothing *)
 
 type violation = { event : Transcript.event; reason : reason }
 

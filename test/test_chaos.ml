@@ -60,6 +60,15 @@ let audit_matching cluster criteria =
 let assert_no_foreign_plaintext cluster =
   let ledger = Net.Network.ledger (Cluster.net cluster) in
   let layout = Cluster.fragmentation cluster in
+  (* Glsn identifiers are cluster-assigned metadata every node already
+     stores (Definition 1's permitted secondary information) — seeing
+     one in the clear, e.g. as a set-intersection element, widens no
+     view. *)
+  let is_glsn value =
+    List.exists
+      (fun g -> String.equal (Glsn.to_string g) value)
+      (Cluster.all_glsns cluster)
+  in
   List.iter
     (fun node ->
       let own =
@@ -68,7 +77,7 @@ let assert_no_foreign_plaintext cluster =
       in
       List.iter
         (fun (sensitivity, tag, value) ->
-          if sensitivity = Net.Ledger.Plaintext then begin
+          if sensitivity = Net.Ledger.Plaintext && not (is_glsn value) then begin
             let attr =
               match String.index_opt value '=' with
               | Some i -> String.sub value 0 i
@@ -519,6 +528,198 @@ let prop_lossy_repair_never_corrupts =
             | None -> false))
         pre_wipe)
 
+(* ------------------------------------------------------------------ *)
+(* Byzantine rounds: detect -> quarantine -> re-run                    *)
+(* ------------------------------------------------------------------ *)
+
+(* id homes at P1, time at P0: the conjunction crosses homes, so the
+   final verdict rides the set-intersection ring the adversary attacks. *)
+let byz_criteria = {|id = "U1" && time >= 1000|}
+
+(* Three clause homes (P1, P0, P2) put both colluders on the ring. *)
+let byz_criteria_3way = {|id = "U1" && time >= 1000 && tid = "T1100265"|}
+
+let populated_twin ~seed =
+  let cluster, ticket = build_cluster ~seed () in
+  List.iter (fun r -> ignore (submit_ok cluster ticket r)) rows;
+  cluster
+
+let plain_matching cluster query =
+  match Executor.run cluster ~auditor:Net.Node_id.Auditor query with
+  | Ok r -> List.map Glsn.to_string r.Executor.matching
+  | Error e -> Alcotest.failf "plain audit: %s" (Audit_error.to_string e)
+
+let names = List.map Net.Node_id.to_string
+
+let test_byzantine_quarantine_recovery () =
+  let query = parse_query byz_criteria in
+  let expected = plain_matching (populated_twin ~seed:42) query in
+  let cluster = populated_twin ~seed:42 in
+  let adv =
+    Net.Adversary.create ~seed:5
+      [ Net.Adversary.plan
+          ~labels:[ "intersection:relay" ]
+          (Net.Node_id.Dla 1) Net.Adversary.Corrupt
+      ]
+  in
+  match
+    Net.Adversary.with_active adv (fun () ->
+        Byzantine.audit cluster ~auditor:Net.Node_id.Auditor query)
+  with
+  | Error e -> Alcotest.failf "verified audit: %s" (Audit_error.to_string e)
+  | Ok o ->
+    Alcotest.(check bool) "the adversary actually lied" true
+      (Net.Adversary.injections adv <> []);
+    Alcotest.(check (list string)) "recovered verdict equals clean answer"
+      expected
+      (List.map Glsn.to_string o.Byzantine.report.Executor.matching);
+    Alcotest.(check int) "one accused round, one clean re-run" 2
+      o.Byzantine.attempts;
+    Alcotest.(check (list string)) "the liar was quarantined" [ "P1" ]
+      (names o.Byzantine.quarantined);
+    (match o.Byzantine.events with
+    | [ ev ] ->
+      Alcotest.(check int) "caught on the first attempt" 1 ev.Byzantine.attempt;
+      Alcotest.(check (list string)) "detection event names the liar" [ "P1" ]
+        (names ev.Byzantine.accused);
+      Alcotest.(check bool) "detail says what happened" true
+        (ev.Byzantine.detail <> "")
+    | evs ->
+      Alcotest.failf "expected exactly one detection event, got %d"
+        (List.length evs));
+    Alcotest.(check bool) "verification traffic accounted separately" true
+      (o.Byzantine.verify_msgs > 0 && o.Byzantine.verify_bytes > 0);
+    (* Rehost: the fenced process was replaced, so the cluster carries no
+       quarantine after the audit and coverage is complete. *)
+    Alcotest.(check (list string)) "no node left fenced after rehost" []
+      (names (Cluster.quarantined cluster));
+    Alcotest.(check bool) "accepted run has full coverage" true
+      o.Byzantine.report.Executor.coverage.Executor.complete;
+    assert_no_foreign_plaintext cluster
+
+let test_byzantine_undetected_without_guard () =
+  (* The motivating failure: without the round guard, the same lie
+     silently corrupts the verdict — no error, wrong answer. *)
+  let query = parse_query byz_criteria in
+  let expected = plain_matching (populated_twin ~seed:43) query in
+  Alcotest.(check bool) "clean verdict is non-trivial" true (expected <> []);
+  let cluster = populated_twin ~seed:43 in
+  let adv =
+    Net.Adversary.create ~seed:5
+      [ Net.Adversary.plan
+          ~labels:[ "intersection:relay" ]
+          (Net.Node_id.Dla 1) Net.Adversary.Corrupt
+      ]
+  in
+  let tampered =
+    Net.Adversary.with_active adv (fun () -> plain_matching cluster query)
+  in
+  Alcotest.(check bool) "the adversary actually lied" true
+    (Net.Adversary.injections adv <> []);
+  Alcotest.(check bool) "unguarded verdict is silently wrong" true
+    (tampered <> expected)
+
+let test_byzantine_exclude_coverage_debt () =
+  let query = parse_query byz_criteria in
+  let cluster = populated_twin ~seed:44 in
+  let adv =
+    Net.Adversary.create ~seed:5
+      [ Net.Adversary.plan
+          ~labels:[ "intersection:relay" ]
+          (Net.Node_id.Dla 1) Net.Adversary.Corrupt
+      ]
+  in
+  match
+    Net.Adversary.with_active adv (fun () ->
+        Byzantine.audit cluster ~recovery:Byzantine.Exclude
+          ~auditor:Net.Node_id.Auditor query)
+  with
+  | Error e -> Alcotest.failf "verified audit: %s" (Audit_error.to_string e)
+  | Ok o ->
+    Alcotest.(check int) "one accused round, one degraded re-run" 2
+      o.Byzantine.attempts;
+    Alcotest.(check (list string)) "the liar stays fenced" [ "P1" ]
+      (names (Cluster.quarantined cluster));
+    let c = o.Byzantine.report.Executor.coverage in
+    Alcotest.(check bool) "coverage debt disclosed" false c.Executor.complete;
+    Alcotest.(check bool) "coverage names the fenced node" true
+      (List.mem "P1" (names c.Executor.unreachable));
+    Alcotest.(check int) "the liar's clause is dropped" 1
+      c.Executor.skipped_clauses;
+    (* The evaluable clause (time >= 1000) still answers exactly. *)
+    Alcotest.(check int) "surviving clause answers over every row"
+      (List.length rows) o.Byzantine.report.Executor.count;
+    assert_no_foreign_plaintext cluster
+
+let test_byzantine_over_tolerance () =
+  let query = parse_query byz_criteria_3way in
+  let cluster = populated_twin ~seed:45 in
+  let adv =
+    Net.Adversary.create ~seed:5
+      [ Net.Adversary.plan
+          ~labels:[ "intersection:relay"; "intersection:collect" ]
+          (Net.Node_id.Dla 1) Net.Adversary.Corrupt;
+        Net.Adversary.plan
+          ~labels:[ "intersection:relay"; "intersection:collect" ]
+          (Net.Node_id.Dla 2) Net.Adversary.Corrupt
+      ]
+  in
+  match
+    Net.Adversary.with_active adv (fun () ->
+        Byzantine.audit cluster ~tolerance:1 ~auditor:Net.Node_id.Auditor
+          query)
+  with
+  | Ok _ -> Alcotest.fail "collusion above tolerance must not yield a verdict"
+  | Error (Audit_error.Byzantine_fault { accused; during; _ }) ->
+    Alcotest.(check (list string)) "both colluders named" [ "P1"; "P2" ]
+      (names accused);
+    Alcotest.(check string) "failure attributed to the audit" "audit" during
+  | Error e ->
+    Alcotest.failf "expected Byzantine_fault, got %s" (Audit_error.to_string e)
+
+let test_quarantine_purges_session_cache () =
+  let cluster = populated_twin ~seed:46 in
+  let cache = Executor.cache_create () in
+  let query = parse_query byz_criteria in
+  let run ?(on_failure = Executor.Fail) () =
+    Executor.run cluster ~on_failure ~cache ~auditor:Net.Node_id.Auditor query
+  in
+  let expected =
+    match run () with
+    | Ok r -> List.map Glsn.to_string r.Executor.matching
+    | Error e -> Alcotest.failf "first run: %s" (Audit_error.to_string e)
+  in
+  let hits0 = Executor.cache_hits cache in
+  (match run () with
+  | Ok r ->
+    Alcotest.(check (list string)) "cached repeat is byte-identical" expected
+      (List.map Glsn.to_string r.Executor.matching)
+  | Error e -> Alcotest.failf "repeat run: %s" (Audit_error.to_string e));
+  Alcotest.(check bool) "repeat was served from the cache" true
+    (Executor.cache_hits cache > hits0);
+  (* Quarantine taints every glsn set the node helped compute. *)
+  Cluster.quarantine cluster (Net.Node_id.Dla 1);
+  let removed = Executor.cache_purge cache ~nodes:[ Net.Node_id.Dla 1 ] in
+  Alcotest.(check bool) "purge removed the tainted entries" true (removed > 0);
+  Alcotest.(check int) "purge is idempotent" 0
+    (Executor.cache_purge cache ~nodes:[ Net.Node_id.Dla 1 ]);
+  (match run ~on_failure:Executor.Degrade () with
+  | Ok r ->
+    let c = r.Executor.coverage in
+    Alcotest.(check bool) "fenced run discloses coverage debt" false
+      c.Executor.complete;
+    Alcotest.(check bool) "coverage names the quarantined node" true
+      (List.mem "P1" (names c.Executor.unreachable))
+  | Error e -> Alcotest.failf "degraded run: %s" (Audit_error.to_string e));
+  (* Lifting the quarantine restores the exact answer (recomputed, not
+     served stale). *)
+  Cluster.lift_quarantine cluster (Net.Node_id.Dla 1);
+  match run () with
+  | Ok r ->
+    Alcotest.(check (list string)) "exact answer again after lift" expected
+      (List.map Glsn.to_string r.Executor.matching)
+  | Error e -> Alcotest.failf "post-lift run: %s" (Audit_error.to_string e)
+
 let () =
   Alcotest.run "chaos"
     [ ( "schedule",
@@ -549,6 +750,18 @@ let () =
             test_successors_rejects_non_member;
           Alcotest.test_case "drop accounting" `Quick
             test_network_drop_accounting
+        ] );
+      ( "byzantine",
+        [ Alcotest.test_case "detect, quarantine, rehost, exact verdict" `Quick
+            test_byzantine_quarantine_recovery;
+          Alcotest.test_case "without the guard the lie lands silently" `Quick
+            test_byzantine_undetected_without_guard;
+          Alcotest.test_case "exclude mode reports coverage debt" `Quick
+            test_byzantine_exclude_coverage_debt;
+          Alcotest.test_case "collusion above tolerance is refused" `Quick
+            test_byzantine_over_tolerance;
+          Alcotest.test_case "quarantine purges the session cache" `Quick
+            test_quarantine_purges_session_cache
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_lossy_repair_never_corrupts ] )

@@ -372,6 +372,117 @@ let test_shamir_k_equals_n () =
         shares)
     sweep_seeds
 
+let test_shamir_robust_recovery () =
+  (* Over-provisioned k-of-n with consistency voting: the secret
+     survives forged shares and the vote names exactly the forged
+     x-coordinates. *)
+  let p = Lazy.force shamir_p in
+  (* Unique decoding needs n >= k + 2t: with k = 3 and n = 8 the vote
+     tolerates t = 2 forgeries (required agreement max k (n/2+1) = 5;
+     any lie-consistent polynomial gathers at most 2 forged + 2 honest
+     shares). *)
+  let k = 3 and n = 8 in
+  List.iter
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let secret = bn (1 + ((seed * 97) mod 50_000)) in
+      let xs = Crypto.Shamir.default_xs ~n in
+      let shares = Crypto.Shamir.split rng ~p ~k ~xs ~secret in
+      List.iter
+        (fun forged_idx ->
+          let tampered =
+            List.mapi
+              (fun i (s : Crypto.Shamir.share) ->
+                if List.mem i forged_idx then
+                  { s with
+                    Crypto.Shamir.y =
+                      Bignum.rem
+                        (Bignum.add_int s.Crypto.Shamir.y
+                           (seed + 13 + (i * 1009)))
+                        p
+                  }
+                else s)
+              shares
+          in
+          let robust = Crypto.Shamir.reconstruct_robust ~p ~k tampered in
+          check_bn
+            (Printf.sprintf "seed %d: secret despite %d forgeries" seed
+               (List.length forged_idx))
+            secret robust.Crypto.Shamir.secret;
+          let forged_xs =
+            List.map
+              (fun (s : Crypto.Shamir.share) -> Bignum.to_hex s.Crypto.Shamir.x)
+              robust.Crypto.Shamir.forged
+          in
+          let expected_xs =
+            List.filteri (fun i _ -> List.mem i forged_idx) xs
+            |> List.map Bignum.to_hex
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "seed %d: forged x-coordinates identified" seed)
+            (List.sort compare expected_xs)
+            (List.sort compare forged_xs);
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d: the rest agree" seed)
+            (n - List.length forged_idx)
+            (List.length robust.Crypto.Shamir.agreeing))
+        [ [ 1 ]; [ 1; 4 ] ];
+      (* no forgeries: everything agrees, nothing accused *)
+      let clean = Crypto.Shamir.reconstruct_robust ~p ~k shares in
+      check_bn (Printf.sprintf "seed %d: clean path" seed) secret
+        clean.Crypto.Shamir.secret;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: clean path accuses nobody" seed)
+        0
+        (List.length clean.Crypto.Shamir.forged))
+    sweep_seeds
+
+let test_shamir_robust_k_equals_n () =
+  (* n = k leaves no redundancy to vote with: degrades to plain
+     reconstruction, trusting every share. *)
+  let p = Lazy.force shamir_p in
+  let rng = Prng.create ~seed:21 in
+  let secret = bn 8191 in
+  let xs = Crypto.Shamir.default_xs ~n:3 in
+  let shares = Crypto.Shamir.split rng ~p ~k:3 ~xs ~secret in
+  let robust = Crypto.Shamir.reconstruct_robust ~p ~k:3 shares in
+  check_bn "k = n reconstructs" secret robust.Crypto.Shamir.secret;
+  Alcotest.(check int) "no forgeries reported" 0
+    (List.length robust.Crypto.Shamir.forged)
+
+let test_shamir_robust_inconsistent () =
+  (* Three independently-forged shares out of six with k = 2: the true
+     line keeps only 3 supporters, below the required strict majority
+     (max k (n/2+1) = 4), and the mutually-inconsistent lies support no
+     line either — the failure is typed, never a silent wrong secret. *)
+  let p = Lazy.force shamir_p in
+  let rng = Prng.create ~seed:22 in
+  let secret = bn 31337 in
+  let xs = Crypto.Shamir.default_xs ~n:6 in
+  let shares = Crypto.Shamir.split rng ~p ~k:2 ~xs ~secret in
+  let tampered =
+    List.mapi
+      (fun i (s : Crypto.Shamir.share) ->
+        if i < 3 then
+          { s with
+            Crypto.Shamir.y =
+              Bignum.rem
+                (Bignum.add_int s.Crypto.Shamir.y (7 + (i * 987_654)))
+                p
+          }
+        else s)
+      shares
+  in
+  match Crypto.Shamir.reconstruct_robust ~p ~k:2 tampered with
+  | (_ : Crypto.Shamir.robust) ->
+    Alcotest.fail "voting must not accept a split electorate"
+  | exception Crypto.Shamir.Inconsistent_shares { agreement; required; total }
+    ->
+    Alcotest.(check int) "total shares" 6 total;
+    Alcotest.(check int) "strict majority required" 4 required;
+    Alcotest.(check bool) "agreement below the bar" true
+      (agreement < required)
+
 let test_shamir_duplicate_points () =
   (* Duplicated evaluation points are a typed rejection, not garbage:
      Lagrange through coincident x-coordinates divides by zero. *)
@@ -988,6 +1099,12 @@ let () =
         :: Alcotest.test_case "linearity" `Quick test_shamir_linearity
         :: Alcotest.test_case "validation" `Quick test_shamir_validation
         :: Alcotest.test_case "k = n" `Quick test_shamir_k_equals_n
+        :: Alcotest.test_case "robust voting recovers and accuses" `Quick
+             test_shamir_robust_recovery
+        :: Alcotest.test_case "robust k = n passthrough" `Quick
+             test_shamir_robust_k_equals_n
+        :: Alcotest.test_case "robust split electorate is typed" `Quick
+             test_shamir_robust_inconsistent
         :: Alcotest.test_case "duplicate points" `Quick
              test_shamir_duplicate_points
         :: Alcotest.test_case "threshold sweep" `Quick

@@ -12,7 +12,7 @@
 open Dla
 
 let auditor = Net.Node_id.Auditor
-let schedules = Spec.Schedule.suite ~seed:(Generators.chaos_seed ())
+let schedules = Spec.Schedule.suite ~seed:(Generators.chaos_seed ()) ()
 
 (* A batch of paper-schema criteria with heavy predicate overlap:
    every atom below appears in at least two queries, so plan_many's

@@ -19,7 +19,7 @@ let ttp = Net.Node_id.Ttp "cmp"
 
 let qseed = Generators.qcheck_seed ()
 let case_count = Generators.env_int "SPEC_CASES" ~default:50
-let schedules = Spec.Schedule.suite ~seed:(Generators.chaos_seed ())
+let schedules = Spec.Schedule.suite ~seed:(Generators.chaos_seed ()) ()
 
 let participant node secrets =
   {
@@ -591,12 +591,319 @@ let test_lossy_schedule_retries () =
   in
   let total =
     Spec.Schedule.run
-      (Spec.Schedule.lossy ~seed:12345)
+      (Spec.Schedule.lossy ~seed:12345 ())
       (fun net ->
         Smc.Sum.run ~net ~rng:(Prng.create ~seed:9) ~p ~k:4
           ~receiver:Net.Node_id.Auditor parties)
   in
   Alcotest.(check string) "lossy run total" "26" (Bignum.to_string total)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_schedule_fail_fast_on_down () =
+  (* A permanently-down endpoint must not loop the retry budget: the
+     lossy schedule fails fast with a typed reason. *)
+  let a = Net.Node_id.Dla 0 and b = Net.Node_id.Dla 1 in
+  match
+    Spec.Schedule.run
+      (Spec.Schedule.lossy ~seed:7 ())
+      (fun net ->
+        Net.Network.take_down net b;
+        Net.Network.send_exn net ~src:a ~dst:b ~label:"probe" ~bytes:1)
+  with
+  | () -> Alcotest.fail "expected Gave_up"
+  | exception Spec.Schedule.Gave_up { attempts; reason; schedule } ->
+    Alcotest.(check string) "lossy schedule" "lossy" schedule;
+    Alcotest.(check int) "fails on the first attempt" 1 attempts;
+    Alcotest.(check bool) "reason names the permanent partition" true
+      (contains reason "permanent partition" && contains reason "down")
+
+let test_schedule_attempt_budget () =
+  (* Transient losses respect the explicit attempt bound. *)
+  let a = Net.Node_id.Dla 0 and b = Net.Node_id.Dla 1 in
+  match
+    Spec.Schedule.run
+      (Spec.Schedule.lossy ~max_attempts:3 ~seed:7 ())
+      (fun _net ->
+        raise (Net.Network.Partitioned { src = a; dst = b; reason = "loss" }))
+  with
+  | () -> Alcotest.fail "expected Gave_up"
+  | exception Spec.Schedule.Gave_up { attempts; reason; _ } ->
+    Alcotest.(check int) "stops at the configured budget" 3 attempts;
+    Alcotest.(check bool) "reason names the budget" true
+      (contains reason "budget");
+    Alcotest.(check bool) "budget must be positive" true
+      (match Spec.Schedule.lossy ~max_attempts:0 ~seed:1 () with
+      | (_ : Spec.Schedule.t) -> false
+      | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Byzantine adversary × round guard                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed non-trivial inputs shared by the byzantine sweeps: the clean
+   intersection is {b, c}, so a successful lie visibly changes it. *)
+let byz_sets = [ [ "a"; "b"; "c" ]; [ "b"; "c"; "d" ]; [ "b"; "c"; "e" ] ]
+
+let run_byz_intersection ~seed () =
+  let nodes = dla 3 in
+  let parties =
+    List.map2
+      (fun node set -> { Smc.Set_intersection.node; set })
+      nodes byz_sets
+  in
+  let net = Net.Network.create ~seed () in
+  let result =
+    Smc.Set_intersection.run ~net
+      ~scheme:(Generators.xor_scheme (seed + 17))
+      ~receiver:(List.hd nodes) parties
+  in
+  (result, Net.Network.stats net)
+
+(* Everything the protocol computed, byte for byte: the plaintext
+   intersection plus every fully-encrypted image. *)
+let show_intersection (r : Smc.Set_intersection.result) =
+  String.concat "|"
+    (r.Smc.Set_intersection.intersection
+    @ List.concat_map
+        (fun (origin, cts) ->
+          Net.Node_id.to_string origin :: List.map Bignum.to_hex cts)
+        r.Smc.Set_intersection.encrypted_by_all)
+
+let node_names nodes = List.map Net.Node_id.to_string nodes
+
+let test_guard_honest_identity () =
+  (* With no adversary, the guard must change nothing: same bytes on
+     the wire, same §3 message/round counts, zero accusations — the
+     verification overhead lives only on the byz.verify.* channel. *)
+  List.iter
+    (fun seed ->
+      let clean, clean_stats = run_byz_intersection ~seed () in
+      let guard = Smc.Round_guard.create () in
+      let guarded, guarded_stats =
+        Smc.Round_guard.with_guard guard (run_byz_intersection ~seed)
+      in
+      Alcotest.(check string)
+        "byte-identical result"
+        (show_intersection clean)
+        (show_intersection guarded);
+      Alcotest.(check bool) "identical network stats" true
+        (clean_stats = guarded_stats);
+      Alcotest.(check (list string)) "no accusations" []
+        (List.map Smc.Round_guard.accusation_to_string
+           (Smc.Round_guard.accusations guard));
+      let msgs, bytes = Smc.Round_guard.verify_cost guard in
+      Alcotest.(check bool) "verification traffic accounted separately" true
+        (msgs > 0 && bytes > 0))
+    Generators.chaos_seeds
+
+let byz_behaviors =
+  Net.Adversary.[ Corrupt; Equivocate; Drop; Replay; Reorder ]
+
+let test_byzantine_detection_sweep () =
+  (* Sweep behaviors × colluder sets × seeds.  Every injected lie must
+     be detected with the lying node named, and after fencing the
+     colluders the re-run must converge byte-identically to the clean
+     run — with the recovery transcript still passing the view
+     auditor. *)
+  List.iter
+    (fun seed ->
+      let clean, _ = run_byz_intersection ~seed () in
+      let expected = show_intersection clean in
+      List.iter
+        (fun colluders ->
+          List.iter
+            (fun behavior ->
+              let ctx =
+                Printf.sprintf "seed=%d colluders=%s behavior=%s" seed
+                  (String.concat "," (node_names colluders))
+                  (Net.Adversary.behavior_to_string behavior)
+              in
+              let adv =
+                Net.Adversary.create ~seed
+                  (List.map
+                     (fun node ->
+                       Net.Adversary.plan
+                         ~labels:
+                           [ "intersection:relay"; "intersection:collect" ]
+                         node behavior)
+                     colluders)
+              in
+              let guard = Smc.Round_guard.create () in
+              let _ =
+                Net.Adversary.with_active adv (fun () ->
+                    Smc.Round_guard.with_guard guard
+                      (run_byz_intersection ~seed))
+              in
+              (* ground truth: the lies the adversary actually told *)
+              Alcotest.(check bool)
+                (ctx ^ ": adversary injected")
+                true
+                (Net.Adversary.injections adv <> []);
+              Alcotest.(check (list string))
+                (ctx ^ ": every lying node named, nobody else")
+                (node_names (Net.Adversary.injected_nodes adv))
+                (node_names (Smc.Round_guard.accused_nodes guard));
+              (* quarantine the accused = re-host on honest replicas;
+                 the re-run must equal the clean run byte for byte *)
+              List.iter
+                (Net.Adversary.quarantine adv)
+                (Smc.Round_guard.accused_nodes guard);
+              let recovery_guard = Smc.Round_guard.create () in
+              let (recovered, _), transcript =
+                Spec.Transcript.record (fun () ->
+                    Net.Adversary.with_active adv (fun () ->
+                        Smc.Round_guard.with_guard recovery_guard
+                          (run_byz_intersection ~seed)))
+              in
+              Alcotest.(check string)
+                (ctx ^ ": recovery converges byte-identical")
+                expected
+                (show_intersection recovered);
+              Alcotest.(check (list string))
+                (ctx ^ ": recovery run is accusation-free")
+                []
+                (List.map Smc.Round_guard.accusation_to_string
+                   (Smc.Round_guard.accusations recovery_guard));
+              (* the defenses themselves must leak nothing *)
+              let specs =
+                List.map2
+                  (fun node set ->
+                    if Net.Node_id.equal node (List.hd (dla 3)) then
+                      {
+                        (participant node set) with
+                        allowed_outputs =
+                          recovered.Smc.Set_intersection.intersection;
+                      }
+                    else participant node set)
+                  (dla 3) byz_sets
+              in
+              Alcotest.(check (list string))
+                (ctx ^ ": recovery transcript passes the view auditor")
+                []
+                (List.map Spec.View_auditor.violation_to_string
+                   (Spec.View_auditor.audit ~specs transcript)))
+            byz_behaviors)
+        [ [ Net.Node_id.Dla 1 ]; [ Net.Node_id.Dla 1; Net.Node_id.Dla 2 ] ])
+    Generators.chaos_seeds
+
+let test_byzantine_sum_voting () =
+  (* Σₛ share forgery: the over-provisioned reconstruction identifies
+     the forged share by consistency voting, names the holder, and
+     still returns the correct sum (the vote outvotes the lie). *)
+  let p = Lazy.force Generators.sum_p in
+  let values = [ 11; 22; 33; 44 ] in
+  let parties =
+    List.mapi
+      (fun j v -> { Smc.Sum.node = Net.Node_id.Dla j; value = bn v })
+      values
+  in
+  let oracle = Spec.Oracle.sum ~p (List.map bn values) in
+  List.iter
+    (fun seed ->
+      (* forge on the verification channel only: digests never see it,
+         so the accusation can only come from the consistency vote *)
+      let liar = Net.Node_id.Dla 3 in
+      let adv =
+        Net.Adversary.create ~seed
+          [
+            Net.Adversary.plan ~labels:[ "sum:aggregate-verify" ] liar
+              Net.Adversary.Forge_share;
+          ]
+      in
+      let guard = Smc.Round_guard.create () in
+      let total =
+        Net.Adversary.with_active adv (fun () ->
+            Smc.Round_guard.with_guard guard (fun () ->
+                let net = Net.Network.create ~seed () in
+                Smc.Sum.run ~net ~rng:(Prng.create ~seed:(seed + 3)) ~p ~k:2
+                  ~receiver:Net.Node_id.Auditor parties))
+      in
+      Alcotest.(check string) "sum survives the forgery"
+        (Bignum.to_string oracle) (Bignum.to_string total);
+      Alcotest.(check bool) "forgery actually happened" true
+        (Net.Adversary.injections adv <> []);
+      Alcotest.(check (list string)) "voting names the share holder"
+        (node_names [ liar ])
+        (node_names (Smc.Round_guard.accused_nodes guard));
+      Alcotest.(check bool) "reason is share forgery" true
+        (List.for_all
+           (fun (a : Smc.Round_guard.accusation) ->
+             a.reason = Smc.Round_guard.Forged_share)
+           (Smc.Round_guard.accusations guard)))
+    Generators.chaos_seeds;
+  (* forging a collected aggregate share is caught twice — by digest
+     cross-check and by the vote — and the sum is still correct *)
+  let liar = Net.Node_id.Dla 1 in
+  let adv =
+    Net.Adversary.create ~seed:5
+      [
+        Net.Adversary.plan ~labels:[ "sum:aggregate" ] liar
+          Net.Adversary.Forge_share;
+      ]
+  in
+  let guard = Smc.Round_guard.create () in
+  let total =
+    Net.Adversary.with_active adv (fun () ->
+        Smc.Round_guard.with_guard guard (fun () ->
+            let net = Net.Network.create ~seed:5 () in
+            Smc.Sum.run ~net ~rng:(Prng.create ~seed:8) ~p ~k:2
+              ~receiver:Net.Node_id.Auditor parties))
+  in
+  Alcotest.(check string) "voting corrects the forged aggregate"
+    (Bignum.to_string oracle) (Bignum.to_string total);
+  Alcotest.(check (list string)) "only the liar is accused"
+    (node_names [ liar ])
+    (node_names (Smc.Round_guard.accused_nodes guard))
+
+let test_verifier_leak_flagged () =
+  (* The guard's own channel is audited: anything on a "byz:" tag that
+     is not a Metadata commitment digest is a Verifier_leak. *)
+  let alice = Net.Node_id.Dla 0 in
+  let specs = [ participant alice [ "a-secret" ] ] in
+  let record ~sensitivity ~tag value =
+    let _, transcript =
+      Spec.Transcript.record (fun () ->
+          let net = Net.Network.create () in
+          Smc.Proto_util.observe net ~node:alice ~sensitivity ~tag value)
+    in
+    reasons (Spec.View_auditor.audit ~specs transcript)
+  in
+  let digest = Smc.Round_guard.digest [ bn 42 ] in
+  Alcotest.(check bool) "well-formed commitment passes" true
+    (record ~sensitivity:Net.Ledger.Metadata ~tag:"byz:commit:x" digest = []);
+  Alcotest.(check bool) "non-digest payload flagged" true
+    (record ~sensitivity:Net.Ledger.Metadata ~tag:"byz:commit:x" "a-secret"
+    = [ Spec.View_auditor.Verifier_leak ]);
+  Alcotest.(check bool) "wrong sensitivity flagged" true
+    (record ~sensitivity:Net.Ledger.Plaintext ~tag:"byz:commit:x" digest
+    = [ Spec.View_auditor.Verifier_leak ])
+
+let test_leaky_fixture_fails_under_guard () =
+  (* Adding the defense layer must not whitewash a genuinely leaky
+     protocol: the fixture still fails the auditor inside a guard. *)
+  let l = bn 13 and r = bn 29 in
+  let lnode = Net.Node_id.Dla 0 and rnode = Net.Node_id.Dla 1 in
+  let guard = Smc.Round_guard.create () in
+  let _, transcript =
+    Spec.Transcript.record (fun () ->
+        Smc.Round_guard.with_guard guard (fun () ->
+            Spec.Schedule.run (Spec.Schedule.uniform ~seed:0) (fun net ->
+                Spec.Leaky_fixture.equality_via_ttp ~net ~ttp ~left:(lnode, l)
+                  ~right:(rnode, r))))
+  in
+  let specs =
+    [ participant lnode [ "13" ]; participant rnode [ "29" ]; blind_ttp ttp [] ]
+  in
+  let rs = reasons (Spec.View_auditor.audit ~specs transcript) in
+  Alcotest.(check bool) "leaky fixture still rejected" true
+    (List.mem Spec.View_auditor.Plaintext_at_ttp rs
+    && List.mem Spec.View_auditor.Foreign_secret rs)
 
 (* ------------------------------------------------------------------ *)
 (* Planner determinism                                                 *)
@@ -656,7 +963,23 @@ let () =
       ( "schedules",
         [ Alcotest.test_case "suite shapes" `Quick test_schedule_suite_shapes;
           Alcotest.test_case "lossy retries converge" `Quick
-            test_lossy_schedule_retries
+            test_lossy_schedule_retries;
+          Alcotest.test_case "fail fast on permanent partition" `Quick
+            test_schedule_fail_fast_on_down;
+          Alcotest.test_case "typed attempt budget" `Quick
+            test_schedule_attempt_budget
+        ] );
+      ( "byzantine",
+        [ Alcotest.test_case "guard is identity on honest path" `Quick
+            test_guard_honest_identity;
+          Alcotest.test_case "detection sweep" `Slow
+            test_byzantine_detection_sweep;
+          Alcotest.test_case "sum share-forgery voting" `Quick
+            test_byzantine_sum_voting;
+          Alcotest.test_case "verifier leak flagged" `Quick
+            test_verifier_leak_flagged;
+          Alcotest.test_case "leaky fixture still rejected" `Quick
+            test_leaky_fixture_fails_under_guard
         ] );
       ( "planner",
         [ QCheck_alcotest.to_alcotest prop_homes_clause_order_invariant ] );
