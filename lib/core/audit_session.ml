@@ -30,7 +30,7 @@ let clause_cost (clause : Planner.planned_clause) =
     0.0 clause.Planner.atoms
 
 let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Executor.Glsns)
-    ?(failure_mode = Executor.Fail) ~auditor criteria_list =
+    ?(failure_mode = Executor.Fail) ?cache ~auditor criteria_list =
   let net = Cluster.net cluster in
   let before = Net.Network.stats net in
   let normalized = List.map Query.normalize criteria_list in
@@ -41,7 +41,10 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Executor.Glsns)
     Obs.Metrics.incr ~by:multi.Planner.dedup_clauses "audit.dedup_clauses";
     Obs.Trace.set_clock (fun () -> Net.Network.virtual_time_ms net);
     Obs.Trace.with_span "session.audit" @@ fun () ->
-    let cache = Executor.cache_create () in
+    let cache =
+      match cache with Some c -> c | None -> Executor.cache_create ()
+    in
+    let hits_before = Executor.cache_hits cache in
     (* Phase 1 — pipeline the batch's unique clauses.  Every distinct
        SQ_i across all criteria is enqueued once, ordered by estimated
        cost, and evaluated into the session cache. *)
@@ -106,13 +109,13 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Executor.Glsns)
           unique_clauses = multi.Planner.unique_clauses;
           dedup_atoms = multi.Planner.dedup_atoms;
           dedup_clauses = multi.Planner.dedup_clauses;
-          cache_hits = Executor.cache_hits cache;
+          cache_hits = Executor.cache_hits cache - hits_before;
           messages = after.Net.Network.messages - before.Net.Network.messages;
           bytes = after.Net.Network.bytes - before.Net.Network.bytes;
           rounds = after.Net.Network.rounds - before.Net.Network.rounds;
         })
 
-let run_strings cluster ?ttp ?delivery ?failure_mode ~auditor inputs =
+let run_strings cluster ?ttp ?delivery ?failure_mode ?cache ~auditor inputs =
   let rec parse acc = function
     | [] -> Ok (List.rev acc)
     | input :: rest -> (
@@ -122,7 +125,8 @@ let run_strings cluster ?ttp ?delivery ?failure_mode ~auditor inputs =
   in
   match parse [] inputs with
   | Error _ as e -> e
-  | Ok criteria_list -> run cluster ?ttp ?delivery ?failure_mode ~auditor criteria_list
+  | Ok criteria_list ->
+    run cluster ?ttp ?delivery ?failure_mode ?cache ~auditor criteria_list
 
 let pp_summary fmt s =
   Format.fprintf fmt

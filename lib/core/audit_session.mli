@@ -52,6 +52,7 @@ val run :
   ?ttp:Net.Node_id.t ->
   ?delivery:Executor.delivery ->
   ?failure_mode:Executor.failure_mode ->
+  ?cache:Executor.cache ->
   auditor:Net.Node_id.t ->
   Query.t list ->
   (summary, Audit_error.t) result
@@ -59,13 +60,20 @@ val run :
     {!Auditor_engine.run} on the first planner error; under the default
     [Fail] mode a partition raises {!Net.Network.Partitioned} exactly as
     the sequential path does.  The empty batch yields an empty summary
-    without touching the network. *)
+    without touching the network.
+
+    [cache] (default: a fresh per-session cache) lets a session warm a
+    long-lived cache instead — in particular the continuous engine's
+    ({!Continuous_incremental.cache}), so a one-off batch pre-pays SMC
+    work the standing criteria then keep current; [cache_hits] reports
+    only the hits this session served. *)
 
 val run_strings :
   Cluster.t ->
   ?ttp:Net.Node_id.t ->
   ?delivery:Executor.delivery ->
   ?failure_mode:Executor.failure_mode ->
+  ?cache:Executor.cache ->
   auditor:Net.Node_id.t ->
   string list ->
   (summary, Audit_error.t) result

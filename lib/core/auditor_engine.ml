@@ -15,16 +15,16 @@ type request =
   | Criteria of Query.t
   | Text of string
 
+let criteria_of_request request =
+  match request with
+  | Criteria criteria -> Ok criteria
+  | Text input -> (
+    match Query.parse input with
+    | Ok criteria -> Ok criteria
+    | Error message -> Error (Audit_error.Parse_error { input; message }))
+
 let run cluster ?ttp ?delivery ?failure_mode ~auditor request =
-  let parsed =
-    match request with
-    | Criteria criteria -> Ok criteria
-    | Text input -> (
-      match Query.parse input with
-      | Ok criteria -> Ok criteria
-      | Error message -> Error (Audit_error.Parse_error { input; message }))
-  in
-  match parsed with
+  match criteria_of_request request with
   | Error _ as e -> e
   | Ok criteria -> (
     let net = Cluster.net cluster in

@@ -30,6 +30,12 @@ type request =
   | Criteria of Query.t  (** already-parsed criteria *)
   | Text of string  (** query-language text, parsed by {!run} *)
 
+val criteria_of_request : request -> (Query.t, Audit_error.t) result
+(** Resolve a request to parsed criteria ({!Audit_error.Parse_error}
+    for [Text] that does not parse).  {!run} goes through this, and so
+    does {!Continuous_registry.register} — a standing criterion is the
+    same request type an on-demand audit takes. *)
+
 val run :
   Cluster.t ->
   ?ttp:Net.Node_id.t ->

@@ -24,6 +24,10 @@ type t = {
   mutable quarantined_set : Net.Node_id.Set.t;
       (* nodes accused of Byzantine behavior and fenced from audit
          rounds until re-hosted on an honest replica *)
+  mutable commit_hooks : (Glsn.t -> unit) list;
+      (* fired after a placement commits (and again when a parked
+         fragment of that glsn is later drained) — newest last *)
+  mutable rollback_hooks : (Glsn.t -> unit) list;
 }
 
 let create ?(seed = 0) ?net ?retry ?(accumulator_bits = 128) ?glsn_start
@@ -64,7 +68,14 @@ let create ?(seed = 0) ?net ?retry ?(accumulator_bits = 128) ?glsn_start
     clock = 0;
     origins = Glsn.Map.empty;
     quarantined_set = Net.Node_id.Set.empty;
+    commit_hooks = [];
+    rollback_hooks = [];
   }
+
+let on_commit t hook = t.commit_hooks <- t.commit_hooks @ [ hook ]
+let on_rollback t hook = t.rollback_hooks <- t.rollback_hooks @ [ hook ]
+let fire_commit t glsn = List.iter (fun hook -> hook glsn) t.commit_hooks
+let fire_rollback t glsn = List.iter (fun hook -> hook glsn) t.rollback_hooks
 
 let net t = t.net
 let retry t = t.retry
@@ -324,8 +335,12 @@ let submit ?(durability = Degraded) t ~ticket ~origin ~attributes =
   Obs.Trace.with_span "cluster.submit" (fun () ->
       let outcome = submit_unobserved ~durability t ~ticket ~origin ~attributes in
       (match outcome with
-      | Committed _ -> Obs.Metrics.incr "cluster.submit.committed"
-      | Committed_degraded _ -> Obs.Metrics.incr "cluster.submit.degraded"
+      | Committed glsn ->
+        Obs.Metrics.incr "cluster.submit.committed";
+        fire_commit t glsn
+      | Committed_degraded (glsn, _) ->
+        Obs.Metrics.incr "cluster.submit.degraded";
+        fire_commit t glsn
       | Rejected _ -> Obs.Metrics.incr "cluster.submit.rejected");
       outcome)
 
@@ -393,7 +408,13 @@ let drain_hints t =
     t.stores;
   Net.Network.round ~label:"log" t.net;
   Obs.Metrics.incr ~by:(List.length !delivered) "cluster.drain.delivered";
-  List.rev !delivered)
+  let delivered = List.rev !delivered in
+  (* A drained fragment changes what the glsn's home nodes can answer:
+     re-announce each affected glsn so incremental consumers re-apply
+     their (idempotent, insert-only) deltas. *)
+  List.iter (fire_commit t)
+    (List.sort_uniq Glsn.compare (List.map snd delivered));
+  delivered)
 
 let record_of t glsn =
   let fragments =
@@ -419,7 +440,8 @@ let rollback t ~ticket_id glsn =
       Access_control.revoke (Storage.acl store) ~ticket_id glsn;
       Storage.drop_hints store ~glsn)
     t.stores;
-  t.origins <- Glsn.Map.remove glsn t.origins
+  t.origins <- Glsn.Map.remove glsn t.origins;
+  fire_rollback t glsn
 
 let submit_transaction ?durability t ~ticket ~origin ~tsn ~ttn ~events =
   let rec go acc degraded = function
@@ -457,3 +479,15 @@ let all_glsns t =
   |> Glsn.Set.elements
 
 let record_count t = List.length (all_glsns t)
+
+let digest_of t glsn =
+  List.fold_left
+    (fun acc (_, store) ->
+      match acc with
+      | Some _ -> acc
+      | None -> Storage.digest_of store glsn)
+    None t.stores
+
+let integrity_digests t =
+  List.filter_map (fun g -> Option.map (fun d -> (g, d)) (digest_of t g))
+    (all_glsns t)

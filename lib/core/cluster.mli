@@ -156,3 +156,24 @@ val record_of : t -> Glsn.t -> Log_record.t option
 
 val all_glsns : t -> Glsn.t list
 val record_count : t -> int
+
+val digest_of : t -> Glsn.t -> Bignum.t option
+(** The record's deposited integrity digest (every holding node stores
+    the same value, §4.1) — [None] for a glsn no store holds. *)
+
+val integrity_digests : t -> (Glsn.t * Bignum.t) list
+(** Every stored record's digest, glsn-ascending — what a checkpoint
+    summarizes (via {!Crypto.Accumulator.summarize}) to commit to "all
+    records so far" without enumerating cleartext. *)
+
+val on_commit : t -> (Glsn.t -> unit) -> unit
+(** Register a hook fired (in registration order) after every committed
+    placement — [Committed] and [Committed_degraded] alike — and again
+    for each glsn whose parked fragment {!drain_hints} later delivers.
+    Hooks must therefore be idempotent per glsn; the continuous-audit
+    engine's insert-only deltas are.  Hooks run inside the submit span,
+    on the cluster's virtual clock. *)
+
+val on_rollback : t -> (Glsn.t -> unit) -> unit
+(** Register a hook fired when a transaction rollback removes a
+    previously committed glsn. *)

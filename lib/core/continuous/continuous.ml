@@ -1,0 +1,5 @@
+(* Facade: [Dla.Continuous.Registry] / [.Incremental] / [.Checkpoint]. *)
+
+module Registry = Continuous_registry
+module Incremental = Continuous_incremental
+module Checkpoint = Continuous_checkpoint

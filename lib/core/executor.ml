@@ -241,6 +241,76 @@ let cache_purge cache ~nodes =
   Obs.Metrics.incr ~by:removed "audit.cache_invalidated";
   removed
 
+(* ---- delta surface for the continuous-audit engine ---------------- *)
+
+type cached_set = {
+  glsns : Glsn.Set.t;
+  is_complete : bool;
+  missing_nodes : Net.Node_id.t list;
+  depends_on : Net.Node_id.t list;
+}
+
+let cache_view entry =
+  {
+    glsns = entry.cached_set;
+    is_complete = entry.complete;
+    missing_nodes = entry.entry_unreachable;
+    depends_on = entry.sources;
+  }
+
+(* Same taint/usability discipline as [cache_find], but without hit
+   accounting: the incremental engine consults entries every commit and
+   must not masquerade as session cache traffic. *)
+let cache_lookup tbl ~available ~trusted key =
+  match Hashtbl.find_opt tbl key with
+  | None -> None
+  | Some entry ->
+    if not (List.for_all trusted entry.sources) then begin
+      Hashtbl.remove tbl key;
+      Obs.Metrics.incr "audit.cache_invalidated";
+      None
+    end
+    else if cache_usable ~available entry then Some (cache_view entry)
+    else None
+
+let cache_lookup_atom cache ~available ~trusted key =
+  cache_lookup cache.atom_tbl ~available ~trusted key
+
+let cache_lookup_clause cache ~available ~trusted key =
+  cache_lookup cache.clause_tbl ~available ~trusted key
+
+let cache_insert_glsn tbl ~key glsn =
+  match Hashtbl.find_opt tbl key with
+  | None -> false
+  | Some entry ->
+    Hashtbl.replace tbl key
+      { entry with cached_set = Glsn.Set.add glsn entry.cached_set };
+    true
+
+let cache_insert_glsn_atom cache ~key glsn =
+  cache_insert_glsn cache.atom_tbl ~key glsn
+
+let cache_insert_glsn_clause cache ~key glsn =
+  cache_insert_glsn cache.clause_tbl ~key glsn
+
+let cache_drop_atom cache ~key = Hashtbl.remove cache.atom_tbl key
+let cache_drop_clause cache ~key = Hashtbl.remove cache.clause_tbl key
+
+let cache_remove_glsn cache glsn =
+  let strip tbl =
+    let touched = ref 0 in
+    Hashtbl.iter
+      (fun key entry ->
+        if Glsn.Set.mem glsn entry.cached_set then begin
+          incr touched;
+          Hashtbl.replace tbl key
+            { entry with cached_set = Glsn.Set.remove glsn entry.cached_set }
+        end)
+      tbl;
+    !touched
+  in
+  strip cache.atom_tbl + strip cache.clause_tbl
+
 let atom_sources = function
   | Planner.Local node -> [ node ]
   | Planner.Cross { left; right } -> [ left; right ]

@@ -92,6 +92,66 @@ val cache_purge : cache -> nodes:Net.Node_id.t list -> int
     purge is an eager variant of what {!run} would do anyway.  Bumps
     [audit.cache_invalidated] per removed entry. *)
 
+(** {2 Delta surface}
+
+    The continuous-audit engine ({!Continuous_incremental}) maintains a
+    long-lived cache across commits.  These operations expose just
+    enough of an entry to apply an insert-only delta — never the
+    internal bookkeeping — and reuse the exact taint/usability
+    discipline of the session lookup path. *)
+
+type cached_set = {
+  glsns : Glsn.Set.t;
+  is_complete : bool;  (** [false] iff stored under [Degrade] with gaps *)
+  missing_nodes : Net.Node_id.t list;
+      (** nodes that were down when the entry was stored *)
+  depends_on : Net.Node_id.t list;
+      (** provenance: quarantining any of these taints the entry *)
+}
+
+val cache_lookup_atom :
+  cache ->
+  available:(Net.Node_id.t -> bool) ->
+  trusted:(Net.Node_id.t -> bool) ->
+  string ->
+  cached_set option
+(** Look up an atom entry by {!Planner.atom_key} under the same
+    discipline as {!run}'s internal lookup — tainted entries (any
+    source not [trusted]) are dropped on sight (bumping
+    [audit.cache_invalidated]), incomplete entries are returned only
+    while their missing nodes are still un-[available] — but without
+    counting a session cache hit: delta maintenance is not query
+    traffic. *)
+
+val cache_lookup_clause :
+  cache ->
+  available:(Net.Node_id.t -> bool) ->
+  trusted:(Net.Node_id.t -> bool) ->
+  string ->
+  cached_set option
+(** Same, for a clause entry by {!Planner.clause_key}. *)
+
+val cache_insert_glsn_atom : cache -> key:string -> Glsn.t -> bool
+(** Add one glsn to an existing atom entry (idempotent); [false] if no
+    entry exists under [key] — there is nothing to maintain, and the
+    caller must not create one from thin air (entries carry provenance
+    only evaluation can establish). *)
+
+val cache_insert_glsn_clause : cache -> key:string -> Glsn.t -> bool
+(** Same, for a clause entry. *)
+
+val cache_drop_atom : cache -> key:string -> unit
+(** Forget one atom entry, forcing re-evaluation on next use. *)
+
+val cache_drop_clause : cache -> key:string -> unit
+(** Forget one clause entry — the re-blind fallback for deltas that
+    cannot be expressed incrementally (cross atoms compare full blinded
+    columns, so one new row invalidates the comparison wholesale). *)
+
+val cache_remove_glsn : cache -> Glsn.t -> int
+(** Strip a glsn from every entry that contains it (transaction
+    rollback undoing a prefix); returns how many entries changed. *)
+
 val run :
   Cluster.t ->
   ?ttp:Net.Node_id.t ->

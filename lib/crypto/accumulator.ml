@@ -36,6 +36,9 @@ let witnesses params payloads =
       (payload, accumulate_all params others))
     payloads
 
+let summarize params digests =
+  accumulate_all params (List.map Bignum.to_string digests)
+
 let verify_membership params ~total ~witness payload =
   Bignum.equal (accumulate_bytes params witness payload) total
 

@@ -37,6 +37,14 @@ val accumulate_bytes : params -> Bignum.t -> string -> Bignum.t
 val accumulate_all : params -> string list -> Bignum.t
 (** Fold the whole list starting from [x0]. *)
 
+val summarize : params -> Bignum.t list -> Bignum.t
+(** Fold a collection of {e existing} accumulator values (e.g. the
+    per-record integrity digests a cluster has deposited) into one
+    summary value: each digest is re-hashed to an odd exponent and
+    folded from [x0].  By eq (9) the result is independent of the
+    collection order, which is what lets a checkpoint commit to "all
+    digests so far" without fixing an enumeration order. *)
+
 (** {1 Membership witnesses}
 
     Ref [27] of the paper (Goodrich–Tamassia–Hasic, "An Efficient

@@ -21,6 +21,13 @@ let counters ?(m = global) () =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) m.counters []
   |> List.sort compare
 
+let counters_prefixed ?(m = global) ~prefix () =
+  let plen = String.length prefix in
+  List.filter
+    (fun (name, _) ->
+      String.length name >= plen && String.equal (String.sub name 0 plen) prefix)
+    (counters ~m ())
+
 let observe ?(m = global) name v =
   match Hashtbl.find_opt m.histograms name with
   | Some r -> r := v :: !r

@@ -30,6 +30,11 @@ val get : ?m:t -> string -> int
 val counters : ?m:t -> unit -> (string * int) list
 (** All counters, sorted by name. *)
 
+val counters_prefixed : ?m:t -> prefix:string -> unit -> (string * int) list
+(** The counters whose name starts with [prefix], sorted by name —
+    e.g. [~prefix:"audit.delta."] snapshots the continuous-audit delta
+    family without enumerating it. *)
+
 val observe : ?m:t -> string -> float -> unit
 (** Record one histogram sample. *)
 

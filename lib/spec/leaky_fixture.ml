@@ -23,3 +23,15 @@ let equality_via_ttp ~net ~ttp ~left:(lnode, lval) ~right:(rnode, rval) =
         ~bytes:1;
       Net.Network.round ~label:"equality" net;
       verdict)
+
+let checkpoint_with_glsn ~net ~publisher ~verifier ~digest ~glsn =
+  Smc.Proto_util.span net "spec.leaky-checkpoint" (fun () ->
+      Net.Network.send_exn net ~src:publisher ~dst:verifier
+        ~label:"leaky:checkpoint" ~bytes:(String.length digest + 16);
+      (* A "helpful" publisher annotating the head with which record
+         triggered it: the value is no longer a bare 64-hex digest, so
+         the ckpt: event class must reject it. *)
+      Smc.Proto_util.observe net ~node:verifier
+        ~sensitivity:Net.Ledger.Metadata ~tag:"ckpt:publish"
+        (Printf.sprintf "%s|glsn=%s" digest glsn);
+      Net.Network.round ~label:"continuous" net)

@@ -16,3 +16,16 @@ val equality_via_ttp :
   left:Net.Node_id.t * Bignum.t ->
   right:Net.Node_id.t * Bignum.t ->
   bool
+
+val checkpoint_with_glsn :
+  net:Net.Network.t ->
+  publisher:Net.Node_id.t ->
+  verifier:Net.Node_id.t ->
+  digest:string ->
+  glsn:string ->
+  unit
+(** A deliberately broken checkpoint publication: the chain head is
+    annotated with the cleartext glsn that triggered it, so the
+    published value is no longer a bare 64-hex digest.
+    {!View_auditor}'s ["ckpt:"] event class must flag it as
+    [Checkpoint_leak].  Never call this outside tests. *)

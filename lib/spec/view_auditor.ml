@@ -16,6 +16,7 @@ type reason =
   | Unauthorized_plaintext
   | Unauthorized_aggregate
   | Verifier_leak
+  | Checkpoint_leak
 
 type violation = { event : Transcript.event; reason : reason }
 
@@ -28,6 +29,8 @@ let reason_to_string = function
   | Unauthorized_aggregate -> "aggregate output the spec does not authorize"
   | Verifier_leak ->
     "verification channel carried something other than a commitment digest"
+  | Checkpoint_leak ->
+    "checkpoint publication carried something other than a chain digest"
 
 let violation_to_string { event; reason } =
   Printf.sprintf "%s saw %S (%s, tag %s, phase %s): %s"
@@ -56,6 +59,13 @@ let is_commitment_digest v =
 let verification_tag tag =
   String.length tag >= 4 && String.equal (String.sub tag 0 4) "byz:"
 
+(* The continuous engine's checkpoint heads ride the transcript as
+   "ckpt:"-tagged events, under the same discipline: a published
+   checkpoint is Metadata and exactly one 64-hex chain digest — a
+   glsn, a count, a record value riding along is the publisher leaking. *)
+let checkpoint_tag tag =
+  String.length tag >= 5 && String.equal (String.sub tag 0 5) "ckpt:"
+
 let audit ~specs transcript =
   let all_secrets =
     List.fold_left
@@ -70,6 +80,19 @@ let audit ~specs transcript =
       let fail reason = Some { event = e; reason } in
       match spec_of e.node with
       | None -> fail Unknown_observer
+      | Some s when checkpoint_tag e.tag ->
+        if
+          (match e.sensitivity with Net.Ledger.Metadata -> false | _ -> true)
+          || not (is_commitment_digest e.value)
+        then fail Checkpoint_leak
+        else
+          let own = String_set.of_list s.secrets in
+          let allowed = String_set.of_list s.allowed_outputs in
+          let foreign =
+            String_set.diff (String_set.diff all_secrets own) allowed
+          in
+          if String_set.mem e.value foreign then fail Foreign_secret
+          else None
       | Some s when verification_tag e.tag ->
         if
           (match e.sensitivity with Net.Ledger.Metadata -> false | _ -> true)

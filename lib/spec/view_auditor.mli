@@ -47,6 +47,11 @@ type reason =
       (** a ["byz:"]-tagged verification event that is not a [Metadata]
           observation of a 64-hex SHA-256 commitment — the Byzantine
           defenses themselves must leak nothing *)
+  | Checkpoint_leak
+      (** a ["ckpt:"]-tagged checkpoint publication that is not a
+          [Metadata] observation of a 64-hex chain digest — the
+          continuous engine's tamper evidence must itself stay
+          metadata-only *)
 
 type violation = { event : Transcript.event; reason : reason }
 

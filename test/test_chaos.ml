@@ -720,6 +720,68 @@ let test_quarantine_purges_session_cache () =
       (List.map Glsn.to_string r.Executor.matching)
   | Error e -> Alcotest.failf "post-lift run: %s" (Audit_error.to_string e)
 
+(* A Byzantine accusation mid-stream must purge the continuous engine's
+   tainted incremental state (handed to the audit via [?cache]), and the
+   next delta must rebuild from clean sources: the standing verdict
+   keeps tracking the from-scratch answer exactly. *)
+let test_quarantine_purges_continuous_state () =
+  let query = parse_query byz_criteria in
+  let expected = plain_matching (populated_twin ~seed:47) query in
+  let cluster, ticket = build_cluster ~seed:47 () in
+  List.iter (fun r -> ignore (submit_ok cluster ticket r)) rows;
+  let registry = Continuous.Registry.create cluster in
+  let engine = Continuous.Incremental.create registry in
+  let sid =
+    match
+      Continuous.Incremental.register engine (Auditor_engine.Criteria query)
+    with
+    | Ok sid -> sid
+    | Error e -> Alcotest.failf "register: %s" (Audit_error.to_string e)
+  in
+  let engine_matching () =
+    match Continuous.Incremental.verdict engine sid with
+    | Some v -> List.map Glsn.to_string v.Continuous.Incremental.matching
+    | None -> Alcotest.fail "no standing verdict"
+  in
+  Alcotest.(check (list string)) "standing verdict before the attack" expected
+    (engine_matching ());
+  let invalidated0 = Obs.Metrics.get "audit.cache_invalidated" in
+  let adv =
+    Net.Adversary.create ~seed:5
+      [ Net.Adversary.plan
+          ~labels:[ "intersection:relay" ]
+          (Net.Node_id.Dla 1) Net.Adversary.Corrupt
+      ]
+  in
+  (match
+     Net.Adversary.with_active adv (fun () ->
+         Byzantine.audit cluster
+           ~cache:(Continuous.Incremental.cache engine)
+           ~auditor:Net.Node_id.Auditor query)
+   with
+  | Error e -> Alcotest.failf "verified audit: %s" (Audit_error.to_string e)
+  | Ok o ->
+    Alcotest.(check bool) "the adversary actually lied" true
+      (Net.Adversary.injections adv <> []);
+    Alcotest.(check (list string)) "the liar was quarantined" [ "P1" ]
+      (names o.Byzantine.quarantined);
+    Alcotest.(check (list string)) "recovered verdict equals clean answer"
+      expected
+      (List.map Glsn.to_string o.Byzantine.report.Executor.matching));
+  Alcotest.(check bool) "quarantine purged the tainted incremental state" true
+    (Obs.Metrics.get "audit.cache_invalidated" > invalidated0);
+  (* Rehosted, so nothing stays fenced; the next commit's delta works
+     against post-purge state and the standing verdict stays exact. *)
+  Alcotest.(check (list string)) "no node left fenced" []
+    (names (Cluster.quarantined cluster));
+  let glsn = submit_ok cluster ticket (row ~time:2000 ~id:"U1" ~amount:777) in
+  let expected_after = plain_matching cluster query in
+  Alcotest.(check bool) "the new row matches the criterion" true
+    (List.mem (Glsn.to_string glsn) expected_after);
+  Alcotest.(check (list string))
+    "post-attack standing verdict equals from-scratch" expected_after
+    (engine_matching ())
+
 let () =
   Alcotest.run "chaos"
     [ ( "schedule",
@@ -761,7 +823,9 @@ let () =
           Alcotest.test_case "collusion above tolerance is refused" `Quick
             test_byzantine_over_tolerance;
           Alcotest.test_case "quarantine purges the session cache" `Quick
-            test_quarantine_purges_session_cache
+            test_quarantine_purges_session_cache;
+          Alcotest.test_case "quarantine purges continuous engine state"
+            `Quick test_quarantine_purges_continuous_state
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_lossy_repair_never_corrupts ] )

@@ -292,6 +292,88 @@ let test_protocol_spans () =
   Alcotest.(check (float 1e-9)) "root duration = 3 rounds" 3.0
     root.Obs.Trace.duration_ms
 
+(* ------------------------------------------------------------------ *)
+(* Continuous deltas — the incremental engine's cost model             *)
+(*   insert-only delta (all-local clauses): ZERO new SMC messages —    *)
+(*   the one record is judged at its homes and the cached sets grow;   *)
+(*   re-blind fallback (a cross clause): exactly one clause's §3       *)
+(*   closed form — 1 negotiate + 2 cross-column + 1 cross-result,      *)
+(*   3 query rounds.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let paper_row ~time ~id ~c1 =
+  let d = Dla.Attribute.defined and u = Dla.Attribute.undefined in
+  [ (d "time", Dla.Value.Time time); (d "id", Dla.Value.Str id);
+    (d "protocl", Dla.Value.Str "UDP"); (d "tid", Dla.Value.Str "T1100265");
+    (u 1, Dla.Value.Int c1); (u 2, Dla.Value.Money 500);
+    (u 3, Dla.Value.Str "sig")
+  ]
+
+(* A populated cluster with one standing criterion; returns the submit
+   function so the test can reset metrics between registration (which
+   pays the initial warm-up) and the measured streaming commit. *)
+let continuous_setup ~seed criteria =
+  let cluster = Dla.Cluster.create ~seed Dla.Fragmentation.paper_partition in
+  let ticket =
+    Dla.Cluster.issue_ticket cluster ~id:"T1" ~principal:(Net.Node_id.User 1)
+      ~rights:[ Dla.Ticket.Read; Dla.Ticket.Write ] ~ttl:3600
+  in
+  let submit attrs =
+    match
+      Dla.Cluster.to_result
+        (Dla.Cluster.submit cluster ~ticket ~origin:(Net.Node_id.User 1)
+           ~attributes:attrs)
+    with
+    | Ok glsn -> glsn
+    | Error e -> Alcotest.failf "submit: %s" e
+  in
+  ignore (submit (paper_row ~time:1000 ~id:"U1" ~c1:40));
+  ignore (submit (paper_row ~time:1060 ~id:"U2" ~c1:10));
+  let registry = Dla.Continuous.Registry.create cluster in
+  let engine = Dla.Continuous.Incremental.create registry in
+  (match
+     Dla.Continuous.Incremental.register engine (Dla.Auditor_engine.Text criteria)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "register: %s" (Dla.Audit_error.to_string e));
+  submit
+
+let test_delta_insert_zero_smc_messages () =
+  (* C1 > 30 homes at P3, time >= 0 at P0: two clauses, both local. *)
+  let submit = continuous_setup ~seed:11 {|C1 > 30 && time >= 0|} in
+  Obs.Metrics.reset ();
+  Obs.Trace.reset ();
+  ignore (submit (paper_row ~time:1200 ~id:"U1" ~c1:55));
+  check "insert delta" 2 "audit.delta.insert";
+  check "insert delta" 0 "audit.delta.reblind";
+  check "insert delta" 0 "audit.delta.rebuild";
+  check "insert delta" 0 "net.msg.query:negotiate";
+  check "insert delta" 0 "net.msg.query:cross-column";
+  check "insert delta" 0 "net.msg.query:cross-result";
+  check "insert delta" 0 "net.msg.query:local-result";
+  check "insert delta" 0 "net.rounds.query";
+  check "insert delta" 0 "net.msg.intersection:relay";
+  check "insert delta" 0 "net.msg.intersection:collect";
+  check "insert delta" 0 "crypto.commutative.enc"
+
+let test_delta_reblind_one_clause_closed_form () =
+  (* C2 = C3 crosses P1 and P2: the single clause cannot absorb one row
+     into an already-blinded column comparison, so the commit re-blinds
+     exactly that clause. *)
+  let submit = continuous_setup ~seed:12 {|C2 = C3|} in
+  Obs.Metrics.reset ();
+  Obs.Trace.reset ();
+  ignore (submit (paper_row ~time:1200 ~id:"U3" ~c1:5));
+  check "reblind delta" 1 "audit.delta.reblind";
+  check "reblind delta" 0 "audit.delta.insert";
+  check "reblind delta" 0 "audit.delta.rebuild";
+  check "reblind delta" 1 "net.msg.query:negotiate";
+  check "reblind delta" 2 "net.msg.query:cross-column";
+  check "reblind delta" 1 "net.msg.query:cross-result";
+  check "reblind delta" 3 "net.rounds.query";
+  check "reblind delta" 0 "net.msg.intersection:relay";
+  check "reblind delta" 0 "crypto.commutative.enc"
+
 let () =
   Alcotest.run "cost_model"
     [ ( "intersection",
@@ -324,5 +406,11 @@ let () =
         ] );
       ( "spans",
         [ Alcotest.test_case "phase spans recorded" `Quick test_protocol_spans ]
-      )
+      );
+      ( "continuous-delta",
+        [ Alcotest.test_case "insert-only delta costs zero SMC messages"
+            `Quick test_delta_insert_zero_smc_messages;
+          Alcotest.test_case "re-blind fallback pays one clause's closed form"
+            `Quick test_delta_reblind_one_clause_closed_form
+        ] )
     ]
