@@ -58,11 +58,27 @@ val summarize : params -> Bignum.t list -> Bignum.t
 val witnesses : params -> string list -> (string * Bignum.t) list
 (** [(element, witness)] for every element of the set: the witness is
     the accumulation of the other elements, so
-    [accumulate (witness) (exponent element) = accumulate_all set]. *)
+    [accumulate (witness) (exponent element) = accumulate_all set].
+    Computed as [x0^(Π_{j≠i} yⱼ)] via prefix/suffix exponent products
+    over the fixed-base window table — O(n) exponentiations with zero
+    squarings, value-identical to refolding the other elements. *)
 
 val verify_membership :
   params -> total:Bignum.t -> witness:Bignum.t -> string -> bool
 (** Does [witness^H(element) = total]? *)
+
+val verify_members :
+  Numtheory.Prng.t ->
+  params ->
+  total:Bignum.t ->
+  (string * Bignum.t) list ->
+  bool
+(** Batch membership check over [(element, witness)] pairs by random
+    linear combination: one Shamir multi-exponentiation
+    ({!Numtheory.Modular.multi_pow}) replaces one full-width power per
+    pair.  Complete (honest witness sets always pass); sound except
+    with probability ~2⁻³⁰ per run over the sampled coefficients.
+    The empty list verifies trivially. *)
 
 val add : params -> total:Bignum.t -> string -> Bignum.t
 (** Dynamic insertion: new total after accumulating one more element. *)
@@ -71,3 +87,8 @@ val update_witness :
   params -> witness:Bignum.t -> added:string -> Bignum.t
 (** Keep an existing witness valid across an insertion: fold the new
     element into the witness too. *)
+
+val update_witness_many :
+  params -> witness:Bignum.t -> added:string list -> Bignum.t
+(** {!update_witness} for a batch of insertions in one exponentiation:
+    [witness^(Π yᵢ)].  Equals folding {!update_witness} over the list. *)

@@ -9,6 +9,12 @@
 
 open Numtheory
 
+type resident
+(** A ciphertext as threaded through a ring pass: entered into
+    Montgomery-resident form once per protocol run (Pohlig–Hellman) or
+    carried as the bare wire value (XOR pad).  Its [view] is always the
+    canonical bignum the scalar path would have put on the wire. *)
+
 type keypair = {
   enc : Bignum.t -> Bignum.t;
   dec : Bignum.t -> Bignum.t;
@@ -20,6 +26,13 @@ type keypair = {
           counts are unchanged. *)
   dec_many : Bignum.t list -> Bignum.t list;
       (** Batch counterpart of [dec]; same guarantees as [enc_many]. *)
+  enc_res_many : resident list -> resident list;
+      (** In-domain batch layer: views are byte-identical to
+          [enc_many] on the corresponding wire values, and counters
+          advance identically — only the [crypto.mont.*] op-mix moves
+          (domain entry/exit is skipped per hop). *)
+  dec_res_many : resident list -> resident list;
+      (** In-domain counterpart of [dec_many]. *)
 }
 (** One node's matched key, as closures over scheme parameters. *)
 
@@ -30,6 +43,15 @@ type scheme = {
   encode : string -> Bignum.t;
       (** Shared deterministic payload embedding: equal payloads map to
           equal domain elements across all participants. *)
+  enter_many : Bignum.t list -> resident list;
+      (** Convert a batch into resident form once, at ring entry. *)
+  view : resident -> Bignum.t;
+      (** The canonical wire value (always current). *)
+  resync : resident -> Bignum.t -> resident;
+      (** Reconcile a resident with the value that actually arrived
+          after delivery: a no-op when they agree (the honest path), a
+          domain re-entry from the delivered bytes when an adversary
+          tampered in flight. *)
 }
 
 val pohlig_hellman : Numtheory.Prng.t -> Pohlig_hellman.params -> scheme

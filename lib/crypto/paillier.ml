@@ -69,6 +69,30 @@ let encrypt rng { n; n_squared } m =
   let rn = Modular.pow r n ~m:n_squared in
   Modular.mul gm rn ~m:n_squared
 
+let encrypt_many rng { n; n_squared } ms =
+  (* Batch encryption: validation and blinding-factor draws happen in
+     exactly the scalar order (same rng stream, same failure point on a
+     bad plaintext), then the r^n blindings share one fixed-exponent
+     plan.  The generator factor stays closed-form, so ciphertexts are
+     byte-identical to mapping [encrypt]. *)
+  let rec random_unit () =
+    let r = Prng.bignum_range rng Bignum.one n in
+    if Bignum.equal (Modular.gcd r n) Bignum.one then r else random_unit ()
+  in
+  let pairs =
+    List.map
+      (fun m ->
+        if Bignum.sign m < 0 || Bignum.compare m n >= 0 then
+          invalid_arg "Paillier.encrypt: plaintext outside [0, n)";
+        (m, random_unit ()))
+      ms
+  in
+  Obs.Metrics.incr ~by:(List.length ms) "crypto.modexp";
+  let rns = Modular.pow_many (List.map snd pairs) n ~m:n_squared in
+  List.map2
+    (fun (m, _) rn -> Modular.mul (g_pow_m ~n ~n_squared m) rn ~m:n_squared)
+    pairs rns
+
 (* c^λ mod n² by CRT.  Valid ciphertexts are units mod n², where the
    group orders mod p² and q² let the exponents be pre-reduced; the
    recombined value is the unique x = c^λ mod n², so decryption output
@@ -99,3 +123,12 @@ let add { n_squared; _ } c1 c2 =
 let scale { n_squared; _ } c ~by =
   Obs.Metrics.incr "crypto.modexp";
   Modular.pow c by ~m:n_squared
+
+let add_scaled { n_squared; _ } c1 ~by1 c2 ~by2 =
+  (* Homomorphic linear combination b1·m1 + b2·m2 in one simultaneous
+     multi-exponentiation: the squaring chain is shared between the
+     two ciphertexts instead of paid twice ([scale] + [scale] + [add]).
+     Counters record the two logical scalings and the addition. *)
+  Obs.Metrics.incr ~by:2 "crypto.modexp";
+  Obs.Metrics.incr "crypto.paillier.add";
+  Modular.multi_pow [ (c1, by1); (c2, by2) ] ~m:n_squared

@@ -32,6 +32,13 @@ val generate : Prng.t -> bits:int -> public * secret
 val encrypt : Prng.t -> public -> Bignum.t -> Bignum.t
 (** @raise Invalid_argument if the plaintext is outside [\[0, n)]. *)
 
+val encrypt_many : Prng.t -> public -> Bignum.t list -> Bignum.t list
+(** Batch encryption: blinding factors are drawn in exactly the scalar
+    order from the same rng stream and the [r^n] powers share one
+    fixed-exponent plan, so ciphertexts are byte-identical to mapping
+    {!encrypt}.  [crypto.modexp] advances by the batch length.
+    @raise Invalid_argument if any plaintext is outside [\[0, n)]. *)
+
 val decrypt : public -> secret -> Bignum.t -> Bignum.t
 
 val add : public -> Bignum.t -> Bignum.t -> Bignum.t
@@ -40,3 +47,11 @@ val add : public -> Bignum.t -> Bignum.t -> Bignum.t
 val scale : public -> Bignum.t -> by:Bignum.t -> Bignum.t
 (** Homomorphic scalar multiplication:
     [decrypt (scale c ~by:k) = k·m mod n]. *)
+
+val add_scaled :
+  public -> Bignum.t -> by1:Bignum.t -> Bignum.t -> by2:Bignum.t -> Bignum.t
+(** [add_scaled pub c1 ~by1 c2 ~by2] decrypts to [by1·m1 + by2·m2 mod
+    n] — the weighted-sum building block, computed as one simultaneous
+    multi-exponentiation ({!Numtheory.Modular.multi_pow}) instead of
+    two scalings and an addition.  Counters advance as the equivalent
+    [scale; scale; add] sequence. *)

@@ -26,6 +26,14 @@ let sign secret msg =
   let x = digest_to_group secret.public msg in
   Modular.pow x secret.d ~m:secret.public.n
 
+let sign_many secret msgs =
+  (* Fixed-exponent batch: one window recoding of [d] shared across
+     the digests (the dual of the fixed-base table — here the bases
+     vary and the exponent is long-lived). *)
+  Modular.pow_many
+    (List.map (digest_to_group secret.public) msgs)
+    secret.d ~m:secret.public.n
+
 let verify public msg signature =
   let x = digest_to_group public msg in
   Bignum.equal (Modular.pow signature public.e ~m:public.n) x

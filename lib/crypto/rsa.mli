@@ -23,6 +23,13 @@ val digest_to_group : public -> string -> Bignum.t
 (** [H(msg)^2 mod n] — the signed representative. *)
 
 val sign : secret -> string -> Bignum.t
+
+val sign_many : secret -> string list -> Bignum.t list
+(** Batch signing under the one secret exponent: signatures identical
+    to mapping {!sign}, with the exponent's window recoding and
+    Montgomery scratch shared across the batch
+    ({!Numtheory.Modular.pow_many}). *)
+
 val verify : public -> string -> Bignum.t -> bool
 
 (** {1 Raw trapdoor permutation}

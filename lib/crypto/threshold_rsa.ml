@@ -55,16 +55,30 @@ let digest_to_group { n; _ } msg =
   let h = Bignum.erem (Bignum.of_bytes_be (Sha256.digest msg)) n in
   Modular.mul h h ~m:n
 
-let partial_sign share msg =
+(* All parties sign the same digest base [x], so each signing round is
+   a fixed-base workload: the window table for [x] is built once (LRU
+   under [(n, x)]) and every share's partial costs one table
+   multiplication per exponent window, no squarings. *)
+let partial_sign_of x share =
   let { n; delta; _ } = share.params in
-  let x = digest_to_group share.params msg in
   let exponent = Bignum.mul (Bignum.shift_left delta 1) share.value in
-  { index = share.index; value = Modular.pow x exponent ~m:n }
+  { index = share.index; value = Modular.pow_base ~base:x exponent ~m:n }
 
-(* x^e for possibly negative e, via the inverse mod n. *)
-let pow_signed x e ~m =
-  if Bignum.sign e >= 0 then Modular.pow x e ~m
-  else Modular.pow (Modular.inverse_exn x ~m) (Bignum.neg e) ~m
+let partial_sign share msg =
+  partial_sign_of (digest_to_group share.params msg) share
+
+let partial_sign_all shares msg =
+  match shares with
+  | [] -> []
+  | first :: _ ->
+    let x = digest_to_group first.params msg in
+    List.map (partial_sign_of x) shares
+
+(* A (base, exponent) pair for [Modular.multi_pow] with a possibly
+   negative exponent: fold the sign into the base via the inverse. *)
+let signed_term v e ~m =
+  if Bignum.sign e >= 0 then (v, e)
+  else (Modular.inverse_exn v ~m, Bignum.neg e)
 
 (* Integer Lagrange coefficient λ_i = Δ · Π_{j≠i} (0-j)/(i-j) over the
    given index subset; Δ = parties! makes the division exact. *)
@@ -89,14 +103,18 @@ let combine params msg partials =
     Error "partial index out of range"
   else begin
     let x = digest_to_group params msg in
-    (* w = Π x_i^(2 λ_i) = x^(4 Δ² d) *)
+    (* w = Π x_i^(2 λ_i) = x^(4 Δ² d): one simultaneous
+       multi-exponentiation over all partials — the squaring chain is
+       shared across the k bases instead of paid per partial. *)
     let w =
-      List.fold_left
-        (fun acc partial ->
-          let lambda = lagrange params indices partial.index in
-          let e = Bignum.shift_left lambda 1 in
-          Modular.mul acc (pow_signed partial.value e ~m:params.n) ~m:params.n)
-        Bignum.one partials
+      Modular.multi_pow
+        (List.map
+           (fun partial ->
+             let lambda = lagrange params indices partial.index in
+             signed_term partial.value (Bignum.shift_left lambda 1)
+               ~m:params.n)
+           partials)
+        ~m:params.n
     in
     (* Remove the 4Δ² factor: a·4Δ² + b·e = 1 (gcd is 1 since e is an
        odd prime > parties), so σ = w^a · x^b has σ^e = x. *)
@@ -105,16 +123,22 @@ let combine params msg partials =
     if not (Bignum.equal g Bignum.one) then Error "exponents not coprime"
     else begin
       let signature =
-        Modular.mul (pow_signed w a ~m:params.n) (pow_signed x b ~m:params.n)
+        Modular.multi_pow
+          [ signed_term w a ~m:params.n; signed_term x b ~m:params.n ]
           ~m:params.n
       in
-      if Bignum.equal (Modular.pow signature params.e ~m:params.n) x then
-        Ok signature
+      if
+        Bignum.equal
+          (Modular.pow signature params.e
+             ~m:params.n (* generic-path: per-run signature base *))
+          x
+      then Ok signature
       else Error "combination failed verification (insufficient or corrupt partials)"
     end
   end
 
 let verify params msg signature =
   Bignum.equal
-    (Modular.pow signature params.e ~m:params.n)
+    (Modular.pow signature params.e
+       ~m:params.n (* generic-path: per-run signature base *))
     (digest_to_group params msg)

@@ -42,11 +42,22 @@ val digest_to_group : params -> string -> Bignum.t
 (** [H(msg)^2 mod n], the signed representative (a quadratic residue). *)
 
 val partial_sign : share -> string -> partial
+(** One node's partial [x^(2Δ·sᵢ)].  Every party signs the same digest
+    base [x], so the power runs through the fixed-base window table
+    ({!Numtheory.Modular.pow_base}) — shares after the first reuse it. *)
+
+val partial_sign_all : share list -> string -> partial list
+(** All partials for one message: the digest base is computed once and
+    the shared window table amortized across the whole share list.
+    Partials are identical to mapping {!partial_sign}. *)
 
 val combine : params -> string -> partial list -> (Bignum.t, string) result
 (** Interpolate [>= k] distinct partials into a full signature; the
     result is verified internally, so corrupt or insufficient partials
-    yield [Error] rather than a bogus signature. *)
+    yield [Error] rather than a bogus signature.  The Lagrange
+    interpolation in the exponent and the Bézout cleanup both run as
+    simultaneous multi-exponentiations ({!Numtheory.Modular.multi_pow}),
+    sharing one squaring chain across the partials. *)
 
 val verify : params -> string -> Bignum.t -> bool
 (** Plain RSA check: [σ^e = H(msg)^2 mod n]. *)

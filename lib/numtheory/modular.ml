@@ -27,9 +27,21 @@ let pow_classic b e ~m =
    n, ...), and rebuilding R² mod m on every switch costs more than the
    exponentiation it serves.  Move-to-front list: the working set is a
    handful of moduli, so linear scans are cheaper than hashing bignums. *)
-let mont_cache_capacity = 8
+let default_mont_cache_capacity = 8
+let capacity = ref default_mont_cache_capacity
+let mont_cache_capacity () = !capacity
 let mont_cache : Montgomery.ctx list ref = ref []
-let reset_mont_cache () = mont_cache := []
+
+(* Fixed-base window tables ride in their own LRU, keyed by
+   (modulus, base): several long-lived bases can share one modulus
+   (accumulator seed and witnesses, threshold-RSA digests), and a
+   table is much heavier than a ctx, so the two caches age
+   independently under the same capacity knob. *)
+let base_cache : Montgomery.base_table list ref = ref []
+
+let reset_mont_cache () =
+  mont_cache := [];
+  base_cache := []
 
 let rec cache_take m acc = function
   | [] -> None
@@ -43,6 +55,12 @@ let rec cache_trim n = function
   | _ :: _ when n = 0 -> []
   | ctx :: rest -> ctx :: cache_trim (n - 1) rest
 
+let set_mont_cache_capacity n =
+  let n = max 1 n in
+  capacity := n;
+  mont_cache := cache_trim n !mont_cache;
+  base_cache := cache_trim n !base_cache
+
 let mont_ctx m =
   match cache_take m [] !mont_cache with
   | Some (ctx, rest) ->
@@ -53,8 +71,35 @@ let mont_ctx m =
     Obs.Metrics.incr "crypto.mont.cache_miss";
     Obs.Metrics.incr "crypto.mont.ctx_create";
     let ctx = Montgomery.create m in
-    mont_cache := ctx :: cache_trim (mont_cache_capacity - 1) !mont_cache;
+    mont_cache := ctx :: cache_trim (!capacity - 1) !mont_cache;
     ctx
+
+let mont_ctx_opt m =
+  if Bignum.is_odd m && Bignum.num_bits m >= 64 then Some (mont_ctx m)
+  else None
+
+let rec base_cache_take ~base ~m acc = function
+  | [] -> None
+  | t :: rest ->
+    if
+      Bignum.equal (Montgomery.table_base t) base
+      && Bignum.equal (Montgomery.table_modulus t) m
+    then Some (t, List.rev_append acc rest)
+    else base_cache_take ~base ~m (t :: acc) rest
+
+let base_table ~base ~m =
+  let base = normalize base ~m in
+  match base_cache_take ~base ~m [] !base_cache with
+  | Some (t, rest) ->
+    Obs.Metrics.incr "crypto.mont.fixed_base_hit";
+    base_cache := t :: rest;
+    t
+  | None ->
+    Obs.Metrics.incr "crypto.mont.fixed_base_miss";
+    Obs.Metrics.incr "crypto.mont.fixed_base_table_create";
+    let t = Montgomery.base_table (mont_ctx m) base in
+    base_cache := t :: cache_trim (!capacity - 1) !base_cache;
+    t
 
 (* Montgomery pays off once the per-multiplication division savings
    outweigh the one-time domain setup. *)
@@ -64,15 +109,68 @@ let use_montgomery ~m ~e =
 let pow b e ~m =
   if Bignum.sign e < 0 then invalid_arg "Modular.pow: negative exponent"
   else if Bignum.equal m Bignum.one then Bignum.zero
-  else if use_montgomery ~m ~e then Montgomery.pow (mont_ctx m) b e
+  else if use_montgomery ~m ~e then begin
+    Obs.Metrics.incr "crypto.mont.pow";
+    Montgomery.pow (mont_ctx m) b e
+  end
   else pow_classic b e ~m
 
 let pow_many bs e ~m =
-  if Bignum.sign e < 0 then invalid_arg "Modular.pow_many: negative exponent"
-  else if Bignum.equal m Bignum.one then List.map (fun _ -> Bignum.zero) bs
-  else if use_montgomery ~m ~e then
-    Montgomery.pow_many (Montgomery.powers (mont_ctx m) e) bs
-  else List.map (fun b -> pow_classic b e ~m) bs
+  match bs with
+  | [ b ] ->
+    (* Single-element batch: same dispatch as [pow], no separate plan
+       construction (and no 16-entry table on the tiny path). *)
+    if Bignum.sign e < 0 then
+      invalid_arg "Modular.pow_many: negative exponent"
+    else [ pow b e ~m ]
+  | _ ->
+    if Bignum.sign e < 0 then invalid_arg "Modular.pow_many: negative exponent"
+    else if Bignum.equal m Bignum.one then
+      List.map (fun _ -> Bignum.zero) bs
+    else if use_montgomery ~m ~e then begin
+      Obs.Metrics.incr ~by:(List.length bs) "crypto.mont.pow";
+      Montgomery.pow_many (Montgomery.powers (mont_ctx m) e) bs
+    end
+    else List.map (fun b -> pow_classic b e ~m) bs
+
+(* Fixed-base exponentiation: the window table only pays for itself
+   when the base is long-lived, so gate on the same modulus shape as
+   [use_montgomery] plus a width cap — a table for a w-window exponent
+   is 15·w residues, and past ~16k exponent bits the build cost and
+   footprint outweigh any plausible reuse. *)
+let fixed_base_max_bits = 16384
+
+let pow_base ~base e ~m =
+  if Bignum.sign e < 0 then invalid_arg "Modular.pow_base: negative exponent"
+  else if Bignum.equal m Bignum.one then Bignum.zero
+  else if
+    Bignum.is_odd m && Bignum.num_bits m >= 64
+    && Bignum.num_bits e <= fixed_base_max_bits
+  then Montgomery.pow_base (base_table ~base ~m) e
+  else pow base e ~m
+
+let multi_pow pairs ~m =
+  List.iter
+    (fun (_, e) ->
+      if Bignum.sign e < 0 then
+        invalid_arg "Modular.multi_pow: negative exponent")
+    pairs;
+  if Bignum.equal m Bignum.one then Bignum.zero
+  else begin
+    let widest =
+      List.fold_left (fun acc (_, e) -> max acc (Bignum.num_bits e)) 0 pairs
+    in
+    if Bignum.is_odd m && Bignum.num_bits m >= 64 && widest >= 16 then begin
+      Obs.Metrics.incr "crypto.mont.multi_pow";
+      Montgomery.multi_pow (mont_ctx m) pairs
+    end
+    else
+      (* Naive fallback for non-Montgomery moduli (or all-tiny
+         exponents): the plain product of independent powers. *)
+      List.fold_left
+        (fun acc (b, e) -> mul acc (pow b e ~m) ~m)
+        (normalize Bignum.one ~m) pairs
+  end
 
 let rec gcd a b =
   if Bignum.is_zero b then Bignum.abs a else gcd b (Bignum.rem a b)

@@ -26,17 +26,53 @@ val pow_many : Bignum.t list -> Bignum.t -> m:Bignum.t -> Bignum.t list
     Results are value-identical to the element-at-a-time path, so
     protocol transcripts built over it are byte-identical. *)
 
+val pow_base : base:Bignum.t -> Bignum.t -> m:Bignum.t -> Bignum.t
+(** [pow_base ~base e ~m] is [pow base e ~m] through a fixed-base
+    window table ({!Montgomery.pow_base}) cached LRU by
+    [(m, base mod m)] — zero squarings per call once the table is
+    warm, so repeated powers of a long-lived base (an accumulator
+    seed, a Pohlig–Hellman generator, a threshold-RSA digest) cost a
+    handful of multiplications each.  Counters:
+    [crypto.mont.fixed_base_hit] / [fixed_base_miss] /
+    [fixed_base_table_create].  Falls back to the generic {!pow}
+    dispatch for even or single-limb moduli and for exponents wider
+    than ~16k bits (where the table build would dominate).
+    Value-identical to {!pow} in every case.
+    @raise Invalid_argument on a negative exponent. *)
+
+val multi_pow : (Bignum.t * Bignum.t) list -> m:Bignum.t -> Bignum.t
+(** [multi_pow \[(b1, e1); ...\] ~m] is [Π bi^ei mod m] via Shamir's
+    trick ({!Montgomery.multi_pow}): one shared squaring chain for all
+    bases (counter [crypto.mont.multi_pow]).  Falls back to the naive
+    product of independent powers for non-Montgomery moduli.
+    [multi_pow \[\] ~m = 1 mod m].
+    @raise Invalid_argument on negative exponents. *)
+
 val pow_classic : Bignum.t -> Bignum.t -> m:Bignum.t -> Bignum.t
 (** The division-based square-and-multiply path, exposed for the modexp
     ablation bench and as the reference in tests. *)
 
-val reset_mont_cache : unit -> unit
-(** Drop every cached Montgomery context.  The cache is process-global;
-    benchmarks and cache-behavior tests reset it so their
-    [crypto.mont.*] counters are independent of what ran before. *)
+val mont_ctx_opt : Bignum.t -> Montgomery.ctx option
+(** The shared LRU-cached Montgomery context for [m], or [None] when
+    [m] is outside the Montgomery domain shape (even or < 64 bits).
+    Consumers holding {!Montgomery.resident} chains (the SMC ring
+    passes) use this so their in-domain work shares contexts — and
+    cache counters — with {!pow}. *)
 
-val mont_cache_capacity : int
-(** Number of per-modulus Montgomery contexts retained (LRU). *)
+val reset_mont_cache : unit -> unit
+(** Drop every cached Montgomery context and fixed-base table.  The
+    caches are process-global; benchmarks and cache-behavior tests
+    reset them so their [crypto.mont.*] counters are independent of
+    what ran before. *)
+
+val mont_cache_capacity : unit -> int
+(** Current LRU capacity (contexts and fixed-base tables each retain
+    this many entries). *)
+
+val set_mont_cache_capacity : int -> unit
+(** Resize both LRUs (clamped to >= 1), evicting oldest entries
+    immediately if shrinking.  Benchmarks size this from the number of
+    live moduli in the workload; the default is 8. *)
 
 val gcd : Bignum.t -> Bignum.t -> Bignum.t
 

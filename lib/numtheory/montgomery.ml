@@ -15,7 +15,9 @@ type ctx = {
   m0_prime : int;  (* -m^{-1} mod 2^26 *)
   r2 : int array;  (* R^2 mod m, for domain entry *)
   one_mont : int array;  (* R mod m *)
+  one_plain : int array;  (* plain 1, for domain exit *)
   scratch : int array;  (* k+2 limbs of working space *)
+  exit_buf : int array;  (* k limbs: reusable destination for domain exits *)
 }
 
 (* Inverse of an odd limb modulo 2^26 by Hensel lifting on native ints. *)
@@ -44,6 +46,8 @@ let create m =
   let one_mont =
     pad (Bignum.to_limbs (Bignum.erem (Bignum.shift_left Bignum.one r_bits) m))
   in
+  let one_plain = Array.make k 0 in
+  one_plain.(0) <- 1;
   {
     m;
     m_arr;
@@ -51,7 +55,9 @@ let create m =
     m0_prime = (limb_base - inv_limb_mod_base m_arr.(0)) land limb_mask;
     r2;
     one_mont;
+    one_plain;
     scratch = Array.make (k + 2) 0;
+    exit_buf = Array.make k 0;
   }
 
 let modulus ctx = ctx.m
@@ -146,7 +152,6 @@ type powers = {
   tmp : int array;
   b_arr : int array;
   b_mont : int array;
-  one : int array;
 }
 
 let powers ctx e =
@@ -165,30 +170,29 @@ let powers ctx e =
           !digit)
     end
   in
-  let one = Array.make ctx.k 0 in
-  one.(0) <- 1;
   {
     p_ctx = ctx;
     e;
     nbits;
     digits;
-    table = Array.init 16 (fun _ -> Array.make ctx.k 0);
+    (* The tiny path never consults the table; skip the 16 k-limb
+       allocations so a plan built for one small exponent stays cheap. *)
+    table =
+      (if nbits <= 2 * window_bits then [||]
+       else Array.init 16 (fun _ -> Array.make ctx.k 0));
     acc = Array.make ctx.k 0;
     tmp = Array.make ctx.k 0;
     b_arr = Array.make ctx.k 0;
     b_mont = Array.make ctx.k 0;
-    one;
   }
 
-let pow_with plan b =
+(* Raise the in-domain base sitting in [plan.b_mont] to [plan.e],
+   leaving the in-domain result in [plan.acc].  Shared by the bignum
+   path ([pow_with], which enters and leaves the domain around it) and
+   the resident path ([pow_with_resident], which does neither). *)
+let pow_core plan =
   let ctx = plan.p_ctx in
   let k = ctx.k in
-  (* enter the domain: reduce into the reused base buffer, no fresh
-     padding array per element. *)
-  let limbs = Bignum.to_limbs (Bignum.erem b ctx.m) in
-  Array.fill plan.b_arr 0 k 0;
-  Array.blit limbs 0 plan.b_arr 0 (Array.length limbs);
-  mont_mul ctx plan.b_mont plan.b_arr ctx.r2;
   let acc = plan.acc and tmp = plan.tmp in
   Array.blit ctx.one_mont 0 acc 0 k;
   if plan.nbits <= 2 * window_bits then
@@ -221,12 +225,232 @@ let pow_with plan b =
         Array.blit tmp 0 acc 0 k
       end
     done
-  end;
+  end
+
+let pow_with plan b =
+  let ctx = plan.p_ctx in
+  let k = ctx.k in
+  (* enter the domain: reduce into the reused base buffer, no fresh
+     padding array per element. *)
+  let limbs = Bignum.to_limbs (Bignum.erem b ctx.m) in
+  Array.fill plan.b_arr 0 k 0;
+  Array.blit limbs 0 plan.b_arr 0 (Array.length limbs);
+  mont_mul ctx plan.b_mont plan.b_arr ctx.r2;
+  pow_core plan;
   (* leave the Montgomery domain: multiply by 1. *)
-  mont_mul ctx tmp acc plan.one;
-  Bignum.of_limbs tmp
+  mont_mul ctx plan.tmp plan.acc ctx.one_plain;
+  Bignum.of_limbs plan.tmp
 
 let pow_many plan bs = List.map (pow_with plan) bs
+
+(* ---- Montgomery-resident values ----------------------------------
+   A [resident] is a value held in the residue representation [x·R mod
+   m] (canonical, < m).  Chained exponentiations — the ∩ₛ/∪ₛ ring
+   passes, where every node re-encrypts the same ciphertext vector —
+   stay in-domain across the whole chain: [(x·R)^e] under REDC powering
+   is exactly [(x^e)·R], so each hop skips both the erem/blit/R² entry
+   and the exit multiplication that [pow_with] pays per call. *)
+
+type resident = int array  (* k limbs, value·R mod m *)
+
+let to_resident ctx x =
+  let out = Array.make ctx.k 0 in
+  mont_mul ctx out (to_array ctx x) ctx.r2;
+  out
+
+let of_resident ctx r =
+  (* [of_limbs] copies, so the shared exit buffer never escapes — the
+     hot per-hop view refresh allocates nothing but the result. *)
+  mont_mul ctx ctx.exit_buf r ctx.one_plain;
+  Bignum.of_limbs ctx.exit_buf
+
+let mul_resident ctx a b =
+  let out = Array.make ctx.k 0 in
+  mont_mul ctx out a b;
+  out
+
+let pow_with_resident plan r =
+  Array.blit r 0 plan.b_mont 0 plan.p_ctx.k;
+  pow_core plan;
+  Array.copy plan.acc
+
+(* ---- Fixed-base windowed precomputation --------------------------
+   For a long-lived base [b] (a Pohlig–Hellman generator, the
+   accumulator seed x0, an RSA digest) precompute
+   [rows.(j).(d-1) = b^(d·16^j)·R] for window digits d = 1..15.  An
+   exponentiation is then one table multiplication per non-zero 4-bit
+   window and NO squarings at all — the squarings were burned into the
+   table once.  Rows grow on demand as wider exponents arrive; the
+   seed of row j+1 is [b^(16^(j+1)) = rows.(j).(14) · seed_j]. *)
+
+type base_table = {
+  bt_ctx : ctx;
+  bt_base : Bignum.t;  (* canonical base, the LRU cache key *)
+  mutable rows : int array array array;
+  mutable nrows : int;
+  mutable next_seed : int array;  (* b^(16^nrows)·R *)
+}
+
+let base_table ctx b =
+  let b = Bignum.erem b ctx.m in
+  { bt_ctx = ctx; bt_base = b; rows = [||]; nrows = 0;
+    next_seed = to_resident ctx b }
+
+let table_modulus t = t.bt_ctx.m
+let table_base t = t.bt_base
+let table_windows t = t.nrows
+
+let ensure_rows t n =
+  let ctx = t.bt_ctx in
+  let k = ctx.k in
+  while t.nrows < n do
+    let seed = t.next_seed in
+    let row = Array.init 15 (fun _ -> Array.make k 0) in
+    Array.blit seed 0 row.(0) 0 k;
+    for d = 1 to 14 do
+      mont_mul ctx row.(d) row.(d - 1) seed
+    done;
+    let nxt = Array.make k 0 in
+    mont_mul ctx nxt row.(14) seed;
+    if t.nrows = Array.length t.rows then begin
+      let grown = Array.make (max 8 (2 * Array.length t.rows)) [||] in
+      Array.blit t.rows 0 grown 0 t.nrows;
+      t.rows <- grown
+    end;
+    t.rows.(t.nrows) <- row;
+    t.nrows <- t.nrows + 1;
+    t.next_seed <- nxt
+  done
+
+let pow_base t e =
+  if Bignum.sign e < 0 then invalid_arg "Montgomery.pow_base: negative exponent";
+  let ctx = t.bt_ctx in
+  let k = ctx.k in
+  let nbits = Bignum.num_bits e in
+  let nwindows = (nbits + window_bits - 1) / window_bits in
+  ensure_rows t nwindows;
+  let acc = Array.make k 0 and tmp = Array.make k 0 in
+  Array.blit ctx.one_mont 0 acc 0 k;
+  for w = 0 to nwindows - 1 do
+    let digit = ref 0 in
+    for bit = window_bits - 1 downto 0 do
+      let i = (w * window_bits) + bit in
+      digit := (!digit lsl 1) lor (if Bignum.test_bit e i then 1 else 0)
+    done;
+    if !digit <> 0 then begin
+      mont_mul ctx tmp acc t.rows.(w).(!digit - 1);
+      Array.blit tmp 0 acc 0 k
+    end
+  done;
+  mont_mul ctx tmp acc ctx.one_plain;
+  Bignum.of_limbs tmp
+
+(* ---- Simultaneous multi-exponentiation (Shamir's trick) ----------
+   Joint windowing over several exponents shares the squaring chain:
+   one squaring per bit position regardless of how many bases ride
+   along.  [pow2] specializes the 2-base case with 2-bit joint windows
+   (16-entry a^i·b^j table); [multi_pow] interleaves 1-bit subset-
+   product tables in chunks of up to 6 bases. *)
+
+let pow2 ctx a e1 b e2 =
+  if Bignum.sign e1 < 0 || Bignum.sign e2 < 0 then
+    invalid_arg "Montgomery.pow2: negative exponent";
+  let k = ctx.k in
+  let a_m = to_resident ctx a and b_m = to_resident ctx b in
+  (* table.(j*4+i) = a^i · b^j · R *)
+  let table = Array.init 16 (fun _ -> Array.make k 0) in
+  Array.blit ctx.one_mont 0 table.(0) 0 k;
+  Array.blit a_m 0 table.(1) 0 k;
+  mont_mul ctx table.(2) table.(1) a_m;
+  mont_mul ctx table.(3) table.(2) a_m;
+  for j = 1 to 3 do
+    mont_mul ctx table.(4 * j) table.(4 * (j - 1)) b_m;
+    for i = 1 to 3 do
+      mont_mul ctx table.((4 * j) + i) table.((4 * j) + i - 1) a_m
+    done
+  done;
+  let nbits = max (Bignum.num_bits e1) (Bignum.num_bits e2) in
+  let nwindows = (nbits + 1) / 2 in
+  let acc = Array.make k 0 and tmp = Array.make k 0 in
+  Array.blit ctx.one_mont 0 acc 0 k;
+  let bit e i = if Bignum.test_bit e i then 1 else 0 in
+  for w = nwindows - 1 downto 0 do
+    if w < nwindows - 1 then begin
+      mont_mul ctx tmp acc acc;
+      Array.blit tmp 0 acc 0 k;
+      mont_mul ctx tmp acc acc;
+      Array.blit tmp 0 acc 0 k
+    end;
+    let i = (bit e1 ((2 * w) + 1) lsl 1) lor bit e1 (2 * w) in
+    let j = (bit e2 ((2 * w) + 1) lsl 1) lor bit e2 (2 * w) in
+    let idx = (j lsl 2) lor i in
+    if idx <> 0 then begin
+      mont_mul ctx tmp acc table.(idx);
+      Array.blit tmp 0 acc 0 k
+    end
+  done;
+  mont_mul ctx tmp acc ctx.one_plain;
+  Bignum.of_limbs tmp
+
+(* At 6 bases per chunk the subset table is 63 products — past that,
+   table construction dominates the shared-squaring savings. *)
+let multi_pow_chunk = 6
+
+let multi_pow ctx pairs =
+  List.iter
+    (fun (_, e) ->
+      if Bignum.sign e < 0 then
+        invalid_arg "Montgomery.multi_pow: negative exponent")
+    pairs;
+  let pairs = Array.of_list pairs in
+  let n = Array.length pairs in
+  let k = ctx.k in
+  let nchunks = (n + multi_pow_chunk - 1) / multi_pow_chunk in
+  (* Per chunk, subset-product table indexed by a bitmask over the
+     chunk's bases: tbl.(mask) = Π_{i ∈ mask} base_i · R. *)
+  let tables =
+    Array.init nchunks (fun c ->
+        let lo = c * multi_pow_chunk in
+        let cn = min multi_pow_chunk (n - lo) in
+        let tbl = Array.make (1 lsl cn) [||] in
+        tbl.(0) <- ctx.one_mont;
+        for i = 0 to cn - 1 do
+          tbl.(1 lsl i) <- to_resident ctx (fst pairs.(lo + i))
+        done;
+        for mask = 3 to (1 lsl cn) - 1 do
+          let lowbit = mask land -mask in
+          if mask <> lowbit then begin
+            let dst = Array.make k 0 in
+            mont_mul ctx dst tbl.(mask lxor lowbit) tbl.(lowbit);
+            tbl.(mask) <- dst
+          end
+        done;
+        tbl)
+  in
+  let nbits =
+    Array.fold_left (fun acc (_, e) -> max acc (Bignum.num_bits e)) 0 pairs
+  in
+  let acc = Array.make k 0 and tmp = Array.make k 0 in
+  Array.blit ctx.one_mont 0 acc 0 k;
+  for i = nbits - 1 downto 0 do
+    mont_mul ctx tmp acc acc;
+    Array.blit tmp 0 acc 0 k;
+    for c = 0 to nchunks - 1 do
+      let lo = c * multi_pow_chunk in
+      let cn = min multi_pow_chunk (n - lo) in
+      let mask = ref 0 in
+      for j = 0 to cn - 1 do
+        if Bignum.test_bit (snd pairs.(lo + j)) i then
+          mask := !mask lor (1 lsl j)
+      done;
+      if !mask <> 0 then begin
+        mont_mul ctx tmp acc tables.(c).(!mask);
+        Array.blit tmp 0 acc 0 k
+      end
+    done
+  done;
+  mont_mul ctx tmp acc ctx.one_plain;
+  Bignum.of_limbs tmp
 
 let pow ctx b e =
   if Bignum.sign e < 0 then invalid_arg "Montgomery.pow: negative exponent";

@@ -45,3 +45,75 @@ val pow_many : powers -> Bignum.t list -> Bignum.t list
 val mul : ctx -> Bignum.t -> Bignum.t -> Bignum.t
 (** One modular multiplication through the Montgomery domain (includes
     conversion; use {!pow} for chains). *)
+
+(** {2 Montgomery-resident values}
+
+    A {!resident} holds a value in the residue representation
+    [x·R mod m].  Ring passes that re-exponentiate the same ciphertext
+    at every hop convert once on entry, chain every hop's
+    exponentiation in-domain ([(x·R)^e] REDC-powers to exactly
+    [(x^e)·R]), and convert back once — skipping the per-op domain
+    entry (erem + R² multiply) and exit that {!pow_with} pays. *)
+
+type resident
+
+val to_resident : ctx -> Bignum.t -> resident
+(** Enter the domain: [to_resident ctx x] holds [x mod m]. *)
+
+val of_resident : ctx -> resident -> Bignum.t
+(** Leave the domain; the result is canonical in [\[0, m)] and
+    identical to the bignum the same op-chain would have produced. *)
+
+val mul_resident : ctx -> resident -> resident -> resident
+(** In-domain product; one REDC multiplication, no conversions. *)
+
+val pow_with_resident : powers -> resident -> resident
+(** [pow_with_resident plan r] raises an in-domain value to the plan's
+    exponent, staying in-domain — the core loop of {!pow_with} without
+    the entry and exit conversions. *)
+
+(** {2 Fixed-base windowed precomputation}
+
+    The dual of the fixed-exponent {!powers} plan: for a long-lived
+    base (Pohlig–Hellman generator, accumulator seed, threshold-RSA
+    digest) precompute [b^(d·16^j)·R] for every 4-bit window digit.
+    An exponentiation then costs one table multiplication per non-zero
+    window and zero squarings.  Tables grow on demand as wider
+    exponents arrive and are cached LRU by {!Modular.pow_base}. *)
+
+type base_table
+
+val base_table : ctx -> Bignum.t -> base_table
+(** Start an (initially empty) window table for base [b]; rows are
+    materialized lazily by {!pow_base}. *)
+
+val pow_base : base_table -> Bignum.t -> Bignum.t
+(** [pow_base t e] is [b^e mod m] for [e >= 0] — value-identical to
+    [pow ctx b e].
+    @raise Invalid_argument on a negative exponent. *)
+
+val table_modulus : base_table -> Bignum.t
+val table_base : base_table -> Bignum.t
+(** Cache keys: the table's modulus and canonical base [b mod m]. *)
+
+val table_windows : base_table -> int
+(** Number of 4-bit window rows materialized so far (monotone; grows
+    with the widest exponent seen). *)
+
+(** {2 Simultaneous multi-exponentiation (Shamir's trick)}
+
+    Joint windowing shares one squaring chain across several bases:
+    [a^e1·b^e2] costs barely more than the wider single
+    exponentiation.  Used by accumulator witness verification and
+    threshold-RSA share combination. *)
+
+val pow2 : ctx -> Bignum.t -> Bignum.t -> Bignum.t -> Bignum.t -> Bignum.t
+(** [pow2 ctx a e1 b e2] is [a^e1 · b^e2 mod m] via 2-bit joint
+    windows over a 16-entry [a^i·b^j] table.
+    @raise Invalid_argument on negative exponents. *)
+
+val multi_pow : ctx -> (Bignum.t * Bignum.t) list -> Bignum.t
+(** [multi_pow ctx \[(b1, e1); ...\]] is [Π bi^ei mod m], interleaving
+    subset-product tables in chunks of up to 6 bases over a single
+    shared squaring chain.  [multi_pow ctx \[\] = 1].
+    @raise Invalid_argument on negative exponents. *)

@@ -211,6 +211,89 @@ let test_ph_batch_matches_scalar () =
         (Crypto.Pohlig_hellman.decrypt_many params key cts))
     sweep_seeds
 
+let test_ph_resident_chain_matches_scalar () =
+  (* A batch that enters the residue domain once and chains layers
+     in-domain exposes, at every hop, views byte-identical to the
+     scalar chain — including the degenerate single-key, single-element
+     ring.  Peeling the layers back in-domain recovers the encodings. *)
+  let params = Lazy.force ph_params in
+  List.iter
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let keys =
+        List.init 3 (fun _ -> Crypto.Pohlig_hellman.generate_key rng params)
+      in
+      List.iter
+        (fun (n_keys, n_elems) ->
+          let keys = List.filteri (fun i _ -> i < n_keys) keys in
+          let ms =
+            List.init n_elems (fun i ->
+                Crypto.Pohlig_hellman.encode params
+                  (Printf.sprintf "res-%d-%d" seed i))
+          in
+          let scalar =
+            List.fold_left
+              (fun cts k -> Crypto.Pohlig_hellman.encrypt_many params k cts)
+              ms keys
+          in
+          let res =
+            List.fold_left
+              (fun res k ->
+                Crypto.Pohlig_hellman.encrypt_resident_many params k res)
+              (Crypto.Pohlig_hellman.enter_many params ms)
+              keys
+          in
+          List.iter2
+            (fun c r ->
+              check_bn
+                (Printf.sprintf "seed %d %d-key %d-elem view" seed n_keys
+                   n_elems)
+                c
+                (Crypto.Pohlig_hellman.view r))
+            scalar res;
+          let peeled =
+            List.fold_left
+              (fun res k ->
+                Crypto.Pohlig_hellman.decrypt_resident_many params k res)
+              res keys
+          in
+          List.iter2
+            (fun m r ->
+              check_bn
+                (Printf.sprintf "seed %d %d-key %d-elem peel" seed n_keys
+                   n_elems)
+                m
+                (Crypto.Pohlig_hellman.view r))
+            ms peeled)
+        [ (1, 1); (1, 5); (3, 1); (3, 5) ])
+    sweep_seeds
+
+let test_ph_resident_resync () =
+  (* resync reconciles a resident with what actually arrived on the
+     wire: an untouched delivery keeps the chained residue, a tampered
+     one re-enters the domain from the delivered value — later layers
+     operate on the bytes that were really received. *)
+  let params = Lazy.force ph_params in
+  let rng = Prng.create ~seed:26 in
+  let key = Crypto.Pohlig_hellman.generate_key rng params in
+  let m = Crypto.Pohlig_hellman.encode params "resync-elem" in
+  let r = List.hd (Crypto.Pohlig_hellman.enter_many params [ m ]) in
+  let kept = Crypto.Pohlig_hellman.resync params r (Crypto.Pohlig_hellman.view r) in
+  check_bn "clean delivery keeps view" m (Crypto.Pohlig_hellman.view kept);
+  check_bn "clean delivery encrypts identically"
+    (Crypto.Pohlig_hellman.encrypt params key m)
+    (Crypto.Pohlig_hellman.view
+       (List.hd (Crypto.Pohlig_hellman.encrypt_resident_many params key [ kept ])));
+  let tampered_wire = Bignum.succ m in
+  let tampered = Crypto.Pohlig_hellman.resync params r tampered_wire in
+  check_bn "tampered delivery adopts wire value" tampered_wire
+    (Crypto.Pohlig_hellman.view tampered);
+  check_bn "later layers encrypt the delivered bytes"
+    (Crypto.Pohlig_hellman.encrypt params key tampered_wire)
+    (Crypto.Pohlig_hellman.view
+       (List.hd
+          (Crypto.Pohlig_hellman.encrypt_resident_many params key [ tampered ])))
+
 let test_ph_distinct_messages_distinct_ciphertexts () =
   (* Equation (7): different plaintexts stay different. *)
   let params = Lazy.force ph_params in
@@ -624,6 +707,91 @@ let prop_accumulator_permutation =
         (Crypto.Accumulator.accumulate_all params records)
         (Crypto.Accumulator.accumulate_all params sorted))
 
+let test_accumulator_fold_equivalence () =
+  (* accumulate_all runs one fixed-base exponentiation over the product
+     of hashed exponents; it must equal the naive left fold of
+     accumulate_bytes — for empty, singleton and longer sets. *)
+  let params = Lazy.force acc_params in
+  List.iter
+    (fun n ->
+      let records = List.init n (Printf.sprintf "fold-%d") in
+      let reference =
+        List.fold_left
+          (Crypto.Accumulator.accumulate_bytes params)
+          params.Crypto.Accumulator.x0 records
+      in
+      check_bn
+        (Printf.sprintf "fold of %d records" n)
+        reference
+        (Crypto.Accumulator.accumulate_all params records))
+    [ 0; 1; 2; 7 ]
+
+let test_accumulator_witnesses_fast_path () =
+  (* The prefix/suffix witness construction (zero squarings over the
+     base table) must agree with refolding the other elements, and the
+     batch random-linear-combination check must accept honest witness
+     sets and reject a tampered one. *)
+  let params = Lazy.force acc_params in
+  let records = List.init 5 (Printf.sprintf "wit-%d") in
+  let total = Crypto.Accumulator.accumulate_all params records in
+  let pairs = Crypto.Accumulator.witnesses params records in
+  Alcotest.(check int) "one witness per record" (List.length records)
+    (List.length pairs);
+  List.iter
+    (fun (e, w) ->
+      let others = List.filter (fun e' -> e' <> e) records in
+      check_bn
+        (Printf.sprintf "witness(%s) = fold of others" e)
+        (Crypto.Accumulator.accumulate_all params others)
+        w;
+      Alcotest.(check bool)
+        (Printf.sprintf "witness(%s) verifies" e)
+        true
+        (Crypto.Accumulator.verify_membership params ~total ~witness:w e))
+    pairs;
+  let rng = Prng.create ~seed:27 in
+  Alcotest.(check bool) "batch verify accepts honest set" true
+    (Crypto.Accumulator.verify_members rng params ~total pairs);
+  let tampered =
+    match pairs with
+    | (e, w) :: rest -> (e, Bignum.succ w) :: rest
+    | [] -> assert false
+  in
+  Alcotest.(check bool) "batch verify rejects tampered witness" false
+    (Crypto.Accumulator.verify_members rng params ~total tampered);
+  Alcotest.(check bool) "batch verify rejects wrong element" false
+    (Crypto.Accumulator.verify_members rng params ~total
+       (match pairs with
+       | (_, w) :: rest -> ("not-a-member", w) :: rest
+       | [] -> assert false))
+
+let test_accumulator_update_witness_many () =
+  (* Folding a batch of insertions into a witness in one exponentiation
+     equals iterating update_witness, and the updated witness verifies
+     against the grown accumulator. *)
+  let params = Lazy.force acc_params in
+  let records = [ "base-a"; "base-b"; "base-c" ] in
+  let added = [ "new-1"; "new-2"; "new-3" ] in
+  let pairs = Crypto.Accumulator.witnesses params records in
+  let grown_total = Crypto.Accumulator.accumulate_all params (records @ added) in
+  List.iter
+    (fun (e, w) ->
+      let iterated =
+        List.fold_left
+          (fun w added -> Crypto.Accumulator.update_witness params ~witness:w ~added)
+          w added
+      in
+      let batched =
+        Crypto.Accumulator.update_witness_many params ~witness:w ~added
+      in
+      check_bn (Printf.sprintf "batched update of %s" e) iterated batched;
+      Alcotest.(check bool)
+        (Printf.sprintf "updated witness for %s verifies" e)
+        true
+        (Crypto.Accumulator.verify_membership params ~total:grown_total
+           ~witness:batched e))
+    pairs
+
 (* ------------------------------------------------------------------ *)
 (* Blinding                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -696,6 +864,25 @@ let test_rsa_sign_verify () =
     (Crypto.Rsa.verify public "hullo" signature);
   Alcotest.(check bool) "tampered signature" false
     (Crypto.Rsa.verify public "hello" (Bignum.succ signature))
+
+let test_rsa_sign_many_matches_scalar () =
+  (* Batch signing shares the secret exponent's window recoding but the
+     signatures are element-for-element the scalar ones. *)
+  let rng = Prng.create ~seed:28 in
+  let secret = Crypto.Rsa.generate rng ~bits:128 () in
+  let public = Crypto.Rsa.public secret in
+  List.iter
+    (fun n ->
+      let msgs = List.init n (Printf.sprintf "batch-msg-%d") in
+      let sigs = Crypto.Rsa.sign_many secret msgs in
+      List.iter2
+        (fun m s ->
+          check_bn (Printf.sprintf "sign_many(%s) = sign" m)
+            (Crypto.Rsa.sign secret m) s;
+          Alcotest.(check bool) (Printf.sprintf "%s verifies" m) true
+            (Crypto.Rsa.verify public m s))
+        msgs sigs)
+    [ 0; 1; 4 ]
 
 let threshold_fixture =
   lazy
@@ -774,6 +961,35 @@ let prop_threshold_any_subset =
       match Crypto.Threshold_rsa.combine params msg subset with
       | Ok s -> Crypto.Threshold_rsa.verify params msg s
       | Error _ -> false)
+
+let test_threshold_partial_sign_all_matches_scalar () =
+  (* partial_sign_all digests the message once and batches the share
+     exponentiations; each partial must equal the scalar call, and the
+     multi-exponentiation combine must still produce a verifying
+     signature from them. *)
+  let params, shares = Lazy.force threshold_fixture in
+  List.iter
+    (fun seed ->
+      let msg = Printf.sprintf "batched verdict %d" seed in
+      let batched = Crypto.Threshold_rsa.partial_sign_all shares msg in
+      List.iter2
+        (fun share p ->
+          let q = Crypto.Threshold_rsa.partial_sign share msg in
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d index" seed)
+            q.Crypto.Threshold_rsa.index p.Crypto.Threshold_rsa.index;
+          check_bn
+            (Printf.sprintf "seed %d partial %d" seed p.Crypto.Threshold_rsa.index)
+            q.Crypto.Threshold_rsa.value p.Crypto.Threshold_rsa.value)
+        shares batched;
+      match Crypto.Threshold_rsa.combine params msg batched with
+      | Ok s ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d combined signature verifies" seed)
+          true
+          (Crypto.Threshold_rsa.verify params msg s)
+      | Error e -> Alcotest.fail e)
+    sweep_seeds
 
 
 (* ------------------------------------------------------------------ *)
@@ -875,6 +1091,60 @@ let test_blinding_batch_matches_scalar () =
       check_bn "monotone batch" (Crypto.Blinding.apply_monotone monotone v) w)
     values
     (Crypto.Blinding.apply_monotone_many monotone values)
+
+let test_paillier_encrypt_many_rng_identity () =
+  (* encrypt_many draws its blinding factors in the same order as the
+     scalar loop, so two PRNGs at the same seed produce byte-identical
+     ciphertexts batched and unbatched — the batch path changes no wire
+     bytes. *)
+  let public, secret = Lazy.force paillier_fixture in
+  let n = public.Crypto.Paillier.n in
+  List.iter
+    (fun seed ->
+      let gen = Prng.create ~seed in
+      let ms = List.init 5 (fun _ -> Prng.bignum_below gen n) in
+      let batched =
+        Crypto.Paillier.encrypt_many (Prng.create ~seed:(seed + 1)) public ms
+      in
+      let scalar_rng = Prng.create ~seed:(seed + 1) in
+      List.iter2
+        (fun m c ->
+          check_bn
+            (Printf.sprintf "seed %d batch = scalar bytes" seed)
+            (Crypto.Paillier.encrypt scalar_rng public m)
+            c;
+          check_bn (Printf.sprintf "seed %d roundtrip" seed) m
+            (Crypto.Paillier.decrypt public secret c))
+        ms batched)
+    sweep_seeds
+
+let test_paillier_add_scaled () =
+  (* The fused weighted sum (one Shamir multi-exponentiation) is
+     value-identical to scale; scale; add and decrypts to the weighted
+     sum — including degenerate coefficients 0 and 1. *)
+  let public, secret = Lazy.force paillier_fixture in
+  let n = public.Crypto.Paillier.n in
+  let rng = Prng.create ~seed:29 in
+  let c1 = Crypto.Paillier.encrypt rng public (bn 1000) in
+  let c2 = Crypto.Paillier.encrypt rng public (bn 234) in
+  List.iter
+    (fun (by1, by2) ->
+      let fused = Crypto.Paillier.add_scaled public c1 ~by1 c2 ~by2 in
+      check_bn
+        (Printf.sprintf "fused = scale/scale/add (%s,%s)" (Bignum.to_string by1)
+           (Bignum.to_string by2))
+        (Crypto.Paillier.add public
+           (Crypto.Paillier.scale public c1 ~by:by1)
+           (Crypto.Paillier.scale public c2 ~by:by2))
+        fused;
+      check_bn
+        (Printf.sprintf "weighted sum (%s,%s)" (Bignum.to_string by1)
+           (Bignum.to_string by2))
+        (Modular.normalize
+           (Bignum.add (Bignum.mul by1 (bn 1000)) (Bignum.mul by2 (bn 234)))
+           ~m:n)
+        (Crypto.Paillier.decrypt public secret fused))
+    [ (bn 3, bn 7); (bn 1, bn 1); (Bignum.zero, bn 5); (bn 65537, bn 40961) ]
 
 let prop_paillier_sum =
   QCheck.Test.make ~name:"paillier: decrypt(prod c_i) = sum m_i" ~count:20
@@ -1082,7 +1352,10 @@ let () =
             test_ph_distinct_messages_distinct_ciphertexts;
           Alcotest.test_case "domain check" `Quick test_ph_domain_check;
           Alcotest.test_case "encode" `Quick test_ph_encode;
-          Alcotest.test_case "batch = scalar" `Quick test_ph_batch_matches_scalar
+          Alcotest.test_case "batch = scalar" `Quick test_ph_batch_matches_scalar;
+          Alcotest.test_case "resident chain = scalar chain" `Quick
+            test_ph_resident_chain_matches_scalar;
+          Alcotest.test_case "resident resync" `Quick test_ph_resident_resync
         ] );
       ( "modexp-paths",
         [ Alcotest.test_case "fast paths agree (sweep)" `Quick
@@ -1115,6 +1388,12 @@ let () =
           test_accumulator_order_independence
         :: Alcotest.test_case "detects change" `Quick test_accumulator_detects_change
         :: Alcotest.test_case "validation" `Quick test_accumulator_validation
+        :: Alcotest.test_case "fixed-base fold = naive fold" `Quick
+             test_accumulator_fold_equivalence
+        :: Alcotest.test_case "witness fast path" `Quick
+             test_accumulator_witnesses_fast_path
+        :: Alcotest.test_case "batched witness update" `Quick
+             test_accumulator_update_witness_many
         :: qt [ prop_accumulator_permutation ] );
       ( "blinding",
         Alcotest.test_case "affine equality" `Quick test_affine_blinding_preserves_equality
@@ -1123,12 +1402,17 @@ let () =
              test_blinding_batch_matches_scalar
         :: qt [ prop_monotone_order ] );
       ( "rsa",
-        [ Alcotest.test_case "sign/verify" `Quick test_rsa_sign_verify ] );
+        [ Alcotest.test_case "sign/verify" `Quick test_rsa_sign_verify;
+          Alcotest.test_case "sign batch = scalar" `Quick
+            test_rsa_sign_many_matches_scalar
+        ] );
       ( "threshold-rsa",
         Alcotest.test_case "k of n" `Quick test_threshold_k_of_n
         :: Alcotest.test_case "below k fails" `Quick test_threshold_below_k_fails
         :: Alcotest.test_case "duplicates rejected" `Quick
              test_threshold_duplicate_rejected
+        :: Alcotest.test_case "partial batch = scalar" `Quick
+             test_threshold_partial_sign_all_matches_scalar
         :: qt [ prop_threshold_any_subset ] );
       ( "paillier",
         Alcotest.test_case "roundtrip" `Quick test_paillier_roundtrip
@@ -1139,6 +1423,10 @@ let () =
              test_paillier_closed_form
         :: Alcotest.test_case "CRT decrypt sweep" `Quick
              test_paillier_crt_decrypt_sweep
+        :: Alcotest.test_case "batch rng identity" `Quick
+             test_paillier_encrypt_many_rng_identity
+        :: Alcotest.test_case "fused weighted sum" `Quick
+             test_paillier_add_scaled
         :: qt [ prop_paillier_sum ] );
       ( "chacha20",
         [ Alcotest.test_case "RFC 8439 block" `Quick test_chacha20_rfc8439_block;

@@ -417,6 +417,234 @@ let test_pow_many_empty_and_unit_modulus () =
     (Invalid_argument "Modular.pow_many: negative exponent") (fun () ->
       ignore (Modular.pow_many [ bn 2 ] (bn (-1)) ~m:(bn 7)))
 
+(* A modulus shape every Montgomery fast path accepts: odd, >= 64
+   bits.  Derived from arbitrary bignums for the property tests. *)
+let mont_modulus_of m =
+  let m = Bignum.logor (Bignum.abs m) Bignum.one in
+  let m = Bignum.add m (Bignum.shift_left Bignum.one 64) in
+  if Bignum.is_even m then Bignum.succ m else m
+
+let test_pow_base_matches_pow () =
+  let p = bs "170141183460469231731687303715884105727" (* 2^127 - 1 *) in
+  let bases = [ Bignum.zero; Bignum.one; bn 2; bn 7919; Bignum.pred p; p ] in
+  let exps =
+    [ Bignum.zero; Bignum.one; bn 2; bn 15; bn 16; bn 255; bn 65537;
+      Bignum.pred p ]
+  in
+  List.iter
+    (fun base ->
+      List.iter
+        (fun e ->
+          check_bn
+            (Printf.sprintf "%s^%s" (Bignum.to_string base) (Bignum.to_string e))
+            (Modular.pow base e ~m:p)
+            (Modular.pow_base ~base e ~m:p))
+        exps)
+    bases;
+  (* Fallback shapes: even modulus, single-limb modulus, modulus 1. *)
+  check_bn "even modulus" (Modular.pow (bn 3) (bn 20) ~m:(bn 100))
+    (Modular.pow_base ~base:(bn 3) (bn 20) ~m:(bn 100));
+  check_bn "small modulus" (Modular.pow (bn 3) (bn 20) ~m:(bn 101))
+    (Modular.pow_base ~base:(bn 3) (bn 20) ~m:(bn 101));
+  check_bn "mod 1" Bignum.zero (Modular.pow_base ~base:(bn 3) (bn 20) ~m:Bignum.one);
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Modular.pow_base: negative exponent") (fun () ->
+      ignore (Modular.pow_base ~base:(bn 2) (bn (-1)) ~m:p))
+
+let test_base_table_growth () =
+  (* Rows materialize on demand: a wider exponent grows the table, a
+     narrower one reuses it, and results stay correct across growth. *)
+  let p = bs "170141183460469231731687303715884105727" in
+  let ctx = Montgomery.create p in
+  let t = Montgomery.base_table ctx (bn 5) in
+  Alcotest.(check int) "starts empty" 0 (Montgomery.table_windows t);
+  check_bn "8-bit exponent" (Modular.pow_classic (bn 5) (bn 200) ~m:p)
+    (Montgomery.pow_base t (bn 200));
+  Alcotest.(check int) "two windows" 2 (Montgomery.table_windows t);
+  let wide = Bignum.pred (Bignum.shift_left Bignum.one 100) in
+  check_bn "100-bit exponent" (Modular.pow_classic (bn 5) wide ~m:p)
+    (Montgomery.pow_base t wide);
+  Alcotest.(check int) "grown to 25 windows" 25 (Montgomery.table_windows t);
+  check_bn "narrow again" (Modular.pow_classic (bn 5) (bn 3) ~m:p)
+    (Montgomery.pow_base t (bn 3));
+  Alcotest.(check int) "no shrink" 25 (Montgomery.table_windows t);
+  check_bn "cache key base" (bn 5) (Montgomery.table_base t);
+  check_bn "cache key modulus" p (Montgomery.table_modulus t)
+
+let test_base_table_cache_counters () =
+  Modular.reset_mont_cache ();
+  let p = Bignum.succ (Bignum.shift_left Bignum.one 89) in
+  let e = Bignum.pred (Bignum.shift_left Bignum.one 60) in
+  let created = Obs.Metrics.get "crypto.mont.fixed_base_table_create" in
+  let hits = Obs.Metrics.get "crypto.mont.fixed_base_hit" in
+  ignore (Modular.pow_base ~base:(bn 42) e ~m:p);
+  ignore (Modular.pow_base ~base:(bn 42) e ~m:p);
+  ignore (Modular.pow_base ~base:(bn 43) e ~m:p);
+  Alcotest.(check int) "one table per (m, base)" 2
+    (Obs.Metrics.get "crypto.mont.fixed_base_table_create" - created);
+  Alcotest.(check int) "repeat is a hit" 1
+    (Obs.Metrics.get "crypto.mont.fixed_base_hit" - hits)
+
+let prop_pow_base_equals_classic =
+  QCheck.Test.make ~name:"Modular.pow_base = classic pow" ~count:100
+    (QCheck.triple arbitrary_bignum arbitrary_bignum arbitrary_bignum)
+    (fun (base, e, m) ->
+      let m = mont_modulus_of m in
+      let e = Bignum.abs e in
+      Bignum.equal (Modular.pow_classic base e ~m) (Modular.pow_base ~base e ~m))
+
+let test_pow2_known () =
+  let p = bs "170141183460469231731687303715884105727" in
+  let ctx = Montgomery.create p in
+  let check a e1 b e2 =
+    check_bn
+      (Printf.sprintf "%d^%d * %d^%d" a e1 b e2)
+      (Modular.mul
+         (Modular.pow_classic (bn a) (bn e1) ~m:p)
+         (Modular.pow_classic (bn b) (bn e2) ~m:p)
+         ~m:p)
+      (Montgomery.pow2 ctx (bn a) (bn e1) (bn b) (bn e2))
+  in
+  check 2 10 3 7;
+  check 0 5 3 7;
+  check 1 0 1 0;
+  check 7 0 9 65537;
+  check 123456 99999 654321 3;
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Montgomery.pow2: negative exponent") (fun () ->
+      ignore (Montgomery.pow2 ctx (bn 2) (bn (-1)) (bn 3) (bn 1)))
+
+let prop_pow2_equals_product =
+  QCheck.Test.make ~name:"pow2 = product of pows" ~count:100
+    (QCheck.triple
+       (QCheck.pair arbitrary_bignum arbitrary_bignum)
+       (QCheck.pair arbitrary_bignum arbitrary_bignum)
+       arbitrary_bignum)
+    (fun ((a, e1), (b, e2), m) ->
+      let m = mont_modulus_of m in
+      let e1 = Bignum.abs e1 and e2 = Bignum.abs e2 in
+      let ctx = Montgomery.create m in
+      Bignum.equal
+        (Modular.mul
+           (Modular.pow_classic a e1 ~m)
+           (Modular.pow_classic b e2 ~m)
+           ~m)
+        (Montgomery.pow2 ctx a e1 b e2))
+
+let test_multi_pow_edges () =
+  let p = bs "170141183460469231731687303715884105727" in
+  check_bn "empty product" Bignum.one (Modular.multi_pow [] ~m:p);
+  check_bn "empty product mod 1" Bignum.zero (Modular.multi_pow [] ~m:Bignum.one);
+  check_bn "single pair" (Modular.pow (bn 3) (bn 65537) ~m:p)
+    (Modular.multi_pow [ (bn 3, bn 65537) ] ~m:p);
+  check_bn "all-zero exponents" Bignum.one
+    (Modular.multi_pow [ (bn 3, Bignum.zero); (bn 5, Bignum.zero) ] ~m:p);
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Modular.multi_pow: negative exponent") (fun () ->
+      ignore (Modular.multi_pow [ (bn 2, bn (-3)) ] ~m:p))
+
+let prop_multi_pow_equals_product =
+  (* Up to 14 pairs so the scan spans several 6-base chunks; both the
+     Montgomery path and (via even moduli) the naive fallback. *)
+  let pair = QCheck.pair arbitrary_bignum arbitrary_bignum in
+  QCheck.Test.make ~name:"multi_pow = folded product of pows" ~count:60
+    (QCheck.triple
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 14) pair)
+       arbitrary_bignum QCheck.bool)
+    (fun (pairs, m, mont) ->
+      let m =
+        if mont then mont_modulus_of m else Bignum.succ (Bignum.abs m)
+      in
+      QCheck.assume (not (Bignum.is_zero m));
+      let pairs = List.map (fun (b, e) -> (b, Bignum.abs e)) pairs in
+      let expected =
+        List.fold_left
+          (fun acc (b, e) -> Modular.mul acc (Modular.pow_classic b e ~m) ~m)
+          (Modular.normalize Bignum.one ~m)
+          pairs
+      in
+      Bignum.equal expected (Modular.multi_pow pairs ~m))
+
+let test_resident_roundtrip () =
+  let p = bs "170141183460469231731687303715884105727" in
+  let ctx = Montgomery.create p in
+  List.iter
+    (fun x ->
+      check_bn
+        (Printf.sprintf "roundtrip %s" (Bignum.to_string x))
+        (Bignum.erem x p)
+        (Montgomery.of_resident ctx (Montgomery.to_resident ctx x)))
+    [ Bignum.zero; Bignum.one; bn 2; bn (-7); Bignum.pred p; p; Bignum.succ p ]
+
+let prop_resident_chain_equals_pow_chain =
+  (* A ring pass in miniature: enter the domain once, chain several
+     exponentiations (plus one in-domain multiplication) without
+     leaving, exit once — must equal the all-bignum chain. *)
+  QCheck.Test.make ~name:"resident op-chain = bignum op-chain" ~count:60
+    (QCheck.triple arbitrary_bignum
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 5) arbitrary_bignum)
+       arbitrary_bignum)
+    (fun (x, exps, m) ->
+      let m = mont_modulus_of m in
+      let exps = List.map Bignum.abs exps in
+      let ctx = Montgomery.create m in
+      let resident =
+        List.fold_left
+          (fun r e ->
+            Montgomery.pow_with_resident (Montgomery.powers ctx e) r)
+          (Montgomery.to_resident ctx x)
+          exps
+      in
+      let expected =
+        List.fold_left
+          (fun v e -> Modular.pow v e ~m)
+          (Bignum.erem x m) exps
+      in
+      let blinded =
+        Montgomery.mul_resident ctx resident (Montgomery.to_resident ctx (bn 7))
+      in
+      Bignum.equal expected (Montgomery.of_resident ctx resident)
+      && Bignum.equal
+           (Modular.mul expected (bn 7) ~m)
+           (Montgomery.of_resident ctx blinded))
+
+let test_mont_cache_eviction_order () =
+  (* Regression for LRU ordering under a configurable capacity: with
+     room for two contexts, re-touching the older one must make the
+     *other* entry the eviction victim. *)
+  let default = Modular.mont_cache_capacity () in
+  Fun.protect
+    ~finally:(fun () -> Modular.set_mont_cache_capacity default)
+    (fun () ->
+      Modular.set_mont_cache_capacity 2;
+      Alcotest.(check int) "capacity set" 2 (Modular.mont_cache_capacity ());
+      Modular.reset_mont_cache ();
+      let modulus i = Bignum.succ (Bignum.shift_left Bignum.one (80 + i)) in
+      let e = Bignum.pred (Bignum.shift_left Bignum.one 20) in
+      let touch i = ignore (Modular.pow (bn 9) e ~m:(modulus i)) in
+      let creates () = Obs.Metrics.get "crypto.mont.ctx_create" in
+      let hits () = Obs.Metrics.get "crypto.mont.cache_hit" in
+      let c0 = creates () in
+      touch 1; touch 2;                 (* cache (MRU first): [2; 1] *)
+      let h0 = hits () in
+      touch 1;                          (* hit -> [1; 2] *)
+      Alcotest.(check int) "re-touch hits" 1 (hits () - h0);
+      touch 3;                          (* evicts 2 -> [3; 1] *)
+      let h1 = hits () in
+      touch 1;                          (* survivor still cached *)
+      Alcotest.(check int) "LRU victim was 2, not 1" 1 (hits () - h1);
+      touch 2;                          (* 2 was evicted: fresh create *)
+      Alcotest.(check int) "creations: m1, m2, m3, m2 again" 4
+        (creates () - c0);
+      (* Shrinking trims immediately. *)
+      Modular.set_mont_cache_capacity 1;
+      let h2 = hits () in
+      touch 2;                          (* MRU survives the trim *)
+      Alcotest.(check int) "trim keeps MRU" 1 (hits () - h2);
+      (* Clamp: capacity never drops below one. *)
+      Modular.set_mont_cache_capacity 0;
+      Alcotest.(check int) "clamped to 1" 1 (Modular.mont_cache_capacity ()))
+
 let test_mont_cache_lru () =
   (* Interleaving more moduli than the cache holds: LRU keeps the
      working set as long as it fits, so creations stay O(#moduli). *)
@@ -589,10 +817,26 @@ let () =
         :: Alcotest.test_case "pow_many edges" `Quick
              test_pow_many_empty_and_unit_modulus
         :: Alcotest.test_case "ctx cache LRU" `Quick test_mont_cache_lru
+        :: Alcotest.test_case "eviction order (configurable capacity)" `Quick
+             test_mont_cache_eviction_order
         :: qt
              [ prop_montgomery_equals_classic;
                prop_modular_pow_dispatch_consistent;
                prop_pow_many_equals_map_pow ] );
+      ( "montgomery:fixed-base",
+        Alcotest.test_case "pow_base matches pow" `Quick
+          test_pow_base_matches_pow
+        :: Alcotest.test_case "table growth" `Quick test_base_table_growth
+        :: Alcotest.test_case "table cache counters" `Quick
+             test_base_table_cache_counters
+        :: qt [ prop_pow_base_equals_classic ] );
+      ( "montgomery:multi-exp",
+        Alcotest.test_case "pow2 known" `Quick test_pow2_known
+        :: Alcotest.test_case "multi_pow edges" `Quick test_multi_pow_edges
+        :: qt [ prop_pow2_equals_product; prop_multi_pow_equals_product ] );
+      ( "montgomery:resident",
+        Alcotest.test_case "roundtrip" `Quick test_resident_roundtrip
+        :: qt [ prop_resident_chain_equals_pow_chain ] );
       ( "primes",
         [ Alcotest.test_case "small primes" `Quick test_small_primes_list;
           Alcotest.test_case "known primes/composites" `Quick test_is_probable_prime_known;

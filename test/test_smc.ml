@@ -111,6 +111,84 @@ let test_intersection_with_xor_scheme () =
   Alcotest.(check (list string)) "xor scheme agrees" [ "e" ]
     result.Smc.Set_intersection.intersection
 
+let test_intersection_resident_wire_bytes () =
+  (* The Montgomery-resident ring pass must put exactly the bytes the
+     scalar chain would produce on the wire, hop by hop.  Capture the
+     ciphertext transcript of a run, then replay its key draws with an
+     identically-seeded scheme and recompute every relay and collect
+     payload through the scalar enc_many path only. *)
+  let seed = 411 in
+  let events = ref [] in
+  let net = Net.Network.create () in
+  let result =
+    Smc.Proto_util.with_transcript_hook
+      (fun e ->
+        if e.Smc.Proto_util.sensitivity = Net.Ledger.Ciphertext then
+          events := (e.Smc.Proto_util.tag, e.Smc.Proto_util.value) :: !events)
+      (fun () ->
+        Smc.Set_intersection.run ~net ~scheme:(fresh_scheme seed) ~receiver:p1
+          figure4_parties)
+  in
+  let transcript = List.rev !events in
+  let replay = fresh_scheme seed in
+  let keypairs =
+    List.map
+      (fun p ->
+        ( p.Smc.Set_intersection.node,
+          replay.Crypto.Commutative.fresh_keypair () ))
+      figure4_parties
+  in
+  let kp_of n =
+    snd (List.find (fun (n', _) -> Net.Node_id.equal n' n) keypairs)
+  in
+  let ring = List.map (fun p -> p.Smc.Set_intersection.node) figure4_parties in
+  let expected = ref [] in
+  let state =
+    ref
+      (List.map
+         (fun p ->
+           let set = List.sort_uniq compare p.Smc.Set_intersection.set in
+           let kp = kp_of p.Smc.Set_intersection.node in
+           ( p.Smc.Set_intersection.node,
+             p.Smc.Set_intersection.node,
+             kp.Crypto.Commutative.enc_many
+               (List.map replay.Crypto.Commutative.encode set) ))
+         figure4_parties)
+  in
+  for _hop = 1 to List.length figure4_parties - 1 do
+    state :=
+      List.map
+        (fun (origin, holder, cts) ->
+          let next = Smc.Proto_util.ring_next ring holder in
+          List.iter
+            (fun c ->
+              expected := ("intersection:relay", Bignum.to_hex c) :: !expected)
+            cts;
+          (origin, next, (kp_of next).Crypto.Commutative.enc_many cts))
+        !state
+  done;
+  let final = !state in
+  List.iter
+    (fun (_, holder, cts) ->
+      if not (Net.Node_id.equal holder p1) then
+        List.iter
+          (fun c ->
+            expected := ("intersection:collect", Bignum.to_hex c) :: !expected)
+          cts)
+    final;
+  Alcotest.(check (list (pair string string)))
+    "wire transcript = scalar chain" (List.rev !expected) transcript;
+  (* The collected fully-encrypted sets are byte-for-byte the scalar
+     chain's final layer. *)
+  List.iter2
+    (fun (origin, _, cts) (origin', cts') ->
+      Alcotest.(check bool) "origin order" true
+        (Net.Node_id.equal origin origin');
+      Alcotest.(check (list string)) "encrypted_by_all bytes"
+        (List.map Bignum.to_hex cts)
+        (List.map Bignum.to_hex cts'))
+    final result.Smc.Set_intersection.encrypted_by_all
+
 let test_intersection_validation () =
   let net = Net.Network.create () in
   Alcotest.check_raises "one party"
@@ -246,6 +324,98 @@ let test_union_duplicates_collapse () =
   in
   Alcotest.(check (list string)) "dedup" [ "x"; "y" ] union
 
+let test_union_resident_wire_bytes () =
+  (* Same guard for the union's two resident rings: the encryption ring
+     and the decode ring (where every party peels its layer off the
+     shuffled batch in-domain).  The replay recomputes both through
+     scalar enc_many/dec_many, including the receiver-side shuffle with
+     an identically-seeded rng. *)
+  let seed = 412 and rng_seed = 413 in
+  let events = ref [] in
+  let net = Net.Network.create () in
+  let union =
+    Smc.Proto_util.with_transcript_hook
+      (fun e ->
+        if e.Smc.Proto_util.sensitivity = Net.Ledger.Ciphertext then
+          events := (e.Smc.Proto_util.tag, e.Smc.Proto_util.value) :: !events)
+      (fun () ->
+        Smc.Set_union.run ~net ~scheme:(fresh_scheme seed)
+          ~rng:(Prng.create ~seed:rng_seed) ~receiver:p1 union_parties)
+  in
+  Alcotest.(check (list string)) "union result" [ "c"; "d"; "e"; "f"; "g" ]
+    union;
+  let transcript = List.rev !events in
+  let replay = fresh_scheme seed in
+  let keypairs =
+    List.map
+      (fun p -> (p.Smc.Set_union.node, replay.Crypto.Commutative.fresh_keypair ()))
+      union_parties
+  in
+  let kp_of n =
+    snd (List.find (fun (n', _) -> Net.Node_id.equal n' n) keypairs)
+  in
+  let ring = List.map (fun p -> p.Smc.Set_union.node) union_parties in
+  let expected = ref [] in
+  (* Encryption ring. *)
+  let state =
+    ref
+      (List.map
+         (fun p ->
+           let set = List.sort_uniq compare p.Smc.Set_union.set in
+           let kp = kp_of p.Smc.Set_union.node in
+           ( p.Smc.Set_union.node,
+             kp.Crypto.Commutative.enc_many
+               (List.map replay.Crypto.Commutative.encode set) ))
+         union_parties)
+  in
+  for _hop = 1 to List.length union_parties - 1 do
+    state :=
+      List.map
+        (fun (holder, cts) ->
+          let next = Smc.Proto_util.ring_next ring holder in
+          List.iter
+            (fun c -> expected := ("union:relay", Bignum.to_hex c) :: !expected)
+            cts;
+          (next, (kp_of next).Crypto.Commutative.enc_many cts))
+        !state
+  done;
+  List.iter
+    (fun (holder, cts) ->
+      if not (Net.Node_id.equal holder p1) then
+        List.iter
+          (fun c -> expected := ("union:collect", Bignum.to_hex c) :: !expected)
+          cts)
+    !state;
+  (* Receiver-side dedup (keyed on hex, so bindings come out sorted)
+     and shuffle, then the decode ring. *)
+  let distinct =
+    List.fold_left
+      (fun acc ct -> (Bignum.to_hex ct, ct) :: acc)
+      []
+      (List.concat_map snd !state)
+    |> List.sort_uniq (fun (h, _) (h', _) -> compare h h')
+    |> List.map snd
+  in
+  let shuffled = Smc.Proto_util.shuffle (Prng.create ~seed:rng_seed) distinct in
+  let final_holder, decoded =
+    List.fold_left
+      (fun (holder, cts) next ->
+        if not (Net.Node_id.equal holder next) then
+          List.iter
+            (fun c -> expected := ("union:decode", Bignum.to_hex c) :: !expected)
+            cts;
+        (next, (kp_of next).Crypto.Commutative.dec_many cts))
+      (p1, shuffled) ring
+  in
+  (* The last peeler ships the plaintext group elements back to the
+     receiver. *)
+  if not (Net.Node_id.equal final_holder p1) then
+    List.iter
+      (fun c ->
+        expected := ("union:decode-return", Bignum.to_hex c) :: !expected)
+      decoded;
+  Alcotest.(check (list (pair string string)))
+    "wire transcript = scalar chain" (List.rev !expected) transcript
 
 let test_union_cardinality () =
   let net = Net.Network.create () in
@@ -998,6 +1168,8 @@ let () =
         :: Alcotest.test_case "naive exposes all" `Quick
              test_intersection_naive_exposes_everything
         :: Alcotest.test_case "xor scheme" `Quick test_intersection_with_xor_scheme
+        :: Alcotest.test_case "resident wire bytes" `Quick
+             test_intersection_resident_wire_bytes
         :: Alcotest.test_case "validation" `Quick test_intersection_validation
         :: Alcotest.test_case "partition fault" `Quick test_intersection_partition_fault
         :: Alcotest.test_case "cardinality only" `Quick test_intersection_cardinality
@@ -1008,6 +1180,8 @@ let () =
         [ Alcotest.test_case "basic" `Quick test_union_basic;
           Alcotest.test_case "matches naive" `Quick test_union_matches_naive;
           Alcotest.test_case "duplicates collapse" `Quick test_union_duplicates_collapse;
+          Alcotest.test_case "resident wire bytes" `Quick
+            test_union_resident_wire_bytes;
           Alcotest.test_case "cardinality only" `Quick test_union_cardinality
         ] );
       ( "sum",
