@@ -65,6 +65,22 @@ let time_ns ?(quota_s = 0.25) cases =
       (name, ns))
     cases
 
+(* Median wall-clock over [repeats] explicit runs of [f] — for
+   operations seconds-long at scale, where bechamel's quota-driven OLS
+   loop would either starve (one sample) or run for minutes.  The
+   repeats are real back-to-back executions; the median discards
+   one-off scheduler noise without averaging it in. *)
+let median_ms ~repeats f =
+  let times =
+    List.init repeats (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        1000.0 *. (Unix.gettimeofday () -. t0))
+  in
+  match List.sort compare times with
+  | [] -> nan
+  | sorted -> List.nth sorted (repeats / 2)
+
 let pp_ns ns =
   if Float.is_nan ns then "n/a"
   else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)

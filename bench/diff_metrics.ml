@@ -9,23 +9,20 @@
 
 let threshold = ref 10.0
 
-let read_counters path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  match Obs.Json.parse text with
-  | Error e -> failwith (Printf.sprintf "%s: %s" path e)
-  | Ok doc -> (
-    match Obs.Json.member "counters" doc with
-    | Some (Obs.Json.Obj fields) ->
-      List.filter_map
-        (fun (name, v) ->
-          match Obs.Json.to_num v with
-          | Some n -> Some (name, int_of_float n)
-          | None -> None)
-        fields
-    | _ -> failwith (Printf.sprintf "%s: no counters object" path))
+let read_counters ~role path =
+  match Obs.Sink.read_counters ~path with
+  | Ok counters -> counters
+  | Error (Obs.Sink.Missing_file _) ->
+    Printf.eprintf "diff_metrics: missing %s file %s\n" role path;
+    if role = "baseline" then
+      prerr_endline
+        "  regenerate with: dune exec bench/main.exe -- <experiment> \
+         --metrics-out <path>";
+    exit 2
+  | Error e ->
+    Printf.eprintf "diff_metrics: malformed %s: %s\n" role
+      (Obs.Sink.read_error_to_string e);
+    exit 2
 
 let () =
   let positional = ref [] in
@@ -41,8 +38,8 @@ let () =
   done;
   match List.rev !positional with
   | [ baseline_path; current_path ] ->
-    let baseline = read_counters baseline_path in
-    let current = read_counters current_path in
+    let baseline = read_counters ~role:"baseline" baseline_path in
+    let current = read_counters ~role:"current" current_path in
     let names =
       List.sort_uniq compare (List.map fst baseline @ List.map fst current)
     in

@@ -23,15 +23,16 @@ let criteria_of_request request =
     | Ok criteria -> Ok criteria
     | Error message -> Error (Audit_error.Parse_error { input; message }))
 
-let run cluster ?ttp ?delivery ?failure_mode ~auditor request =
+let run cluster ?ttp ?delivery ?failure_mode ?replication ?cache ~auditor
+    request =
   match criteria_of_request request with
   | Error _ as e -> e
   | Ok criteria -> (
     let net = Cluster.net cluster in
     let before = Net.Network.stats net in
     match
-      Executor.run cluster ?ttp ?delivery ?on_failure:failure_mode ~auditor
-        criteria
+      Executor.run cluster ?ttp ?delivery ?on_failure:failure_mode ?replication
+        ?cache ~auditor criteria
     with
     | Error _ as e -> e
     | Ok report ->

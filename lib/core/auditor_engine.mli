@@ -41,6 +41,8 @@ val run :
   ?ttp:Net.Node_id.t ->
   ?delivery:Executor.delivery ->
   ?failure_mode:Executor.failure_mode ->
+  ?replication:Replication.t ->
+  ?cache:Executor.cache ->
   auditor:Net.Node_id.t ->
   request ->
   (audit, Audit_error.t) result
@@ -49,8 +51,11 @@ val run :
     counting — [matching] is empty).  [failure_mode] defaults to
     [Fail]: a mid-audit partition raises {!Net.Network.Partitioned};
     with [Degrade] the call always returns and [coverage] discloses
-    any gap.  Errors are typed: {!Audit_error.Parse_error} for a
-    [Text] request that does not parse,
+    any gap.  [replication] and [cache] are threaded through to
+    {!Executor.run} unchanged — the sharded scatter-gather driver uses
+    them to repair from replicas and to reuse each shard's per-session
+    glsn-set cache.  Errors are typed: {!Audit_error.Parse_error} for
+    a [Text] request that does not parse,
     {!Audit_error.Unknown_attribute} from the planner. *)
 
 val audit :

@@ -34,6 +34,27 @@ let full_coverage ~total_clauses =
     repaired = [];
   }
 
+(* Identity on a singleton, so a one-shard gather reports exactly the
+   coverage the unsharded path would.  Node-id lists are deduplicated in
+   canonical order: the same node may be unreachable from several
+   shards' perspectives but is one fact for the merged report. *)
+let merge_coverage = function
+  | [] -> invalid_arg "Executor.merge_coverage: empty"
+  | [ c ] -> c
+  | cs ->
+    {
+      complete = List.for_all (fun c -> c.complete) cs;
+      unreachable =
+        List.sort_uniq Net.Node_id.compare
+          (List.concat_map (fun c -> c.unreachable) cs);
+      skipped_atoms = List.fold_left (fun a c -> a + c.skipped_atoms) 0 cs;
+      skipped_clauses = List.fold_left (fun a c -> a + c.skipped_clauses) 0 cs;
+      evaluated_clauses =
+        List.fold_left (fun a c -> a + c.evaluated_clauses) 0 cs;
+      total_clauses = List.fold_left (fun a c -> a + c.total_clauses) 0 cs;
+      repaired = List.concat_map (fun c -> c.repaired) cs;
+    }
+
 (* Order-preserving numeric embedding for blinded comparison.  Numeric
    kinds embed as their integer value; strings embed as big-endian bytes
    zero-padded to a common batch width, which preserves lexicographic

@@ -61,6 +61,14 @@ type report = {
           unreachable; [complete = true] on the fault-free path *)
 }
 
+val merge_coverage : coverage list -> coverage
+(** Combine per-shard coverage reports into one: [complete] is the
+    conjunction, [unreachable] the deduplicated canonical union, the
+    clause/atom tallies are sums and [repaired] the concatenation.
+    Identity on a singleton list, so a one-shard deployment reports
+    byte-identical coverage to the unsharded path.  Raises
+    [Invalid_argument] on an empty list. *)
+
 (** {1 Session glsn-set cache}
 
     A per-session memo of evaluated predicates, keyed by

@@ -134,6 +134,93 @@ type multi = {
   dedup_clauses : int;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Shard layout                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type shard_range = { shard : string; glsn_lo : int; glsn_hi : int }
+
+(* The layout is only trusted after normalization: ascending by lower
+   bound, names distinct, ranges non-empty, and each range starting
+   exactly where the previous one ends — so every glsn in
+   [lo_0, hi_last) has exactly one owner (no orphans, no overlaps). *)
+let validate_layout ranges =
+  match ranges with
+  | [] -> Error (Audit_error.Shard_layout { detail = "no shards" })
+  | _ -> (
+    let sorted =
+      List.sort
+        (fun a b ->
+          match compare a.glsn_lo b.glsn_lo with
+          | 0 -> compare a.shard b.shard
+          | c -> c)
+        ranges
+    in
+    let rec check seen = function
+      | [] -> Ok ()
+      | r :: rest ->
+        if r.glsn_hi <= r.glsn_lo then
+          Error
+            (Audit_error.Shard_layout
+               {
+                 detail =
+                   Printf.sprintf "shard %s has empty range [%#x, %#x)" r.shard
+                     r.glsn_lo r.glsn_hi;
+               })
+        else if List.mem r.shard seen then
+          Error
+            (Audit_error.Shard_layout
+               { detail = Printf.sprintf "duplicate shard name %s" r.shard })
+        else (
+          match rest with
+          | next :: _ when next.glsn_lo < r.glsn_hi ->
+            Error
+              (Audit_error.Shard_layout
+                 {
+                   detail =
+                     Printf.sprintf "shards %s and %s overlap at %#x" r.shard
+                       next.shard next.glsn_lo;
+                 })
+          | next :: _ when next.glsn_lo > r.glsn_hi ->
+            Error
+              (Audit_error.Shard_layout
+                 {
+                   detail =
+                     Printf.sprintf "gap between shards %s and %s at [%#x, %#x)"
+                       r.shard next.shard r.glsn_hi next.glsn_lo;
+                 })
+          | _ -> check (r.shard :: seen) rest)
+    in
+    match check [] sorted with Error _ as e -> e | Ok () -> Ok sorted)
+
+let owner_of_glsn ranges glsn =
+  List.find_opt (fun r -> glsn >= r.glsn_lo && glsn < r.glsn_hi) ranges
+
+(* FNV-1a over the canonical clause key: stable across process runs
+   (unlike [Hashtbl.hash] it is specified here, byte for byte), and a
+   pure function of the clause's structure — so the assignment is
+   invariant under query permutation and, because the layout is
+   normalized first, under shard-list rotation. *)
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+let shard_home ranges key =
+  let n = List.length ranges in
+  let i = fnv1a key mod n in
+  (List.nth ranges i).shard
+
+type sharded = {
+  layout : shard_range list;
+  shard_multis : (shard_range * multi) list;
+  clause_shard_homes : (string * string) list;
+}
+
 let plan_many fragmentation normalized_list =
   let rec plan_all acc = function
     | [] -> Ok (List.rev acc)
@@ -171,3 +258,43 @@ let plan_many fragmentation normalized_list =
         dedup_atoms = !atom_occurrences - unique_atoms;
         dedup_clauses = !clause_occurrences - unique_clauses;
       }
+
+(* ------------------------------------------------------------------ *)
+(* Sharded planning                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let plan_sharded ~shards normalized_list =
+  match validate_layout (List.map fst shards) with
+  | Error _ as e -> e
+  | Ok layout -> (
+    (* Re-pair each normalized range with its fragmentation map. *)
+    let frag_of name =
+      let r, f = List.find (fun (r, _) -> String.equal r.shard name) shards in
+      ignore r;
+      f
+    in
+    let rec plan_shards acc = function
+      | [] -> Ok (List.rev acc)
+      | range :: rest -> (
+        match plan_many (frag_of range.shard) normalized_list with
+        | Ok m -> plan_shards ((range, m) :: acc) rest
+        | Error _ as e -> e)
+    in
+    match plan_shards [] layout with
+    | Error _ as e -> e
+    | Ok shard_multis ->
+      (* Distinct clauses across the batch, keyed canonically; sorted so
+         the home listing is independent of query order. *)
+      let keys = Hashtbl.create 16 in
+      List.iter
+        (fun normalized ->
+          List.iter
+            (fun clause -> Hashtbl.replace keys (clause_key clause) ())
+            normalized)
+        normalized_list;
+      let clause_shard_homes =
+        Hashtbl.fold (fun k () acc -> k :: acc) keys []
+        |> List.sort compare
+        |> List.map (fun k -> (k, shard_home layout k))
+      in
+      Ok { layout; shard_multis; clause_shard_homes })

@@ -1,0 +1,561 @@
+type shard = {
+  index : int;
+  name : string;
+  cluster : Cluster.t;
+  range : Planner.shard_range;
+  replication : Replication.t option;
+}
+
+type t = {
+  shards : shard array;
+  layout : Planner.shard_range list;
+  fabric : Net.Network.t;
+  rng : Numtheory.Prng.t;
+  seed : int;
+  tickets : (int * string, Ticket.t) Hashtbl.t;
+}
+
+(* Same FNV-1a the planner uses for clause homes; duplicated here (it is
+   8 lines) so user routing does not leak a hash helper through the
+   planner's interface. *)
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+let default_glsn_start = 0x139aef78
+let ingest_ttl = 10_000_000
+
+let create ?(seed = 0) ?(glsn_start = default_glsn_start)
+    ?(range_width = 1 lsl 20) ?accumulator_bits ?net_of ?fabric
+    ?replication_degree ~shards:count fragmentation =
+  if count < 1 then invalid_arg "Sharding.create: shards < 1";
+  let net_of =
+    match net_of with
+    | Some f -> f
+    | None -> fun i -> Net.Network.create ~seed:(seed + (131 * i)) ()
+  in
+  let ranges =
+    List.init count (fun i ->
+        {
+          Planner.shard = Printf.sprintf "shard%d" i;
+          glsn_lo = glsn_start + (i * range_width);
+          glsn_hi = glsn_start + ((i + 1) * range_width);
+        })
+  in
+  let layout =
+    match Planner.validate_layout ranges with
+    | Ok l -> l
+    | Error e -> invalid_arg ("Sharding.create: " ^ Audit_error.to_string e)
+  in
+  let shards =
+    Array.of_list
+      (List.mapi
+         (fun i range ->
+           let cluster =
+             Cluster.create ~seed:(seed + i) ~net:(net_of i) ?accumulator_bits
+               ~glsn_start:range.Planner.glsn_lo fragmentation
+           in
+           let replication =
+             Option.map
+               (fun degree -> Replication.setup cluster ~degree)
+               replication_degree
+           in
+           { index = i; name = range.Planner.shard; cluster; range; replication })
+         layout)
+  in
+  let fabric =
+    match fabric with
+    | Some net -> net
+    | None -> Net.Network.create ~seed:(seed + 977) ()
+  in
+  {
+    shards;
+    layout;
+    fabric;
+    rng = Numtheory.Prng.create ~seed:(seed + 1031);
+    seed;
+    tickets = Hashtbl.create 64;
+  }
+
+let shards t = Array.to_list t.shards
+let shard_count t = Array.length t.shards
+let layout t = t.layout
+let fabric t = t.fabric
+
+let owner_of t glsn =
+  let g = Glsn.to_int glsn in
+  Array.to_seq t.shards
+  |> Seq.find (fun s -> g >= s.range.Planner.glsn_lo && g < s.range.Planner.glsn_hi)
+
+let shard_of_user t origin =
+  let n = Array.length t.shards in
+  t.shards.(fnv1a (Net.Node_id.to_string origin) mod n)
+
+let ticket_for t shard origin =
+  let key = (shard.index, Net.Node_id.to_string origin) in
+  match Hashtbl.find_opt t.tickets key with
+  | Some ticket when Result.is_ok (Cluster.verify_ticket shard.cluster ticket)
+    ->
+    ticket
+  | _ ->
+    let ticket =
+      Cluster.issue_ticket shard.cluster
+        ~id:(Printf.sprintf "shard-ingest:%s" (Net.Node_id.to_string origin))
+        ~principal:origin
+        ~rights:[ Ticket.Read; Ticket.Write ]
+        ~ttl:ingest_ttl
+    in
+    Hashtbl.replace t.tickets key ticket;
+    ticket
+
+let submit ?durability t ~origin ~attributes =
+  let shard = shard_of_user t origin in
+  let ticket = ticket_for t shard origin in
+  match Cluster.submit ?durability shard.cluster ~ticket ~origin ~attributes with
+  | Cluster.Rejected reason -> Error reason
+  | Cluster.Committed glsn | Cluster.Committed_degraded (glsn, _) ->
+    (* The allocator starts at the range's lower bound and is strictly
+       monotonic, so an out-of-range glsn means the shard is full — a
+       capacity-planning error, not a recoverable submit failure. *)
+    if Glsn.to_int glsn >= shard.range.Planner.glsn_hi then
+      invalid_arg
+        (Printf.sprintf "Sharding.submit: %s glsn range exhausted at %s"
+           shard.name (Glsn.to_string glsn))
+    else Ok (shard, glsn)
+
+let replicate t =
+  Array.fold_left
+    (fun acc s ->
+      match s.replication with
+      | None -> acc
+      | Some r -> acc + Replication.replicate_all r s.cluster)
+    0 t.shards
+
+let record_count t =
+  Array.fold_left (fun acc s -> acc + Cluster.record_count s.cluster) 0 t.shards
+
+let all_glsns t =
+  (* Ranges are disjoint and the array is in layout order, so per-shard
+     ascending lists concatenate to a globally ascending list. *)
+  List.concat_map (fun s -> Cluster.all_glsns s.cluster) (Array.to_list t.shards)
+
+(* ------------------------------------------------------------------ *)
+(* Scatter-gather fabric                                               *)
+(* ------------------------------------------------------------------ *)
+
+let coordinator = Net.Node_id.Ttp "shard-coordinator"
+let representative shard = Net.Node_id.Ttp ("shard:" ^ shard.name)
+
+(* One scatter-gather exchange over a fresh Net.Sim event queue: the
+   coordinator fans [work shard] out to every shard representative and
+   collects the replies.  Handlers run shard-local work only; the
+   fabric carries criteria out and verdict metadata back, never record
+   data.  Deterministic: the sim is seeded from the fleet seed, every
+   shard handles exactly one message, and results are collected by
+   shard index — so merge order never depends on virtual-time ties. *)
+type fabric_msg = Scatter | Gather of int
+
+let scatter_gather t work =
+  let n = Array.length t.shards in
+  let results = Array.make n None in
+  let sim : fabric_msg Net.Sim.t =
+    Net.Sim.create ~seed:(t.seed + 1299709) ()
+  in
+  Net.Sim.on_message sim coordinator (fun ~src:_ msg ->
+      match msg with
+      | Gather i ->
+        Obs.Metrics.incr (Printf.sprintf "shard.gather.%s" t.shards.(i).name)
+      | Scatter -> ());
+  Array.iter
+    (fun shard ->
+      Net.Sim.on_message sim (representative shard) (fun ~src:_ msg ->
+          match msg with
+          | Gather _ -> ()
+          | Scatter ->
+            Obs.Metrics.incr (Printf.sprintf "shard.scatter.%s" shard.name);
+            Obs.Trace.with_span (Printf.sprintf "shard.audit.%s" shard.name)
+              (fun () -> results.(shard.index) <- Some (work shard));
+            Obs.Metrics.incr "audit.cross_shard_msgs";
+            Net.Sim.send sim ~src:(representative shard) ~dst:coordinator
+              (Gather shard.index)))
+    t.shards;
+  Obs.Trace.with_span "shard.scatter" (fun () ->
+      Array.iter
+        (fun shard ->
+          Obs.Metrics.incr "audit.cross_shard_msgs";
+          Net.Sim.send sim ~src:coordinator ~dst:(representative shard)
+            Scatter)
+        t.shards);
+  ignore (Net.Sim.run sim);
+  results
+
+(* Collect scatter-gather results in layout order, first error wins. *)
+let collect results =
+  let rec go acc i =
+    if i >= Array.length results then Ok (List.rev acc)
+    else
+      match results.(i) with
+      | None -> invalid_arg "Sharding: shard produced no result"
+      | Some (Error _ as e) -> e
+      | Some (Ok r) -> go (r :: acc) (i + 1)
+  in
+  go [] 0
+
+(* ------------------------------------------------------------------ *)
+(* Merging                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sum f xs = List.fold_left (fun acc x -> acc + f x) 0 xs
+
+let merge_matching per_shard =
+  List.sort Glsn.compare (List.concat_map (fun (_, m) -> m) per_shard)
+
+let merge_audits criteria (per_shard : (string * Auditor_engine.audit) list) =
+  let audits = List.map snd per_shard in
+  let first = List.hd audits in
+  let matching =
+    merge_matching (List.map (fun a -> (a, a.Auditor_engine.matching)) audits)
+  in
+  let count = sum (fun a -> a.Auditor_engine.count) audits in
+  (* Every shard shares the fragmentation map, so the plans — and eq
+     11's s, t, q — are identical; C_auditing is any shard's.  The mean
+     C_store is the count-weighted mean: exactly the mean over the
+     union of the matching records. *)
+  let mean_c_store =
+    if count = 0 then 0.0
+    else
+      List.fold_left
+        (fun acc a ->
+          acc
+          +. (a.Auditor_engine.mean_c_store
+             *. float_of_int a.Auditor_engine.count))
+        0.0 audits
+      /. float_of_int count
+  in
+  {
+    Auditor_engine.criteria;
+    matching;
+    count;
+    c_auditing = first.Auditor_engine.c_auditing;
+    mean_c_store;
+    mean_c_query = first.Auditor_engine.c_auditing *. mean_c_store;
+    coverage =
+      Executor.merge_coverage
+        (List.map (fun a -> a.Auditor_engine.coverage) audits);
+    messages = sum (fun a -> a.Auditor_engine.messages) audits;
+    bytes = sum (fun a -> a.Auditor_engine.bytes) audits;
+    rounds = sum (fun a -> a.Auditor_engine.rounds) audits;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Scatter-gather audits                                               *)
+(* ------------------------------------------------------------------ *)
+
+type audit = {
+  merged : Auditor_engine.audit;
+  per_shard : (string * Auditor_engine.audit) list;
+  cross_shard_msgs : int;
+}
+
+let audit t ?ttp ?delivery ?failure_mode ~auditor request =
+  match Auditor_engine.criteria_of_request request with
+  | Error _ as e -> e
+  | Ok criteria -> (
+    if Array.length t.shards = 1 then
+      (* Single-shard bypass: no fabric, no coordinator — the exact
+         unsharded call, so the transcript is byte-identical. *)
+      let shard = t.shards.(0) in
+      match
+        Auditor_engine.run shard.cluster ?ttp ?delivery ?failure_mode
+          ?replication:shard.replication ~auditor (Criteria criteria)
+      with
+      | Error _ as e -> e
+      | Ok a ->
+        Ok { merged = a; per_shard = [ (shard.name, a) ]; cross_shard_msgs = 0 }
+    else
+      let before = Obs.Metrics.get "audit.cross_shard_msgs" in
+      let results =
+        scatter_gather t (fun shard ->
+            Auditor_engine.run shard.cluster ?ttp ?delivery ?failure_mode
+              ?replication:shard.replication ~auditor (Criteria criteria))
+      in
+      match collect results with
+      | Error _ as e -> e
+      | Ok audits ->
+        let per_shard =
+          List.map2
+            (fun s a -> (s.name, a))
+            (Array.to_list t.shards) audits
+        in
+        let merged =
+          Obs.Trace.with_span "shard.gather" (fun () ->
+              merge_audits criteria per_shard)
+        in
+        Ok
+          {
+            merged;
+            per_shard;
+            cross_shard_msgs =
+              Obs.Metrics.get "audit.cross_shard_msgs" - before;
+          })
+
+(* ------------------------------------------------------------------ *)
+(* Batched sessions                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type session = {
+  merged : Audit_session.summary;
+  per_shard : (string * Audit_session.summary) list;
+  clause_shard_homes : (string * string) list;
+  cross_shard_msgs : int;
+}
+
+let merge_entries (entries : Audit_session.entry list) =
+  let first = List.hd entries in
+  {
+    Audit_session.criteria = first.Audit_session.criteria;
+    matching =
+      merge_matching
+        (List.map (fun e -> (e, e.Audit_session.matching)) entries);
+    count = sum (fun e -> e.Audit_session.count) entries;
+    c_auditing = first.Audit_session.c_auditing;
+    coverage =
+      Executor.merge_coverage
+        (List.map (fun e -> e.Audit_session.coverage) entries);
+  }
+
+let merge_summaries (per_shard : (string * Audit_session.summary) list) =
+  let summaries = List.map snd per_shard in
+  let first = List.hd summaries in
+  let rec transpose rows =
+    match rows with
+    | [] | [] :: _ -> []
+    | _ ->
+      List.map List.hd rows :: transpose (List.map List.tl rows)
+  in
+  let entries =
+    transpose (List.map (fun s -> s.Audit_session.entries) summaries)
+    |> List.map merge_entries
+  in
+  {
+    Audit_session.entries;
+    (* Joint-planning stats are per-batch properties of the shared
+       fragmentation map — identical on every shard, reported once. *)
+    unique_atoms = first.Audit_session.unique_atoms;
+    unique_clauses = first.Audit_session.unique_clauses;
+    dedup_atoms = first.Audit_session.dedup_atoms;
+    dedup_clauses = first.Audit_session.dedup_clauses;
+    cache_hits = sum (fun s -> s.Audit_session.cache_hits) summaries;
+    messages = sum (fun s -> s.Audit_session.messages) summaries;
+    bytes = sum (fun s -> s.Audit_session.bytes) summaries;
+    rounds = sum (fun s -> s.Audit_session.rounds) summaries;
+  }
+
+let run_session t ?ttp ?delivery ?failure_mode ~auditor queries =
+  let normalized = List.map Query.normalize queries in
+  let planner_shards =
+    List.map
+      (fun s -> (s.range, Cluster.fragmentation s.cluster))
+      (Array.to_list t.shards)
+  in
+  match Planner.plan_sharded ~shards:planner_shards normalized with
+  | Error _ as e -> e
+  | Ok sharded -> (
+    if Array.length t.shards = 1 then
+      let shard = t.shards.(0) in
+      match
+        Audit_session.run shard.cluster ?ttp ?delivery ?failure_mode ~auditor
+          queries
+      with
+      | Error _ as e -> e
+      | Ok summary ->
+        Ok
+          {
+            merged = summary;
+            per_shard = [ (shard.name, summary) ];
+            clause_shard_homes = sharded.Planner.clause_shard_homes;
+            cross_shard_msgs = 0;
+          }
+    else
+      let before = Obs.Metrics.get "audit.cross_shard_msgs" in
+      let results =
+        scatter_gather t (fun shard ->
+            (* Each shard's session gets its own fresh per-session
+               cache, exactly as the unsharded session would. *)
+            Audit_session.run shard.cluster ?ttp ?delivery ?failure_mode
+              ~cache:(Executor.cache_create ()) ~auditor queries)
+      in
+      match collect results with
+      | Error _ as e -> e
+      | Ok summaries ->
+        let per_shard =
+          List.map2
+            (fun s summary -> (s.name, summary))
+            (Array.to_list t.shards) summaries
+        in
+        let merged =
+          Obs.Trace.with_span "shard.gather" (fun () ->
+              merge_summaries per_shard)
+        in
+        Ok
+          {
+            merged;
+            per_shard;
+            clause_shard_homes = sharded.Planner.clause_shard_homes;
+            cross_shard_msgs =
+              Obs.Metrics.get "audit.cross_shard_msgs" - before;
+          })
+
+(* ------------------------------------------------------------------ *)
+(* Fleet aggregates                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let secret_count_total t ~auditor ~criteria =
+  if Array.length t.shards = 1 then
+    match
+      Auditor_engine.run t.shards.(0).cluster ~delivery:Executor.Count_only
+        ~auditor (Text criteria)
+    with
+    | Error e -> Error (Audit_error.to_string e)
+    | Ok a -> Ok a.Auditor_engine.count
+  else
+    let members =
+      List.map
+        (fun s -> Federation.member ~name:s.name s.cluster)
+        (Array.to_list t.shards)
+    in
+    Federation.secret_count_total ~net:t.fabric ~rng:t.rng ~auditor ~criteria
+      members
+
+(* ------------------------------------------------------------------ *)
+(* Sharded secret-shared columns                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Column = struct
+  type sharding = t
+
+  type t = {
+    fleet : sharding;
+    attr : Attribute.t;
+    columns : Shared_column.t array;  (* one per shard, layout order *)
+    recorded : int array;  (* values dealt into each shard's column *)
+  }
+
+  let create fleet ~attr ~k =
+    {
+      fleet;
+      attr;
+      columns =
+        Array.map
+          (fun s -> Shared_column.create s.cluster ~attr ~k)
+          fleet.shards;
+      recorded = Array.make (Array.length fleet.shards) 0;
+    }
+
+  let attr t = t.attr
+
+  let record t ?dealer ~glsn value =
+    match owner_of t.fleet glsn with
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Sharding.Column.record: glsn %s owned by no shard"
+           (Glsn.to_string glsn))
+    | Some shard ->
+      Shared_column.record t.columns.(shard.index) ?dealer ~glsn value;
+      t.recorded.(shard.index) <- t.recorded.(shard.index) + 1
+
+  let add a b =
+    match (a, b) with
+    | Value.Int x, Value.Int y -> Value.Int (x + y)
+    | Value.Money x, Value.Money y -> Value.Money (x + y)
+    | Value.Time x, Value.Time y -> Value.Time (x + y)
+    | _ -> invalid_arg "Sharding.Column.secret_total: mixed value kinds"
+
+  let secret_total t ?over ~auditor () =
+    let selected shard =
+      match over with
+      | None -> None
+      | Some glsns ->
+        Some
+          (List.filter
+             (fun g ->
+               match owner_of t.fleet g with
+               | Some s -> s.index = shard
+               | None -> false)
+             glsns)
+    in
+    let totals =
+      Array.to_list t.fleet.shards
+      |> List.filter_map (fun s ->
+             if t.recorded.(s.index) = 0 then None
+             else
+               let over = selected s.index in
+               match over with
+               | Some [] -> None
+               | _ ->
+                 Some
+                   (Shared_column.secret_total t.columns.(s.index) ?over
+                      ~auditor ()))
+    in
+    match totals with
+    | [] -> Value.Int 0
+    | first :: rest -> List.fold_left add first rest
+end
+
+(* ------------------------------------------------------------------ *)
+(* Byzantine-tolerant fleet audits                                     *)
+(* ------------------------------------------------------------------ *)
+
+type byzantine = {
+  outcomes : (string * Byzantine.outcome) list;
+  matching : Glsn.t list;
+  count : int;
+  coverage : Executor.coverage;
+  attempts : int;
+  quarantined : (string * Net.Node_id.t) list;
+  verify_msgs : int;
+  verify_bytes : int;
+}
+
+let byzantine_audit t ?ttp ?delivery ?recovery ?tolerance ?max_attempts
+    ~auditor query =
+  let rec run_shards acc = function
+    | [] -> Ok (List.rev acc)
+    | shard :: rest -> (
+      match
+        Byzantine.audit shard.cluster ?ttp ?delivery ?recovery ?tolerance
+          ?max_attempts ?replication:shard.replication ~auditor query
+      with
+      | Error _ as e -> e
+      | Ok outcome -> run_shards ((shard.name, outcome) :: acc) rest)
+  in
+  match run_shards [] (Array.to_list t.shards) with
+  | Error _ as e -> e
+  | Ok outcomes ->
+    let os = List.map snd outcomes in
+    let reports = List.map (fun o -> o.Byzantine.report) os in
+    Ok
+      {
+        outcomes;
+        matching =
+          merge_matching
+            (List.map (fun r -> (r, r.Executor.matching)) reports);
+        count = sum (fun r -> r.Executor.count) reports;
+        coverage =
+          Executor.merge_coverage
+            (List.map (fun r -> r.Executor.coverage) reports);
+        attempts =
+          List.fold_left (fun acc o -> max acc o.Byzantine.attempts) 0 os;
+        quarantined =
+          List.concat_map
+            (fun (name, o) ->
+              List.map (fun n -> (name, n)) o.Byzantine.quarantined)
+            outcomes;
+        verify_msgs = sum (fun o -> o.Byzantine.verify_msgs) os;
+        verify_bytes = sum (fun o -> o.Byzantine.verify_bytes) os;
+      }

@@ -1,0 +1,221 @@
+(** Sharded multi-cluster DLA (ROADMAP: millions of users won't fit in
+    one TTP cluster).
+
+    A {!t} is a fleet of independent {!Cluster}s — shards — that
+    together hold one global log.  The glsn space is partitioned by
+    contiguous range ({!Planner.shard_range}; shard [i] owns
+    [\[glsn_start + i·width, glsn_start + (i+1)·width)]), and the user
+    population is partitioned by a stable hash of the submitting
+    principal, so every record lands on exactly one shard and every
+    glsn has exactly one owner.
+
+    Audits run {e scatter-gather}: the coordinator fans the criteria
+    out to every shard's representative over a {!Net.Sim} event queue,
+    each shard evaluates confidentially inside its own cluster (its own
+    fragmentation, keys, tickets and per-session {!Executor.cache}),
+    and the verdicts come back for a deterministic merge — matching
+    glsn lists concatenate in glsn order because the ranges are
+    disjoint, coverage merges with {!Executor.merge_coverage}.  A
+    single-shard deployment bypasses the fabric entirely and is
+    byte-identical to the unsharded path.
+
+    Cross-shard traffic is accounted separately from the shards'
+    internal SMC traffic: [audit.cross_shard_msgs] counts fabric
+    messages (2·S per scatter-gather when S > 1, 0 when S = 1), and
+    per-shard [shard.scatter.<name>] / [shard.gather.<name>] counters
+    plus [shard.scatter] / [shard.gather] / [shard.audit.<name>] spans
+    expose the fan-out in the telemetry, so the §3 cost model for the
+    intra-shard work stays pinned. *)
+
+type shard = {
+  index : int;
+  name : string;  (** ["shard<i>"] *)
+  cluster : Cluster.t;
+  range : Planner.shard_range;  (** the glsn interval this shard owns *)
+  replication : Replication.t option;
+}
+
+type t
+
+val create :
+  ?seed:int ->
+  ?glsn_start:int ->
+  ?range_width:int ->
+  ?accumulator_bits:int ->
+  ?net_of:(int -> Net.Network.t) ->
+  ?fabric:Net.Network.t ->
+  ?replication_degree:int ->
+  shards:int ->
+  Fragmentation.t ->
+  t
+(** Build a fleet of [shards] homogeneous clusters over one
+    fragmentation map.  Shard [i] gets seed [seed + i], the network
+    [net_of i] (default: a fresh {!Net.Network.create} seeded
+    [seed + 131·i]) and the glsn range starting at
+    [glsn_start + i·range_width] (defaults: the paper's 0x139aef78 and
+    2{^20} glsns per shard) — so a 1-shard fleet is constructed
+    exactly like the corresponding unsharded cluster.  [fabric] is the
+    inter-shard network used for federated aggregates (default: fresh,
+    seeded [seed + 977]).  With [replication_degree], each shard gets
+    its own {!Replication.setup} and audits repair from replicas.
+    @raise Invalid_argument if [shards < 1] or the width is too small
+    for a valid layout. *)
+
+val shards : t -> shard list
+(** In layout (ascending range) order. *)
+
+val shard_count : t -> int
+val layout : t -> Planner.shard_range list
+
+val fabric : t -> Net.Network.t
+(** The inter-shard network (cross-shard Shamir sums travel here). *)
+
+val owner_of : t -> Glsn.t -> shard option
+(** The shard whose range contains the glsn. *)
+
+val shard_of_user : t -> Net.Node_id.t -> shard
+(** Population routing: a stable FNV-1a hash of the principal's
+    identity picks the home shard, so one user's records stay
+    together. *)
+
+val submit :
+  ?durability:Cluster.durability ->
+  t ->
+  origin:Net.Node_id.t ->
+  attributes:(Attribute.t * Value.t) list ->
+  (shard * Glsn.t, string) result
+(** Route the event to {!shard_of_user}[ t origin]'s cluster and log it
+    there under a per-(shard, principal) ingest ticket (issued on first
+    use and cached).  Returns the owning shard with the assigned glsn.
+    @raise Invalid_argument if the owning shard's glsn range is
+    exhausted — capacity planning must widen [range_width]. *)
+
+val replicate : t -> int
+(** Push (or refresh) replicas for every fragment in every shard that
+    was created with a [replication_degree]; returns the number of
+    replica blobs placed fleet-wide.  No-op (0) otherwise. *)
+
+val record_count : t -> int
+(** Total committed records across the fleet. *)
+
+val all_glsns : t -> Glsn.t list
+(** Every record in the fleet, glsn-ascending (ranges are disjoint, so
+    this is the shard lists concatenated in layout order). *)
+
+(** {1 Scatter-gather audits} *)
+
+type audit = {
+  merged : Auditor_engine.audit;
+      (** the fleet-wide verdict: glsn-sorted matching union, summed
+          counts and wire costs, {!Executor.merge_coverage}d coverage *)
+  per_shard : (string * Auditor_engine.audit) list;
+      (** each shard's own verdict, in layout order *)
+  cross_shard_msgs : int;
+      (** fabric messages this audit cost — 2·S for S > 1, 0 for the
+          single-shard bypass; {e not} included in [merged.messages],
+          which sums the shards' internal SMC traffic *)
+}
+
+val audit :
+  t ->
+  ?ttp:Net.Node_id.t ->
+  ?delivery:Executor.delivery ->
+  ?failure_mode:Executor.failure_mode ->
+  auditor:Net.Node_id.t ->
+  Auditor_engine.request ->
+  (audit, Audit_error.t) result
+(** Fan the criteria out to every shard and merge.  With one shard this
+    is exactly {!Auditor_engine.run} — same bytes on the wire, same
+    report.  Errors: parse/planner errors surface before any scatter;
+    a shard-side error (in layout order) wins over later shards'. *)
+
+type session = {
+  merged : Audit_session.summary;
+      (** entry-wise merge of the shards' summaries, in request order *)
+  per_shard : (string * Audit_session.summary) list;
+  clause_shard_homes : (string * string) list;
+      (** {!Planner.plan_sharded}'s [clause_key → shard] assignment *)
+  cross_shard_msgs : int;
+}
+
+val run_session :
+  t ->
+  ?ttp:Net.Node_id.t ->
+  ?delivery:Executor.delivery ->
+  ?failure_mode:Executor.failure_mode ->
+  auditor:Net.Node_id.t ->
+  Query.t list ->
+  (session, Audit_error.t) result
+(** Batched scatter-gather: plan the batch with {!Planner.plan_sharded}
+    (validating the layout and assigning every distinct clause a shard
+    home), then run one {!Audit_session} inside each shard — each with
+    its own fresh per-session {!Executor.cache} — and merge the
+    summaries entry-wise.  Single-shard fleets bypass the fabric and
+    match {!Audit_session.run} byte for byte. *)
+
+(** {1 Fleet aggregates} *)
+
+val secret_count_total :
+  t -> auditor:Net.Node_id.t -> criteria:string -> (int, string) result
+(** Fleet-wide secret count.  With S ≥ 2 the shards act as a
+    {!Federation}: each evaluates count-only locally and the counts
+    combine under the §3.5 Shamir secure sum over the {!fabric}, so no
+    shard learns another's count.  With S = 1 the single shard answers
+    directly (count-only), with no fabric traffic. *)
+
+(** {1 Sharded secret-shared columns} *)
+
+module Column : sig
+  type sharding := t
+  type t
+
+  val create : sharding -> attr:Attribute.t -> k:int -> t
+  (** A {!Shared_column} inside every shard (same [attr], same [k]). *)
+
+  val attr : t -> Attribute.t
+
+  val record : t -> ?dealer:Net.Node_id.t -> glsn:Glsn.t -> Value.t -> unit
+  (** Deal the value into the {e owning} shard's column ({!owner_of}).
+      @raise Invalid_argument for a glsn outside every shard's range,
+      and as {!Shared_column.record} otherwise. *)
+
+  val secret_total :
+    t -> ?over:Glsn.t list -> auditor:Net.Node_id.t -> unit -> Value.t
+  (** Fleet total: each shard with recorded values reconstructs its own
+      subtotal toward the auditor (k aggregate shares each, as
+      {!Shared_column.secret_total}); the auditor sums the subtotals.
+      No shard node ever holds a value, exactly as in the single-column
+      case. *)
+end
+
+(** {1 Byzantine-tolerant sharded audits} *)
+
+type byzantine = {
+  outcomes : (string * Byzantine.outcome) list;
+      (** per-shard outcomes, layout order *)
+  matching : Glsn.t list;  (** merged, glsn-ascending *)
+  count : int;
+  coverage : Executor.coverage;
+  attempts : int;  (** max over shards — rounds of the slowest shard *)
+  quarantined : (string * Net.Node_id.t) list;
+      (** shard-tagged: quarantine is confined to the shard whose node
+          lied; other shards never fence anything *)
+  verify_msgs : int;  (** summed commitment-exchange traffic *)
+  verify_bytes : int;
+}
+
+val byzantine_audit :
+  t ->
+  ?ttp:Net.Node_id.t ->
+  ?delivery:Executor.delivery ->
+  ?recovery:Byzantine.recovery_mode ->
+  ?tolerance:int ->
+  ?max_attempts:int ->
+  auditor:Net.Node_id.t ->
+  Query.t ->
+  (byzantine, Audit_error.t) result
+(** {!Byzantine.audit} inside every shard under the ambient
+    {!Net.Adversary} hook: detection, quarantine and re-run all happen
+    within the accused node's own shard (each shard uses its own
+    replication for {!Byzantine.Rehost}-style repair when configured).
+    The first shard-side error (layout order) aborts the fleet audit. *)

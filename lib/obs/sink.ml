@@ -8,7 +8,7 @@ let summary_fields (s : Metrics.summary) =
     ("p99", Json.Num s.p99)
   ]
 
-let json_of ?experiment ?(m = Metrics.global) () =
+let json_of ?experiment ?machine ?(m = Metrics.global) () =
   let counters =
     List.map (fun (name, v) -> (name, Json.Num (float_of_int v)))
       (Metrics.counters ~m ())
@@ -21,6 +21,12 @@ let json_of ?experiment ?(m = Metrics.global) () =
     ((match experiment with
      | Some e -> [ ("experiment", Json.Str e) ]
      | None -> [])
+    @ (match machine with
+      | Some fields ->
+        [ ("machine",
+           Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) fields))
+        ]
+      | None -> [])
     @ [ ("counters", Json.Obj counters); ("histograms", Json.Obj histograms) ])
 
 let summary ?(m = Metrics.global) ?(trace = Trace.global) () =
@@ -60,3 +66,32 @@ let write_file ~path doc =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Json.pretty doc))
+
+type read_error =
+  | Missing_file of string
+  | Malformed of { path : string; detail : string }
+
+let read_error_to_string = function
+  | Missing_file path -> Printf.sprintf "%s: no such file" path
+  | Malformed { path; detail } -> Printf.sprintf "%s: %s" path detail
+
+let read_counters ~path =
+  if not (Sys.file_exists path) then Error (Missing_file path)
+  else
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.parse text with
+    | Error e -> Error (Malformed { path; detail = e })
+    | Ok doc -> (
+      match Json.member "counters" doc with
+      | Some (Json.Obj fields) ->
+        Ok
+          (List.filter_map
+             (fun (name, v) ->
+               Option.map (fun n -> (name, int_of_float n)) (Json.to_num v))
+             fields)
+      | _ -> Error (Malformed { path; detail = "no counters object" }))

@@ -36,22 +36,28 @@ let () =
 
 let loss_rate = 0.01
 
-let network t ~attempt =
+(* [index] derives one network of a fleet from the schedule seed — a
+   sharded deployment runs one network per shard, each with its own
+   latency/drop pattern but all pinned by the one chaos seed.  131 is
+   coprime to 7919, so per-attempt reseeding never collides a retry of
+   shard i with a first try of shard j. *)
+let network ?(index = 0) t ~attempt =
+  let seed = t.seed + (131 * index) in
   match t.kind with
-  | Uniform -> Net.Network.create ~seed:t.seed ()
+  | Uniform -> Net.Network.create ~seed ()
   | Skewed ->
-    Net.Network.create ~seed:t.seed
-      ~latency_ms:(Net.Sim.latency_profile ~seed:t.seed ())
-      ()
+    Net.Network.create ~seed ~latency_ms:(Net.Sim.latency_profile ~seed ()) ()
   | Lossy ->
     (* A fresh seed per attempt re-rolls the drop pattern, so retries
        explore different loss interleavings rather than replaying the
        same doomed one. *)
-    Net.Network.create ~seed:(t.seed + (7919 * attempt)) ~loss_rate ()
+    Net.Network.create ~seed:(seed + (7919 * attempt)) ~loss_rate ()
 
-let run t f =
+let run_networks t ~count f =
+  if count < 1 then invalid_arg "Schedule.run_many: count < 1";
+  let networks attempt = List.init count (fun i -> network ~index:i t ~attempt) in
   match t.kind with
-  | Uniform | Skewed -> f (network t ~attempt:0)
+  | Uniform | Skewed -> f (networks 0)
   | Lossy ->
     let rec attempt_from n =
       if n >= t.max_attempts then
@@ -65,7 +71,7 @@ let run t f =
                    t.max_attempts;
              })
       else
-        match f (network t ~attempt:n) with
+        match f (networks n) with
         | result -> result
         | exception Net.Network.Partitioned { reason = "loss"; _ } ->
           attempt_from (n + 1)
@@ -85,3 +91,8 @@ let run t f =
                })
     in
     attempt_from 0
+
+let run t f =
+  run_networks t ~count:1 (function [ net ] -> f net | _ -> assert false)
+
+let run_many t ~count f = run_networks t ~count f

@@ -54,3 +54,13 @@ val run : t -> (Net.Network.t -> 'a) -> 'a
     raises {!Gave_up} immediately; other exceptions propagate.
     @raise Gave_up on fail-fast or when the attempt budget is
     exhausted. *)
+
+val run_many : t -> count:int -> (Net.Network.t list -> 'a) -> 'a
+(** Like {!run} for a fleet: build [count] networks (one per shard of a
+    sharded deployment), each seeded from the schedule seed and its
+    fleet index, and run the protocol over all of them.  The lossy
+    retry loop re-rolls {e every} network of the fleet on a transient
+    loss, so retried attempts see a coherent fresh drop pattern.
+    [run_many ~count:1] is byte-identical to {!run}.
+    @raise Invalid_argument if [count < 1].
+    @raise Gave_up as {!run}. *)

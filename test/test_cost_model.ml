@@ -374,6 +374,139 @@ let test_delta_reblind_one_clause_closed_form () =
   check "reblind delta" 0 "net.msg.intersection:relay";
   check "reblind delta" 0 "crypto.commutative.enc"
 
+(* ------------------------------------------------------------------ *)
+(* Scatter-gather — sharded audits                                     *)
+(*   fabric messages 2·S for S > 1 (one scatter + one gather per       *)
+(*   shard), 0 for the single-shard bypass, which pays exactly the     *)
+(*   unsharded session's SMC bill.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fleet_rows =
+  [ (1000, "U1", 40); (1060, "U2", 10); (1200, "U3", 55);
+    (1300, "U4", 5); (1400, "U5", 31); (1500, "U6", 90)
+  ]
+
+let fleet_with_rows ~seed ~shards =
+  let fleet =
+    Dla.Sharding.create ~seed ~shards Dla.Fragmentation.paper_partition
+  in
+  List.iteri
+    (fun i (time, id, c1) ->
+      match
+        Dla.Sharding.submit fleet
+          ~origin:(Net.Node_id.User (i + 1))
+          ~attributes:(paper_row ~time ~id ~c1)
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "submit: %s" e)
+    fleet_rows;
+  fleet
+
+let test_scatter_gather_closed_form () =
+  (* One scatter-gather costs exactly one Scatter and one Gather fabric
+     message per shard: audit.cross_shard_msgs = 2·S, and every shard's
+     scatter/gather counter ticks exactly once. *)
+  List.iter
+    (fun shards ->
+      let label = Printf.sprintf "scatter-gather S=%d" shards in
+      let fleet = fleet_with_rows ~seed:21 ~shards in
+      Obs.Metrics.reset ();
+      Obs.Trace.reset ();
+      let audit =
+        match
+          Dla.Sharding.audit fleet ~auditor:Net.Node_id.Auditor
+            (Dla.Auditor_engine.Text {|C1 > 30|})
+        with
+        | Ok a -> a
+        | Error e -> Alcotest.failf "audit: %s" (Dla.Audit_error.to_string e)
+      in
+      Alcotest.(check int)
+        (label ^ " result field")
+        (2 * shards) audit.Dla.Sharding.cross_shard_msgs;
+      check label (2 * shards) "audit.cross_shard_msgs";
+      for i = 0 to shards - 1 do
+        check label 1 (Printf.sprintf "shard.scatter.shard%d" i);
+        check label 1 (Printf.sprintf "shard.gather.shard%d" i)
+      done)
+    [ 2; 3; 4 ]
+
+let test_single_shard_batch_zero_extra_smc () =
+  (* An all-local batch on a 1-shard fleet takes the bypass: zero
+     fabric traffic, and the session's SMC bill (messages, bytes,
+     rounds) equals the unsharded Audit_session.run on an identically
+     built and populated cluster. *)
+  let seed = 23 in
+  let batch =
+    List.map
+      (fun s ->
+        match Dla.Query.parse s with
+        | Ok q -> q
+        | Error e -> Alcotest.fail e)
+      [ {|protocl = "UDP"|}; {|C1 > 30|} ]
+  in
+  (* Unsharded reference, mirroring the fleet's construction: same
+     cluster/net seeds and the same ingest-ticket scheme. *)
+  let cluster =
+    Dla.Cluster.create ~seed
+      ~net:(Net.Network.create ~seed ())
+      Dla.Fragmentation.paper_partition
+  in
+  List.iteri
+    (fun i (time, id, c1) ->
+      let origin = Net.Node_id.User (i + 1) in
+      let ticket =
+        Dla.Cluster.issue_ticket cluster
+          ~id:(Printf.sprintf "shard-ingest:%s" (Net.Node_id.to_string origin))
+          ~principal:origin
+          ~rights:[ Dla.Ticket.Read; Dla.Ticket.Write ]
+          ~ttl:10_000_000
+      in
+      match
+        Dla.Cluster.to_result
+          (Dla.Cluster.submit cluster ~ticket ~origin
+             ~attributes:(paper_row ~time ~id ~c1))
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "submit: %s" e)
+    fleet_rows;
+  Obs.Metrics.reset ();
+  Obs.Trace.reset ();
+  let reference =
+    match Dla.Audit_session.run cluster ~auditor:Net.Node_id.Auditor batch with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "session: %s" (Dla.Audit_error.to_string e)
+  in
+  let fleet = fleet_with_rows ~seed ~shards:1 in
+  Obs.Metrics.reset ();
+  Obs.Trace.reset ();
+  let session =
+    match Dla.Sharding.run_session fleet ~auditor:Net.Node_id.Auditor batch with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "run_session: %s" (Dla.Audit_error.to_string e)
+  in
+  Alcotest.(check int)
+    "1-shard batch: zero fabric messages" 0
+    session.Dla.Sharding.cross_shard_msgs;
+  check "1-shard batch" 0 "audit.cross_shard_msgs";
+  let merged = session.Dla.Sharding.merged in
+  Alcotest.(check int)
+    "1-shard batch: same SMC messages as unsharded"
+    reference.Dla.Audit_session.messages merged.Dla.Audit_session.messages;
+  Alcotest.(check int)
+    "1-shard batch: same bytes" reference.Dla.Audit_session.bytes
+    merged.Dla.Audit_session.bytes;
+  Alcotest.(check int)
+    "1-shard batch: same rounds" reference.Dla.Audit_session.rounds
+    merged.Dla.Audit_session.rounds;
+  Alcotest.(check int)
+    "1-shard batch: same matches"
+    (List.fold_left
+       (fun acc e -> acc + e.Dla.Audit_session.count)
+       0 reference.Dla.Audit_session.entries)
+    (List.fold_left
+       (fun acc e -> acc + e.Dla.Audit_session.count)
+       0 merged.Dla.Audit_session.entries)
+
 let () =
   Alcotest.run "cost_model"
     [ ( "intersection",
@@ -412,5 +545,11 @@ let () =
             `Quick test_delta_insert_zero_smc_messages;
           Alcotest.test_case "re-blind fallback pays one clause's closed form"
             `Quick test_delta_reblind_one_clause_closed_form
+        ] );
+      ( "sharding",
+        [ Alcotest.test_case "scatter-gather costs 2S fabric messages"
+            `Quick test_scatter_gather_closed_form;
+          Alcotest.test_case "single-shard batch adds zero SMC messages"
+            `Quick test_single_shard_batch_zero_extra_smc
         ] )
     ]

@@ -144,6 +144,49 @@ let test_sink_json_shape () =
     Alcotest.(check (option fl)) "p50" (Some 3.0) (Obs.Json.to_num v)
   | None -> Alcotest.fail "histograms.net.round_ms.p50"
 
+let test_sink_read_counters () =
+  let dir = Filename.temp_file "obs-sink" "" in
+  Sys.remove dir;
+  let path = Filename.concat dir "BENCH_unit.json" in
+  (* Missing file: a typed error, not a Sys_error — this is what lets
+     bench/diff_metrics explain a never-generated baseline. *)
+  (match Obs.Sink.read_counters ~path with
+  | Error (Obs.Sink.Missing_file p) ->
+    Alcotest.(check string) "missing path echoed" path p
+  | Error e -> Alcotest.failf "wrong error: %s" (Obs.Sink.read_error_to_string e)
+  | Ok _ -> Alcotest.fail "read a file that does not exist");
+  (* Round-trip: write_file then read_counters recovers the counters. *)
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr ~m "net.msgs" ~by:7;
+  Obs.Metrics.incr ~m "audit.cross_shard_msgs" ~by:4;
+  Obs.Sink.write_file ~path (Obs.Sink.json_of ~experiment:"unit" ~m ());
+  (match Obs.Sink.read_counters ~path with
+  | Ok counters ->
+    Alcotest.(check (list (pair string int)))
+      "round-trips sorted"
+      [ ("audit.cross_shard_msgs", 4); ("net.msgs", 7) ]
+      counters
+  | Error e -> Alcotest.failf "read: %s" (Obs.Sink.read_error_to_string e));
+  (* Corrupt file: Malformed, with the parser's detail. *)
+  let oc = open_out path in
+  output_string oc "{ not json";
+  close_out oc;
+  (match Obs.Sink.read_counters ~path with
+  | Error (Obs.Sink.Malformed _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Obs.Sink.read_error_to_string e)
+  | Ok _ -> Alcotest.fail "parsed garbage");
+  (* Valid JSON without a counters object: also Malformed. *)
+  let oc = open_out path in
+  output_string oc {|{ "experiment": "unit" }|};
+  close_out oc;
+  (match Obs.Sink.read_counters ~path with
+  | Error (Obs.Sink.Malformed { detail; _ }) ->
+    Alcotest.(check string) "detail" "no counters object" detail
+  | Error e -> Alcotest.failf "wrong error: %s" (Obs.Sink.read_error_to_string e)
+  | Ok _ -> Alcotest.fail "accepted counter-less document");
+  Sys.remove path;
+  Sys.rmdir dir
+
 let () =
   Alcotest.run "obs"
     [ ( "metrics",
@@ -159,6 +202,8 @@ let () =
       ( "json",
         [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
-          Alcotest.test_case "sink shape" `Quick test_sink_json_shape
+          Alcotest.test_case "sink shape" `Quick test_sink_json_shape;
+          Alcotest.test_case "sink read-back + typed errors" `Quick
+            test_sink_read_counters
         ] )
     ]

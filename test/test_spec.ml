@@ -939,6 +939,137 @@ let prop_homes_clause_order_invariant =
         in
         show plan = show reversed && show plan = show rotated)
 
+(* ------------------------------------------------------------------ *)
+(* Sharded planning: home assignment determinism and layout partition  *)
+(* ------------------------------------------------------------------ *)
+
+(* A random contiguous layout (random start, random per-shard widths),
+   plus a rotation amount and a query batch — the raw material for the
+   invariance properties below. *)
+let sharded_case_gen =
+  let open QCheck.Gen in
+  let* shard_count = int_range 1 6 in
+  let* start = int_range 0 1_000_000 in
+  let* widths = list_repeat shard_count (int_range 1 100) in
+  let* rot = int_range 0 (shard_count - 1) in
+  let* queries = list_size (int_range 1 4) Generators.paper_query_gen in
+  let ranges =
+    List.rev
+      (snd
+         (List.fold_left
+            (fun (lo, acc) width ->
+              let r =
+                {
+                  Dla.Planner.shard = Printf.sprintf "shard%d" (List.length acc);
+                  glsn_lo = lo;
+                  glsn_hi = lo + width;
+                }
+              in
+              (lo + width, r :: acc))
+            (start, []) widths))
+  in
+  return (ranges, rot, queries)
+
+let rotate n xs =
+  let len = List.length xs in
+  if len = 0 then xs
+  else
+    let n = n mod len in
+    List.filteri (fun i _ -> i >= n) xs @ List.filteri (fun i _ -> i < n) xs
+
+let plan_sharded_homes ranges queries =
+  let open Dla in
+  let shards =
+    List.map (fun r -> (r, Fragmentation.paper_partition)) ranges
+  in
+  match
+    Planner.plan_sharded ~shards (List.map Query.normalize queries)
+  with
+  | Ok sharded -> Ok sharded.Planner.clause_shard_homes
+  | Error e -> Error (Dla.Audit_error.to_string e)
+
+(* Shard-home assignment is a pure function of clause structure and
+   layout: permuting the query batch and rotating the shard list must
+   not move any clause's home. *)
+let prop_shard_homes_invariant =
+  QCheck.Test.make
+    ~name:"plan_sharded homes invariant under permutation and rotation"
+    ~count:150
+    (QCheck.make
+       ~print:(fun (ranges, rot, queries) ->
+         Printf.sprintf "shards=%d rot=%d queries=[%s]" (List.length ranges)
+           rot
+           (String.concat " ; " (List.map Dla.Query.to_string queries)))
+       sharded_case_gen)
+    (fun (ranges, rot, queries) ->
+      match plan_sharded_homes ranges queries with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok homes ->
+        plan_sharded_homes (rotate rot ranges) (List.rev queries) = Ok homes
+        && plan_sharded_homes (List.rev ranges) (rotate 1 queries) = Ok homes)
+
+(* The validated layout partitions its glsn interval: every glsn inside
+   has exactly one owner, the edges have none. *)
+let prop_layout_partitions =
+  QCheck.Test.make ~name:"validated layout: every glsn has one home shard"
+    ~count:200
+    (QCheck.make
+       ~print:(fun (ranges, _, _) ->
+         String.concat ";"
+           (List.map
+              (fun r ->
+                Printf.sprintf "%s:[%d,%d)" r.Dla.Planner.shard
+                  r.Dla.Planner.glsn_lo r.Dla.Planner.glsn_hi)
+              ranges))
+       sharded_case_gen)
+    (fun (ranges, rot, _) ->
+      let open Dla in
+      match Planner.validate_layout (rotate rot ranges) with
+      | Error _ -> false
+      | Ok layout ->
+        let lo = (List.hd layout).Planner.glsn_lo in
+        let hi = (List.nth layout (List.length layout - 1)).Planner.glsn_hi in
+        let owners g =
+          List.length
+            (List.filter
+               (fun r -> g >= r.Planner.glsn_lo && g < r.Planner.glsn_hi)
+               layout)
+        in
+        (* Sample the interval plus both edges. *)
+        let samples =
+          lo :: (hi - 1)
+          :: List.init 20 (fun i -> lo + (i * max 1 ((hi - lo) / 20)))
+        in
+        List.for_all
+          (fun g -> g < lo || g >= hi || owners g = 1)
+          samples
+        && Planner.owner_of_glsn layout (lo - 1) = None
+        && Planner.owner_of_glsn layout hi = None)
+
+(* Bad layouts are typed rejections, not silent misplans. *)
+let test_layout_rejections () =
+  let open Dla in
+  let r name lo hi = { Planner.shard = name; glsn_lo = lo; glsn_hi = hi } in
+  let expect_reject name ranges =
+    match Planner.validate_layout ranges with
+    | Error (Audit_error.Shard_layout _) -> ()
+    | Error e ->
+      Alcotest.failf "%s: wrong error %s" name (Audit_error.to_string e)
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+  in
+  expect_reject "empty layout" [];
+  expect_reject "empty range" [ r "a" 10 10 ];
+  expect_reject "duplicate name" [ r "a" 0 5; r "a" 5 10 ];
+  expect_reject "overlap" [ r "a" 0 6; r "b" 5 10 ];
+  expect_reject "gap" [ r "a" 0 5; r "b" 7 10 ];
+  match Planner.validate_layout [ r "b" 5 10; r "a" 0 5 ] with
+  | Ok layout ->
+    Alcotest.(check (list string))
+      "canonical order"
+      [ "a"; "b" ]
+      (List.map (fun x -> x.Planner.shard) layout)
+  | Error e -> Alcotest.fail (Audit_error.to_string e)
+
 let () =
   Alcotest.run "spec"
     [ ( "oracle",
@@ -982,6 +1113,11 @@ let () =
             test_leaky_fixture_fails_under_guard
         ] );
       ( "planner",
-        [ QCheck_alcotest.to_alcotest prop_homes_clause_order_invariant ] );
+        [ QCheck_alcotest.to_alcotest prop_homes_clause_order_invariant;
+          QCheck_alcotest.to_alcotest prop_shard_homes_invariant;
+          QCheck_alcotest.to_alcotest prop_layout_partitions;
+          Alcotest.test_case "layout rejections typed" `Quick
+            test_layout_rejections
+        ] );
       ("differential", differential_tests)
     ]
