@@ -148,7 +148,7 @@ let membership_cmd =
     Arg.(value & opt int 4 & info [ "n"; "members" ] ~docv:"N" ~doc)
   in
   let run seed rogue members =
-    let net = Net.Network.create () in
+    let net = Net.Network.of_config (Net.Config.make ()) in
     let m = Membership.found ~net ~authority_seed:seed ~identity:"org-0" in
     let rec grow last i =
       if i < members then begin

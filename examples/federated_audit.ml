@@ -59,7 +59,7 @@ let () =
     orgs;
 
   (* ...but the federation total crosses it. *)
-  let fed_net = Net.Network.create () in
+  let fed_net = Net.Network.of_config (Net.Config.make ()) in
   (match
      Federation.secret_count_total ~net:fed_net
        ~rng:(Numtheory.Prng.create ~seed:84) ~auditor

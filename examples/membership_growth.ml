@@ -8,7 +8,7 @@
 open Dla
 
 let () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let m = Membership.found ~net ~authority_seed:21 ~identity:"first-bank" in
   let founder = List.hd (Membership.members m) in
 

@@ -29,7 +29,7 @@ let check_record cluster ?(seed = 0) ?(latency_ms = 1.0) ?(timeout_ms = 100.0)
   match Storage.digest_of initiator_store glsn with
   | None -> (No_digest, 0.0)
   | Some deposited ->
-    let sim = Net.Sim.create ~seed ~latency_ms:(fun _ _ -> latency_ms) () in
+    let sim = Net.Sim.of_config (Net.Config.make ~seed ~latency_ms:(fun _ _ -> latency_ms) ()) in
     List.iter (Net.Sim.take_down sim) down;
     let verdict = ref (Timed_out None) in
     let finished = ref false in

@@ -16,6 +16,8 @@ type summary = {
   messages : int;
   bytes : int;
   rounds : int;
+  pipeline : Net.Runtime.Pipeline.report;
+  pipeline_deps : int;
 }
 
 (* Scheduling weight of one clause: local atoms are a single in-situ
@@ -30,7 +32,8 @@ let clause_cost (clause : Planner.planned_clause) =
     0.0 clause.Planner.atoms
 
 let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Executor.Glsns)
-    ?(failure_mode = Executor.Fail) ?cache ~auditor criteria_list =
+    ?(failure_mode = Executor.Fail) ?cache ?conjunction ~auditor criteria_list
+    =
   let net = Cluster.net cluster in
   let before = Net.Network.stats net in
   let normalized = List.map Query.normalize criteria_list in
@@ -47,7 +50,19 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Executor.Glsns)
     let hits_before = Executor.cache_hits cache in
     (* Phase 1 — pipeline the batch's unique clauses.  Every distinct
        SQ_i across all criteria is enqueued once, ordered by estimated
-       cost, and evaluated into the session cache. *)
+       cost, and evaluated into the session cache.  Execution itself
+       stays strictly sequential (so transcripts are byte-identical to
+       the sequential engine); the reactor's {!Net.Runtime.Pipeline}
+       overlays a virtual-time schedule in which clauses with disjoint
+       storage footprints overlap, bounded by the configured depth. *)
+    let pipeline =
+      Net.Runtime.Pipeline.create
+        ~max_depth:(Net.Network.config net).Net.Config.max_pipeline_depth ()
+    in
+    let deps = Planner.dependency_graph multi in
+    let dep_edges =
+      List.fold_left (fun acc (_, ds) -> acc + List.length ds) 0 deps
+    in
     let queue = Net.Event_queue.create () in
     let seen = Hashtbl.create 16 in
     List.iter
@@ -70,11 +85,36 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Executor.Glsns)
       match Net.Event_queue.pop queue with
       | None -> ()
       | Some (_, clause) ->
+        let vt_before = Net.Network.virtual_time_ms net in
         Executor.warm_clause cluster ~ttp ~on_failure:failure_mode ~cache
           clause;
+        let vt_after = Net.Network.virtual_time_ms net in
+        ignore
+          (Net.Runtime.Pipeline.submit pipeline
+             ~resources:
+               (List.map Net.Node_id.to_string
+                  (Planner.clause_resources clause))
+             ~duration_ms:(vt_after -. vt_before));
         drain ()
     in
     drain ();
+    let preport = Net.Runtime.Pipeline.report pipeline in
+    Obs.Metrics.incr ~by:preport.Net.Runtime.Pipeline.jobs
+      "audit.pipeline.clauses";
+    Obs.Metrics.incr ~by:dep_edges "audit.pipeline.deps";
+    Obs.Metrics.set_max "audit.pipeline.depth.max"
+      preport.Net.Runtime.Pipeline.peak_depth;
+    (* Virtual-time totals as integer microseconds: deterministic under
+       a fixed seed, so the bench's counter baselines pin them. *)
+    Obs.Metrics.incr
+      ~by:
+        (int_of_float
+           (preport.Net.Runtime.Pipeline.sequential_ms *. 1000.0))
+      "audit.pipeline.virtual_sequential_us";
+    Obs.Metrics.incr
+      ~by:
+        (int_of_float (preport.Net.Runtime.Pipeline.pipelined_ms *. 1000.0))
+      "audit.pipeline.virtual_pipelined_us";
     (* Phase 2 — per-query conjunction and delivery.  Each execution
        serves its clauses from the cache, paying only its own ∩ₛ and
        final transfer. *)
@@ -83,7 +123,7 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Executor.Glsns)
       | criteria :: rest -> (
         match
           Executor.run cluster ~ttp ~delivery ~on_failure:failure_mode ~cache
-            ~auditor criteria
+            ?conjunction ~auditor criteria
         with
         | Error _ as e -> e
         | Ok report ->
@@ -113,9 +153,12 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Executor.Glsns)
           messages = after.Net.Network.messages - before.Net.Network.messages;
           bytes = after.Net.Network.bytes - before.Net.Network.bytes;
           rounds = after.Net.Network.rounds - before.Net.Network.rounds;
+          pipeline = preport;
+          pipeline_deps = dep_edges;
         })
 
-let run_strings cluster ?ttp ?delivery ?failure_mode ?cache ~auditor inputs =
+let run_strings cluster ?ttp ?delivery ?failure_mode ?cache ?conjunction
+    ~auditor inputs =
   let rec parse acc = function
     | [] -> Ok (List.rev acc)
     | input :: rest -> (
@@ -126,15 +169,20 @@ let run_strings cluster ?ttp ?delivery ?failure_mode ?cache ~auditor inputs =
   match parse [] inputs with
   | Error _ as e -> e
   | Ok criteria_list ->
-    run cluster ?ttp ?delivery ?failure_mode ?cache ~auditor criteria_list
+    run cluster ?ttp ?delivery ?failure_mode ?cache ?conjunction ~auditor
+      criteria_list
 
 let pp_summary fmt s =
   Format.fprintf fmt
     "@[<v>session: %d criteria, %d unique clauses (%d clause dups, %d atom \
      dups eliminated)@ cache: %d glsn-set hits@ cost: %d messages, %d bytes, \
-     %d rounds@ %a@]"
+     %d rounds@ pipeline: %d clause job(s), %d dep edge(s), depth %d, %.1f ms \
+     sequential -> %.1f ms pipelined@ %a@]"
     (List.length s.entries) s.unique_clauses s.dedup_clauses s.dedup_atoms
-    s.cache_hits s.messages s.bytes s.rounds
+    s.cache_hits s.messages s.bytes s.rounds s.pipeline.Net.Runtime.Pipeline.jobs
+    s.pipeline_deps s.pipeline.Net.Runtime.Pipeline.peak_depth
+    s.pipeline.Net.Runtime.Pipeline.sequential_ms
+    s.pipeline.Net.Runtime.Pipeline.pipelined_ms
     (Format.pp_print_list
        ~pp_sep:(fun fmt () -> Format.fprintf fmt "@ ")
        (fun fmt e ->

@@ -45,6 +45,16 @@ type summary = {
   messages : int;  (** network cost of the whole session *)
   bytes : int;
   rounds : int;
+  pipeline : Net.Runtime.Pipeline.report;
+      (** reactor schedule for phase 1: each distinct clause is a job
+          over its {!Planner.clause_resources}; [sequential_ms] is the
+          virtual time the clause evaluations actually consumed end to
+          end, [pipelined_ms] the makespan once independent clauses
+          overlap under the configured
+          {!Net.Config.max_pipeline_depth} *)
+  pipeline_deps : int;
+      (** resource-conflict edges in {!Planner.dependency_graph} — the
+          orderings the reactor must (and does) preserve *)
 }
 
 val run :
@@ -53,6 +63,7 @@ val run :
   ?delivery:Executor.delivery ->
   ?failure_mode:Executor.failure_mode ->
   ?cache:Executor.cache ->
+  ?conjunction:(Numtheory.Prng.t -> Crypto.Commutative.scheme) ->
   auditor:Net.Node_id.t ->
   Query.t list ->
   (summary, Audit_error.t) result
@@ -66,7 +77,12 @@ val run :
     long-lived cache instead — in particular the continuous engine's
     ({!Continuous_incremental.cache}), so a one-off batch pre-pays SMC
     work the standing criteria then keep current; [cache_hits] reports
-    only the hits this session served. *)
+    only the hits this session served.
+
+    [conjunction] is forwarded to every phase-2 {!Executor.run}
+    (default: the XOR pad, the exact historical behaviour) — see
+    {!Executor.run} for why a modexp-backed scheme matters under the
+    reactor's domain pool. *)
 
 val run_strings :
   Cluster.t ->
@@ -74,6 +90,7 @@ val run_strings :
   ?delivery:Executor.delivery ->
   ?failure_mode:Executor.failure_mode ->
   ?cache:Executor.cache ->
+  ?conjunction:(Numtheory.Prng.t -> Crypto.Commutative.scheme) ->
   auditor:Net.Node_id.t ->
   string list ->
   (summary, Audit_error.t) result

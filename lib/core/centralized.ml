@@ -6,7 +6,7 @@ type t = {
 }
 
 let create ?net ~auditor () =
-  let net = match net with Some n -> n | None -> Net.Network.create () in
+  let net = match net with Some n -> n | None -> Net.Network.of_config (Net.Config.make ()) in
   {
     net;
     auditor;

@@ -33,7 +33,7 @@ type t = {
 let create ?(seed = 0) ?net ?retry ?(accumulator_bits = 128) ?glsn_start
     fragmentation =
   let rng = Prng.create ~seed in
-  let net = match net with Some n -> n | None -> Net.Network.create ~seed () in
+  let net = match net with Some n -> n | None -> Net.Network.of_config (Net.Config.make ~seed ()) in
   let retry =
     match retry with Some r -> r | None -> Net.Retry.create ~seed net
   in

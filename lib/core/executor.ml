@@ -437,9 +437,17 @@ let eval_clause cluster ~ttp ~catch_partition ~available ~trusted ~ctx ~cache
       match set with None -> acc | Some set -> Glsn.Set.union acc set)
     Glsn.Set.empty clause.Planner.atoms
 
+(* Default commutative scheme for the multi-home conjunction: the XOR
+   pad, as always.  [?conjunction] lets a session swap in a real cipher
+   (Pohlig–Hellman) — same protocol, same transcript shape, but the
+   ring passes become modexp batches the reactor's domain pool can
+   farm. *)
+let default_conjunction rng =
+  Crypto.Commutative.xor_pad rng (Crypto.Xor_pad.params ~width_bits:256)
+
 let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
-    ?(optimize = false) ?(on_failure = Fail) ?replication ?cache ~auditor
-    criteria =
+    ?(optimize = false) ?(on_failure = Fail) ?replication ?cache
+    ?(conjunction = default_conjunction) ~auditor criteria =
   let normalized = Query.normalize criteria in
   match Planner.plan (Cluster.fragmentation cluster) normalized with
   | Error _ as e -> e
@@ -602,10 +610,7 @@ let run cluster ?(ttp = Net.Node_id.Ttp "query") ?(delivery = Glsns)
       | [ (_, only) ] -> only
       | parties ->
         let receiver = fst (List.hd parties) in
-        let scheme =
-          Crypto.Commutative.xor_pad (Cluster.rng cluster)
-            (Crypto.Xor_pad.params ~width_bits:256)
-        in
+        let scheme = conjunction (Cluster.rng cluster) in
         let result =
           Smc.Set_intersection.run ~net ~scheme ~receiver
             (List.map

@@ -168,6 +168,7 @@ val run :
   ?on_failure:failure_mode ->
   ?replication:Replication.t ->
   ?cache:cache ->
+  ?conjunction:(Numtheory.Prng.t -> Crypto.Commutative.scheme) ->
   auditor:Net.Node_id.t ->
   Query.t ->
   (report, Audit_error.t) result
@@ -191,7 +192,15 @@ val run :
     With [cache], atom and clause glsn sets are looked up before any
     evaluation and stored after it; answers are byte-identical with and
     without a cache (the sets depend only on stored data, never on
-    message timing or blinding randomness). *)
+    message timing or blinding randomness).
+
+    [conjunction] builds the commutative scheme the multi-home ∩ₛ runs
+    under (default: the XOR pad, the exact historical behaviour).  Any
+    {!Crypto.Commutative.scheme} yields the same intersection — the
+    protocol is scheme-generic — but a modexp-backed cipher such as
+    {!Crypto.Commutative.pohlig_hellman} turns the ring passes into
+    encryption batches the reactor's domain pool can farm, which is how
+    the P18 pipeline bench generates real parallel compute. *)
 
 val warm_clause :
   Cluster.t ->

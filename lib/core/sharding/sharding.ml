@@ -37,7 +37,7 @@ let create ?(seed = 0) ?(glsn_start = default_glsn_start)
   let net_of =
     match net_of with
     | Some f -> f
-    | None -> fun i -> Net.Network.create ~seed:(seed + (131 * i)) ()
+    | None -> fun i -> Net.Network.of_config (Net.Config.make ~seed:(seed + (131 * i)) ())
   in
   let ranges =
     List.init count (fun i ->
@@ -71,7 +71,7 @@ let create ?(seed = 0) ?(glsn_start = default_glsn_start)
   let fabric =
     match fabric with
     | Some net -> net
-    | None -> Net.Network.create ~seed:(seed + 977) ()
+    | None -> Net.Network.of_config (Net.Config.make ~seed:(seed + 977) ())
   in
   {
     shards;
@@ -164,7 +164,7 @@ let scatter_gather t work =
   let n = Array.length t.shards in
   let results = Array.make n None in
   let sim : fabric_msg Net.Sim.t =
-    Net.Sim.create ~seed:(t.seed + 1299709) ()
+    Net.Sim.of_config (Net.Config.make ~seed:(t.seed + 1299709) ())
   in
   Net.Sim.on_message sim coordinator (fun ~src:_ msg ->
       match msg with
@@ -354,6 +354,33 @@ let merge_summaries (per_shard : (string * Audit_session.summary) list) =
     messages = sum (fun s -> s.Audit_session.messages) summaries;
     bytes = sum (fun s -> s.Audit_session.bytes) summaries;
     rounds = sum (fun s -> s.Audit_session.rounds) summaries;
+    (* Shards run their phase-1 reactors independently, so the merged
+       schedule sums the work and makespan while the depth reports the
+       deepest overlap any single reactor reached. *)
+    pipeline =
+      {
+        Net.Runtime.Pipeline.jobs =
+          sum (fun s -> s.Audit_session.pipeline.Net.Runtime.Pipeline.jobs)
+            summaries;
+        peak_depth =
+          List.fold_left
+            (fun acc s ->
+              max acc s.Audit_session.pipeline.Net.Runtime.Pipeline.peak_depth)
+            0 summaries;
+        sequential_ms =
+          List.fold_left
+            (fun acc s ->
+              acc
+              +. s.Audit_session.pipeline.Net.Runtime.Pipeline.sequential_ms)
+            0.0 summaries;
+        pipelined_ms =
+          List.fold_left
+            (fun acc s ->
+              acc
+              +. s.Audit_session.pipeline.Net.Runtime.Pipeline.pipelined_ms)
+            0.0 summaries;
+      };
+    pipeline_deps = sum (fun s -> s.Audit_session.pipeline_deps) summaries;
   }
 
 let run_session t ?ttp ?delivery ?failure_mode ~auditor queries =

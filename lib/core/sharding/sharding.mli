@@ -50,7 +50,7 @@ val create :
   t
 (** Build a fleet of [shards] homogeneous clusters over one
     fragmentation map.  Shard [i] gets seed [seed + i], the network
-    [net_of i] (default: a fresh {!Net.Network.create} seeded
+    [net_of i] (default: a fresh {!Net.Network.of_config} engine seeded
     [seed + 131·i]) and the glsn range starting at
     [glsn_start + i·range_width] (defaults: the paper's 0x139aef78 and
     2{^20} glsns per shard) — so a 1-shard fleet is constructed

@@ -88,21 +88,38 @@ let resync { p; _ } r wire =
    the batch length exactly as the plain batch path does, so the §3
    closed-form counts are oblivious to which path ran; only the
    [crypto.mont.*] op-mix moves. *)
+let pool_min_chunk = 16
+
 let pow_resident_many { p; _ } exp rs =
   List.iter (fun r -> check_domain p r.view) rs;
   Obs.Metrics.incr ~by:(List.length rs) "crypto.modexp";
   match Modular.mont_ctx_opt p with
   | Some ctx when List.for_all (fun r -> r.dom <> None) rs ->
     Obs.Metrics.incr ~by:(List.length rs) "crypto.mont.resident_pow";
-    let plan = Montgomery.powers ctx exp in
-    List.map
-      (fun r ->
-        match r.dom with
-        | Some d ->
-          let d = Montgomery.pow_with_resident plan d in
-          { view = Montgomery.of_resident ctx d; dom = Some d }
-        | None -> assert false)
-      rs
+    let step plan ctx r =
+      match r.dom with
+      | Some d ->
+        let d = Montgomery.pow_with_resident plan d in
+        { view = Montgomery.of_resident ctx d; dom = Some d }
+      | None -> assert false
+    in
+    let pool = Domain_pool.current () in
+    if Domain_pool.domains pool > 1 && List.length rs >= 2 * pool_min_chunk
+    then
+      (* Ring-pass hot path under a reactor pool: contiguous chunks,
+         each with a private context and plan (residues are plain
+         arrays over the shared modulus, so they cross contexts
+         freely).  Views and residues are identical to the inline
+         path at any pool width. *)
+      Domain_pool.map_list pool ~min_chunk:pool_min_chunk
+        (fun chunk ->
+          let ctx = Montgomery.create p in
+          let plan = Montgomery.powers ctx exp in
+          List.map (step plan ctx) chunk)
+        rs
+    else
+      let plan = Montgomery.powers ctx exp in
+      List.map (step plan ctx) rs
   | _ ->
     List.map
       (fun v -> { view = v; dom = None })

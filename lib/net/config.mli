@@ -1,0 +1,63 @@
+(** One configuration surface for every network engine.
+
+    {!Network} (synchronous accounting), {!Sim} (legacy discrete-event
+    facade) and {!Runtime} (reactor) historically each grew their own
+    optional-argument constructor; a schedule that wanted the same
+    seed, latency profile and loss rate on both engines had to thread
+    them twice.  [Config.t] is the single value they all accept —
+    build one with {!make}, hand it to [Network.of_config] /
+    [Sim.of_config] / [Runtime.create].
+
+    The reactor additions: [domains] sizes the {!Numtheory.Domain_pool}
+    that modexp batches are farmed to, [max_pipeline_depth] caps how
+    many independent SMC clause evaluations a batched audit session may
+    keep in flight, and [coalesce] turns on wire-frame coalescing of
+    same-destination messages scheduled at the same virtual time.
+    None of the three may change results: transcripts and verdicts are
+    byte-identical at any setting (the differential pipeline suite
+    enforces this); only wall-clock and the [net.frame.*] accounting
+    move. *)
+
+type t = {
+  seed : int;
+  latency_ms : Node_id.t -> Node_id.t -> float;
+  loss_rate : float;  (** in [\[0, 1)] *)
+  jitter_ms : float;  (** extra uniform [\[0, jitter_ms)] per delivery *)
+  domains : int;  (** compute-pool width, >= 1; 1 = fully inline *)
+  max_pipeline_depth : int;  (** clause evaluations in flight, >= 1 *)
+  coalesce : bool;  (** batch same-(src, dst, time) messages into frames *)
+}
+
+val default : t
+(** Seed 0, uniform 1.0 ms latency, no loss, no jitter, width-1 pool,
+    depth 4, no coalescing — the seed-state behaviour of every engine. *)
+
+val make :
+  ?seed:int ->
+  ?latency_ms:(Node_id.t -> Node_id.t -> float) ->
+  ?loss_rate:float ->
+  ?jitter_ms:float ->
+  ?domains:int ->
+  ?max_pipeline_depth:int ->
+  ?coalesce:bool ->
+  unit ->
+  t
+(** {!default} with overrides, validated.
+    @raise Invalid_argument on a loss rate outside [\[0, 1)], negative
+    jitter, [domains < 1] or [max_pipeline_depth < 1]. *)
+
+val latency_profile :
+  seed:int ->
+  ?min_ms:float ->
+  ?max_ms:float ->
+  unit ->
+  Node_id.t ->
+  Node_id.t ->
+  float
+(** Deterministic skewed link latencies: each (src, dst) pair gets a
+    fixed pseudo-random latency in [\[min_ms, max_ms)] (defaults 0.5
+    and 8.0) derived purely from [seed] and the pair — usable as the
+    [latency_ms] of any engine, which is how the spec layer's
+    differential schedules reorder protocol traffic without touching
+    protocol code.
+    @raise Invalid_argument unless [0 < min_ms <= max_ms]. *)

@@ -40,7 +40,10 @@ let rec sift_down t i =
   end
 
 let push t ~time payload =
-  if Float.is_nan time || time < 0.0 then
+  (* Infinite times are as poisonous as NaN: an [infinity] timer parks
+     an event the drain loop can never reach, so [run ?until_ms] wedges
+     on a queue that will never empty. *)
+  if (not (Float.is_finite time)) || time < 0.0 then
     invalid_arg "Event_queue.push: bad time";
   let entry = { time; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;

@@ -11,7 +11,7 @@ val is_empty : 'a t -> bool
 val size : 'a t -> int
 
 val push : 'a t -> time:float -> 'a -> unit
-(** @raise Invalid_argument on NaN or negative time. *)
+(** @raise Invalid_argument on NaN, infinite or negative time. *)
 
 val pop : 'a t -> (float * 'a) option
 (** Earliest event, FIFO among ties; [None] when empty. *)

@@ -7,19 +7,33 @@
 
     Protocols mark synchronization points with {!round}; the paper's
     protocols are all ring- or star-shaped, so "rounds × latency" is the
-    faithful latency model for them. *)
+    faithful latency model for them.
+
+    On the wire the model now accounts two layers: the §3 {e logical}
+    message counters ([net.msgs], [net.msg.<label>], …), which the
+    cost-model pins freeze, and the {e frame} counters
+    ([net.frame.sends] / [net.frame.msgs] / [net.frame.bytes] /
+    [net.frame.coalesced]) describing the physical frames those
+    messages ride.  With [Config.coalesce] set, all messages between
+    one (src, dst) pair inside a round window share a single frame and
+    its one {!frame_header_bytes} header; logical counters never
+    move. *)
 
 type t
 
 type delivery =
   | Delivered
-  | Dropped of string  (** reason: "node down", "loss", ... *)
+  | Dropped of string
+      (** reason: {!Delivery_error.to_string} of the typed cause *)
 
 type stats = {
   messages : int;  (** delivered messages *)
   bytes : int;
   rounds : int;
   dropped : int;  (** non-delivered sends (down nodes + loss) *)
+  frames : int;  (** wire frames opened (= [messages] unless coalescing) *)
+  frame_msgs : int;  (** messages carried by frames (= [messages]) *)
+  frame_bytes : int;  (** payload + one header per frame *)
   virtual_time_ms : float;
   by_label : (string * int) list;  (** delivered count per protocol label *)
   dropped_by_label : (string * int) list;
@@ -27,13 +41,29 @@ type stats = {
           for the fault experiments *)
 }
 
+val frame_header_bytes : int
+(** Accounting cost of one frame header (count + length prefixes),
+    paid once per frame however many messages coalesce into it. *)
+
+val of_config : Config.t -> t
+(** The constructor: [jitter_ms], [domains] and [max_pipeline_depth]
+    are carried for the layers above (batched sessions read the
+    pipeline depth from here); the network itself uses seed, latency,
+    loss and [coalesce]. *)
+
 val create :
   ?seed:int ->
   ?latency_ms:(Node_id.t -> Node_id.t -> float) ->
   ?loss_rate:float ->
   unit ->
   t
+[@@ocaml.deprecated
+  "use Network.of_config (Net.Config.make ...) — one configuration surface \
+   for Network, Sim and Runtime"]
 (** Default latency: 1.0 ms per hop, uniform.  Default loss rate 0. *)
+
+val config : t -> Config.t
+(** The configuration this network was built from. *)
 
 val ledger : t -> Ledger.t
 (** The shared observation ledger (see {!Ledger}). *)
@@ -53,10 +83,11 @@ exception Partitioned of { src : Node_id.t; dst : Node_id.t; reason : string }
 
 val round : ?label:string -> t -> unit
 (** Mark the end of a communication round; advances virtual time by the
-    maximum latency charged since the previous round.  [label] (the
-    protocol name, e.g. ["sum"]) additionally bumps the per-protocol
-    ["net.rounds.<label>"] counter in {!Obs.Metrics.global}, which is
-    what the paper-conformance cost tests assert against. *)
+    maximum latency charged since the previous round, and closes the
+    frame-coalescing window.  [label] (the protocol name, e.g. ["sum"])
+    additionally bumps the per-protocol ["net.rounds.<label>"] counter
+    in {!Obs.Metrics.global}, which is what the paper-conformance cost
+    tests assert against. *)
 
 val charge_wait_ms : t -> float -> unit
 (** Advance virtual time by a pure wait (retry backoff, cooldown):

@@ -1,106 +1,22 @@
-open Numtheory
+(* Legacy facade: every engine capability lives in {!Runtime}; [Sim]
+   re-exports the subset the pre-reactor API offered, so existing
+   discrete-event callers keep compiling while new code goes through
+   [of_config] / [Runtime] directly. *)
 
-type 'msg event =
-  | Deliver of { src : Node_id.t; dst : Node_id.t; msg : 'msg }
-  | Timer of (unit -> unit)
+type 'msg t = 'msg Runtime.t
 
-type 'msg t = {
-  rng : Prng.t;
-  latency_ms : Node_id.t -> Node_id.t -> float;
-  loss_rate : float;
-  jitter_ms : float;
-  queue : 'msg event Event_queue.t;
-  mutable handlers : (src:Node_id.t -> 'msg -> unit) Node_id.Map.t;
-  mutable down : Node_id.Set.t;
-  mutable clock : float;
-  mutable delivered : int;
-  mutable dropped : int;
-}
+let of_config = Runtime.create
 
-let create ?(seed = 0) ?(latency_ms = fun _ _ -> 1.0) ?(loss_rate = 0.0)
-    ?(jitter_ms = 0.0) () =
-  if loss_rate < 0.0 || loss_rate >= 1.0 then
-    invalid_arg "Sim.create: loss_rate must be in [0, 1)";
-  if jitter_ms < 0.0 then invalid_arg "Sim.create: negative jitter";
-  {
-    rng = Prng.create ~seed;
-    latency_ms;
-    loss_rate;
-    jitter_ms;
-    queue = Event_queue.create ();
-    handlers = Node_id.Map.empty;
-    down = Node_id.Set.empty;
-    clock = 0.0;
-    delivered = 0;
-    dropped = 0;
-  }
+let create ?(seed = 0) ?latency_ms ?(loss_rate = 0.0) ?(jitter_ms = 0.0) () =
+  Runtime.create (Config.make ~seed ?latency_ms ~loss_rate ~jitter_ms ())
 
-let latency_profile ~seed ?(min_ms = 0.5) ?(max_ms = 8.0) () =
-  if min_ms <= 0.0 || max_ms < min_ms then
-    invalid_arg "Sim.latency_profile: need 0 < min_ms <= max_ms";
-  fun src dst ->
-    (* Pure in (seed, src, dst): the profile is a value, not a stream, so
-       Sim and Network schedules built from the same seed agree and the
-       call order never matters. *)
-    let h =
-      Hashtbl.hash (seed, Node_id.to_string src, Node_id.to_string dst)
-    in
-    let unit = float_of_int (h land 0xFFFF) /. 65536.0 in
-    min_ms +. (unit *. (max_ms -. min_ms))
-
-let now t = t.clock
-
-let on_message t node handler =
-  t.handlers <- Node_id.Map.add node handler t.handlers
-
-let send t ~src ~dst msg =
-  if Node_id.Set.mem src t.down then t.dropped <- t.dropped + 1
-  else if t.loss_rate > 0.0 && Prng.float t.rng < t.loss_rate then
-    t.dropped <- t.dropped + 1
-  else begin
-    let jitter =
-      if t.jitter_ms > 0.0 then Prng.float t.rng *. t.jitter_ms else 0.0
-    in
-    Event_queue.push t.queue
-      ~time:(t.clock +. t.latency_ms src dst +. jitter)
-      (Deliver { src; dst; msg })
-  end
-
-let set_timer t ~delay_ms callback =
-  if delay_ms < 0.0 then invalid_arg "Sim.set_timer: negative delay";
-  Event_queue.push t.queue ~time:(t.clock +. delay_ms) (Timer callback)
-
-let take_down t node = t.down <- Node_id.Set.add node t.down
-let bring_up t node = t.down <- Node_id.Set.remove node t.down
-
-let run ?until_ms t =
-  let processed = ref 0 in
-  let continue = ref true in
-  while !continue do
-    match Event_queue.peek_time t.queue with
-    | None -> continue := false
-    | Some time
-      when match until_ms with Some u -> time > u | None -> false ->
-      continue := false
-    | Some _ -> (
-      match Event_queue.pop t.queue with
-      | None -> continue := false
-      | Some (time, event) ->
-        t.clock <- time;
-        incr processed;
-        (match event with
-        | Timer callback -> callback ()
-        | Deliver { src; dst; msg } ->
-          if Node_id.Set.mem dst t.down then t.dropped <- t.dropped + 1
-          else begin
-            match Node_id.Map.find_opt dst t.handlers with
-            | None -> t.dropped <- t.dropped + 1
-            | Some handler ->
-              t.delivered <- t.delivered + 1;
-              handler ~src msg
-          end))
-  done;
-  !processed
-
-let delivered t = t.delivered
-let dropped t = t.dropped
+let latency_profile = Config.latency_profile
+let now = Runtime.now
+let on_message = Runtime.on_message
+let send = Runtime.send
+let set_timer = Runtime.set_timer
+let take_down = Runtime.take_down
+let bring_up = Runtime.bring_up
+let run ?until_ms t = Runtime.run ?until_ms t
+let delivered = Runtime.delivered
+let dropped = Runtime.dropped

@@ -1,18 +1,17 @@
-(** Discrete-event message-passing simulator.
+(** Discrete-event message-passing simulator (legacy facade).
 
-    Where {!Network} models protocols as synchronous orchestration with
-    post-hoc accounting, [Sim] runs them {e asynchronously}: nodes
-    register message handlers, sends schedule deliveries after a latency
-    (with optional loss), timers fire callbacks, and {!run} drains the
-    event queue in virtual-time order.  Fully deterministic under a
-    seed.
+    [Sim] is now a thin alias over the {!Runtime} reactor: a
+    ['msg Sim.t] {e is} a ['msg Runtime.t], and the two APIs may be
+    mixed freely (e.g. call {!Runtime.drops} on a simulator built
+    here).  New code should build engines from a {!Config.t} via
+    {!of_config} — the optional-argument {!create} and the relocated
+    {!latency_profile} remain only for source compatibility and are
+    deprecated. *)
 
-    Used to validate the synchronous abstraction: the async integrity
-    protocol ({!Dla.Async_integrity}) reproduces the synchronous
-    results, and additionally exercises timeout/failure paths the
-    synchronous model cannot express. *)
+type 'msg t = 'msg Runtime.t
 
-type 'msg t
+val of_config : Config.t -> 'msg t
+(** {!Runtime.create} under the historical module name. *)
 
 val create :
   ?seed:int ->
@@ -21,6 +20,9 @@ val create :
   ?jitter_ms:float ->
   unit ->
   'msg t
+[@@ocaml.deprecated
+  "use Sim.of_config (Net.Config.make ...) — one configuration surface for \
+   Network, Sim and Runtime"]
 (** Defaults: 1.0 ms per hop, no loss, no jitter.  With [jitter_ms],
     each delivery is delayed by an extra uniform [0, jitter_ms) — which
     can reorder messages, so handlers must not assume FIFO links. *)
@@ -33,13 +35,8 @@ val latency_profile :
   Node_id.t ->
   Node_id.t ->
   float
-(** Deterministic skewed link latencies: each (src, dst) pair gets a
-    fixed pseudo-random latency in [\[min_ms, max_ms)] (defaults 0.5 and
-    8.0) derived purely from [seed] and the pair.  Usable as the
-    [latency_ms] of both {!create} and {!Network.create}, which is how
-    the spec layer's differential schedules reorder protocol traffic
-    without touching protocol code.
-    @raise Invalid_argument unless [0 < min_ms <= max_ms]. *)
+[@@ocaml.deprecated "moved to Net.Config.latency_profile"]
+(** See {!Config.latency_profile}. *)
 
 val now : 'msg t -> float
 (** Current virtual time, ms. *)

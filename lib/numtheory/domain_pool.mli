@@ -1,0 +1,61 @@
+(** Fixed pool of OCaml 5 domains for pure batch compute.
+
+    The reactor runtime farms the modexp-heavy tail of an SMC round —
+    {!Modular.pow_many} batches, resident ring-pass re-encryptions — to
+    a small set of worker domains.  Determinism is preserved by
+    construction: work is split into {e contiguous} chunks whose sizes
+    depend only on the batch length and the pool width, results are
+    joined in submission order, and workers run pure closures that
+    touch neither the global metrics registry nor the shared Montgomery
+    context cache (each chunk builds private context state).  A batch
+    therefore returns byte-identical results at any pool width.
+
+    Submission happens only from the domain that owns the pool; worker
+    domains never submit.  Counters ([pool.*]) are advanced on the
+    submitter side only, so {!Obs.Metrics} is never written
+    concurrently. *)
+
+type t
+
+val create : domains:int -> t
+(** A pool that splits batches [domains] ways.  [domains - 1] worker
+    domains are spawned (the submitting domain always executes the
+    first chunk itself); [~domains:1] spawns nothing and runs every
+    batch inline.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val domains : t -> int
+(** The configured width (including the submitter). *)
+
+val inline : t
+(** The shared width-1 pool: every batch runs inline on the caller.
+    This is {!current}'s default, so library code can call
+    {!map_list} unconditionally. *)
+
+val current : unit -> t
+(** The ambient pool installed by the innermost {!with_pool}, or
+    {!inline} outside any scope. *)
+
+val with_pool : t -> (unit -> 'a) -> 'a
+(** Run a thunk with [t] installed as the ambient pool ({!current});
+    restores the previous pool on exit, including on exceptions. *)
+
+val map_list : t -> min_chunk:int -> ('a list -> 'b list) -> 'a list -> 'b list
+(** [map_list t ~min_chunk f xs] splits [xs] into at most
+    [domains t] contiguous chunks, applies [f] to each chunk ([f] must
+    be pure and element-wise: [f (a @ b) = f a @ f b]), and
+    concatenates the results in order — observationally [f xs].
+    Batches shorter than [2 * min_chunk] (and any batch on a width-1
+    pool) run inline on the caller; farmed batches advance
+    [pool.batches] and [pool.jobs], inline ones [pool.inline].
+    Exceptions raised by a chunk are re-raised on the caller. *)
+
+val fence : t -> unit
+(** Block until every submitted chunk has completed — the round
+    barrier: {!Smc.Proto_util.round} fences the ambient pool before
+    advancing virtual time, so no compute outlives the round that
+    scheduled it.  No-op on an idle or width-1 pool. *)
+
+val shutdown : t -> unit
+(** Fence, then stop and join the worker domains.  The pool must not
+    be used afterwards; idempotent. *)

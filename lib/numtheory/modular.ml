@@ -115,6 +115,10 @@ let pow b e ~m =
   end
   else pow_classic b e ~m
 
+(* Below this many elements per chunk, farming a batch to worker
+   domains costs more in context setup and joins than it saves. *)
+let pool_min_chunk = 16
+
 let pow_many bs e ~m =
   match bs with
   | [ b ] ->
@@ -129,7 +133,23 @@ let pow_many bs e ~m =
       List.map (fun _ -> Bignum.zero) bs
     else if use_montgomery ~m ~e then begin
       Obs.Metrics.incr ~by:(List.length bs) "crypto.mont.pow";
-      Montgomery.pow_many (Montgomery.powers (mont_ctx m) e) bs
+      let pool = Domain_pool.current () in
+      if Domain_pool.domains pool > 1 && List.length bs >= 2 * pool_min_chunk
+      then begin
+        (* Farmed path.  The submitter still touches the shared LRU
+           exactly once, so crypto.mont.cache_* counters match the
+           inline path; each chunk then builds a private context —
+           the cached one's scratch buffers are not shareable across
+           domains — and private contexts over the same modulus
+           produce bit-identical canonical results. *)
+        ignore (mont_ctx m);
+        Domain_pool.map_list pool ~min_chunk:pool_min_chunk
+          (fun chunk ->
+            let ctx = Montgomery.create m in
+            Montgomery.pow_many (Montgomery.powers ctx e) chunk)
+          bs
+      end
+      else Montgomery.pow_many (Montgomery.powers (mont_ctx m) e) bs
     end
     else List.map (fun b -> pow_classic b e ~m) bs
 

@@ -23,8 +23,12 @@ val pow_many : Bignum.t list -> Bignum.t -> m:Bignum.t -> Bignum.t list
 (** [pow_many bs e ~m] is [List.map (fun b -> pow b e ~m) bs], but on
     the Montgomery path the exponent windows are recoded and the scratch
     arrays allocated once for the whole batch ({!Montgomery.powers}).
-    Results are value-identical to the element-at-a-time path, so
-    protocol transcripts built over it are byte-identical. *)
+    When a multi-domain {!Domain_pool} is ambient
+    ({!Domain_pool.current}), large batches are additionally split into
+    contiguous chunks farmed across the pool, each chunk under a
+    private context.  Results are value-identical to the
+    element-at-a-time path at any pool width, so protocol transcripts
+    built over it are byte-identical. *)
 
 val pow_base : base:Bignum.t -> Bignum.t -> m:Bignum.t -> Bignum.t
 (** [pow_base ~base e ~m] is [pow base e ~m] through a fixed-base

@@ -14,6 +14,12 @@ let incr ?(m = global) ?(by = 1) name =
   | Some r -> r := !r + by
   | None -> Hashtbl.replace m.counters name (ref by)
 
+let set_max ?(m = global) name v =
+  if v < 0 then invalid_arg "Metrics.set_max: counters are monotonic";
+  match Hashtbl.find_opt m.counters name with
+  | Some r -> if v > !r then r := v
+  | None -> Hashtbl.replace m.counters name (ref v)
+
 let get ?(m = global) name =
   match Hashtbl.find_opt m.counters name with Some r -> !r | None -> 0
 

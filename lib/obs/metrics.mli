@@ -24,6 +24,11 @@ val incr : ?m:t -> ?by:int -> string -> unit
     to 1 and must be non-negative: counters are monotonic between
     resets. *)
 
+val set_max : ?m:t -> string -> int -> unit
+(** Raise a high-water-mark counter to [v] if it is below it — used for
+    gauges that must stay monotonic between resets (peak pipeline
+    depth, widest domain pool engaged).  Must be non-negative. *)
+
 val get : ?m:t -> string -> int
 (** Current counter value; 0 for a counter never incremented. *)
 

@@ -15,7 +15,7 @@ let run ?(seed = 0) ?(latency_ms = 1.0) ?(timeout_ms = 100.0) ?(down = [])
   if k < 1 || k > n then invalid_arg "Async_sum.run: threshold k outside [1, n]";
   let nodes = List.map (fun party -> party.node) parties in
   let xs = Crypto.Shamir.default_xs ~n in
-  let sim = Net.Sim.create ~seed ~latency_ms:(fun _ _ -> latency_ms) () in
+  let sim = Net.Sim.of_config (Net.Config.make ~seed ~latency_ms:(fun _ _ -> latency_ms) ()) in
   List.iter (Net.Sim.take_down sim) down;
   let outcome = ref (Timed_out []) in
   let finished = ref false in

@@ -16,7 +16,7 @@ let transfer ~net ~rng ?(bits = 192) ~sender:(sender_node, m0, m1)
   let x0 = Prng.bignum_below rng n and x1 = Prng.bignum_below rng n in
   Net.Network.send_exn net ~src:sender_node ~dst:receiver ~label:"ot:setup"
     ~bytes:(wire n + wire x0 + wire x1);
-  Net.Network.round net;
+  Proto_util.round net;
   (* 2. Receiver blinds its choice. *)
   let k = Prng.bignum_below rng n in
   let xb = if choice then x1 else x0 in
@@ -25,7 +25,7 @@ let transfer ~net ~rng ?(bits = 192) ~sender:(sender_node, m0, m1)
     ~bytes:(wire v);
   Proto_util.observe net ~node:sender_node ~sensitivity:Net.Ledger.Blinded
     ~tag:"ot:choice" (Bignum.to_hex v);
-  Net.Network.round net;
+  Proto_util.round net;
   (* 3. Sender cannot tell which k is real; it masks both messages. *)
   let k0 = Crypto.Rsa.decrypt_raw secret (Modular.sub v x0 ~m:n) in
   let k1 = Crypto.Rsa.decrypt_raw secret (Modular.sub v x1 ~m:n) in
@@ -37,7 +37,7 @@ let transfer ~net ~rng ?(bits = 192) ~sender:(sender_node, m0, m1)
       Proto_util.observe net ~node:receiver
         ~sensitivity:Net.Ledger.Ciphertext ~tag:"ot:masked" (Bignum.to_hex c))
     [ c0; c1 ];
-  Net.Network.round net;
+  Proto_util.round net;
   (* 4. Receiver unmasks its slot. *)
   let cb = if choice then c1 else c0 in
   let m = Modular.sub cb k ~m:n in

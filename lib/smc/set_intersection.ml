@@ -71,7 +71,7 @@ let ring_encrypt ~net ~scheme ~receiver parties =
             (origin, next, kp.Crypto.Commutative.enc_res_many cts))
           state
       in
-      Net.Network.round ~label:"intersection" net;
+      Proto_util.round ~label:"intersection" net;
       hops state (hop + 1)
     end
   in
@@ -96,7 +96,7 @@ let ring_encrypt ~net ~scheme ~receiver parties =
               (origin, cts))
             final
         in
-        Net.Network.round ~label:"intersection" net;
+        Proto_util.round ~label:"intersection" net;
         encrypted)
   in
   (own_sets, encrypted_by_all)
@@ -189,7 +189,7 @@ let naive ~net ~coordinator parties =
         String_set.of_list set)
       parties
   in
-  Net.Network.round net;
+  Proto_util.round net;
   match sets with
   | [] -> []
   | first :: rest ->

@@ -57,7 +57,7 @@ let ring_collect ~net ~scheme ~receiver parties =
             (next, kp.Crypto.Commutative.enc_res_many cts))
           state
       in
-      Net.Network.round ~label:"union" net;
+      Proto_util.round ~label:"union" net;
       hops state (hop + 1)
     end
   in
@@ -79,7 +79,7 @@ let ring_collect ~net ~scheme ~receiver parties =
                   ~label:"union:collect" views)
             final
         in
-        Net.Network.round ~label:"union" net;
+        Proto_util.round ~label:"union" net;
         cts)
   in
   let distinct =
@@ -115,7 +115,7 @@ let run ~net ~scheme ~rng ~receiver parties =
                       Proto_util.send_residents net ~scheme ~src:holder
                         ~dst:next ~label:"union:decode" cts
                     in
-                    Net.Network.round ~label:"union" net;
+                    Proto_util.round ~label:"union" net;
                     cts
                   end
                 in
@@ -135,7 +135,7 @@ let run ~net ~scheme ~rng ~receiver parties =
                 Proto_util.send_bignums net ~src:holder ~dst:receiver
                   ~label:"union:decode-return" group_elements
               in
-              Net.Network.round ~label:"union" net;
+              Proto_util.round ~label:"union" net;
               delivered
             end
           in
@@ -198,5 +198,5 @@ let naive ~net ~coordinator parties =
         String_set.union acc (String_set.of_list set))
       String_set.empty parties
   in
-  Net.Network.round net;
+  Proto_util.round net;
   String_set.elements union

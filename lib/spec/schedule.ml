@@ -44,14 +44,14 @@ let loss_rate = 0.01
 let network ?(index = 0) t ~attempt =
   let seed = t.seed + (131 * index) in
   match t.kind with
-  | Uniform -> Net.Network.create ~seed ()
+  | Uniform -> Net.Network.of_config (Net.Config.make ~seed ())
   | Skewed ->
-    Net.Network.create ~seed ~latency_ms:(Net.Sim.latency_profile ~seed ()) ()
+    Net.Network.of_config (Net.Config.make ~seed ~latency_ms:(Net.Config.latency_profile ~seed ()) ())
   | Lossy ->
     (* A fresh seed per attempt re-rolls the drop pattern, so retries
        explore different loss interleavings rather than replaying the
        same doomed one. *)
-    Net.Network.create ~seed:(seed + (7919 * attempt)) ~loss_rate ()
+    Net.Network.of_config (Net.Config.make ~seed:(seed + (7919 * attempt)) ~loss_rate ())
 
 let run_networks t ~count f =
   if count < 1 then invalid_arg "Schedule.run_many: count < 1";

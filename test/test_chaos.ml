@@ -294,7 +294,7 @@ let test_transaction_rollback () =
 (* ------------------------------------------------------------------ *)
 
 let test_circuit_breaker_lifecycle () =
-  let net = Net.Network.create ~seed:3 () in
+  let net = Net.Network.of_config (Net.Config.make ~seed:3 ()) in
   let retry =
     Net.Retry.create ~failure_threshold:3 ~cooldown_ms:100.0 ~seed:3 net
   in
@@ -345,7 +345,7 @@ let test_circuit_breaker_lifecycle () =
 let test_retry_beats_loss () =
   (* Under 30% seeded loss, bounded retries still deliver everything,
      and the drop accounting shows the lost attempts. *)
-  let net = Net.Network.create ~seed:11 ~loss_rate:0.3 () in
+  let net = Net.Network.of_config (Net.Config.make ~seed:11 ~loss_rate:0.3 ()) in
   let retry = Net.Retry.create ~seed:11 net in
   let delivered = ref 0 and retried = ref 0 in
   for i = 0 to 39 do
@@ -452,7 +452,7 @@ let test_successors_rejects_non_member () =
     (fun () -> ignore (Replication.successors ring (Net.Node_id.User 9) 2))
 
 let test_network_drop_accounting () =
-  let net = Net.Network.create ~seed:1 () in
+  let net = Net.Network.of_config (Net.Config.make ~seed:1 ()) in
   let send dst label =
     ignore
       (Net.Network.send net ~src:(Net.Node_id.User 1) ~dst ~label ~bytes:32)
@@ -487,7 +487,7 @@ let prop_lossy_repair_never_corrupts =
        (QCheck.int_range 5 25))
     (fun (seed, victim_index, loss_pct) ->
       let net =
-        Net.Network.create ~seed ~loss_rate:(float_of_int loss_pct /. 100.0) ()
+        Net.Network.of_config (Net.Config.make ~seed ~loss_rate:(float_of_int loss_pct /. 100.0) ())
       in
       let cluster, ticket = build_cluster ~net ~seed () in
       let glsns = List.map (fun r -> submit_ok cluster ticket r) rows in

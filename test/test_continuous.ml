@@ -467,7 +467,7 @@ let test_leaky_checkpoint_flagged () =
   let digest = Crypto.Sha256.digest_hex "head" in
   let _, transcript =
     Spec.Transcript.record (fun () ->
-        let net = Net.Network.create () in
+        let net = Net.Network.of_config (Net.Config.make ()) in
         Spec.Leaky_fixture.checkpoint_with_glsn ~net ~publisher:ttp
           ~verifier:auditor ~digest ~glsn:"17")
   in
@@ -479,7 +479,7 @@ let test_checkpoint_event_rules () =
   let record ~sensitivity value =
     let _, transcript =
       Spec.Transcript.record (fun () ->
-          let net = Net.Network.create () in
+          let net = Net.Network.of_config (Net.Config.make ()) in
           Smc.Proto_util.observe net ~node:auditor ~sensitivity
             ~tag:"ckpt:publish" value)
     in

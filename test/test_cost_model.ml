@@ -27,7 +27,7 @@ let ph_scheme seed =
 let measured f =
   Obs.Metrics.reset ();
   Obs.Trace.reset ();
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   f net;
   net
 
@@ -64,6 +64,33 @@ let test_intersection_costs () =
       check label (n * n * m) "crypto.commutative.enc";
       check label 0 "crypto.commutative.dec")
     [ (2, 3); (3, 3); (4, 2); (5, 4) ]
+
+(* The reactor knobs must not move any §3 closed form: the same run
+   under frame coalescing and a 4-domain compute pool produces the
+   exact counts above, with the frame layer pinned to the logical
+   message stream (frame.msgs = net.msgs, frame.sends <= net.msgs). *)
+let test_intersection_costs_reactor_invariant () =
+  let n = 3 and m = 2 in
+  let pool = Domain_pool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Domain_pool.shutdown pool)
+    (fun () ->
+      Domain_pool.with_pool pool (fun () ->
+          Obs.Metrics.reset ();
+          Obs.Trace.reset ();
+          let net =
+            Net.Network.of_config (Net.Config.make ~coalesce:true ~domains:4 ())
+          in
+          ignore
+            (Smc.Set_intersection.run ~net ~scheme:(xor_scheme (n + m))
+               ~receiver:(node 0)
+               (intersection_parties ~n ~m))));
+  check "reactor intersection" ((n * n) - 1) "net.msgs";
+  check "reactor intersection" n "net.rounds";
+  check "reactor intersection" (n * n * m) "crypto.commutative.enc";
+  check "reactor intersection" ((n * n) - 1) "net.frame.msgs";
+  Alcotest.(check bool) "frame.sends <= net.msgs" true
+    (Obs.Metrics.get "net.frame.sends" <= Obs.Metrics.get "net.msgs")
 
 let test_intersection_costs_scheme_agnostic () =
   (* The count formulas hold whatever cipher backs the run: repeat one
@@ -448,7 +475,7 @@ let test_single_shard_batch_zero_extra_smc () =
      cluster/net seeds and the same ingest-ticket scheme. *)
   let cluster =
     Dla.Cluster.create ~seed
-      ~net:(Net.Network.create ~seed ())
+      ~net:(Net.Network.of_config (Net.Config.make ~seed ()))
       Dla.Fragmentation.paper_partition
   in
   List.iteri
@@ -510,7 +537,9 @@ let test_single_shard_batch_zero_extra_smc () =
 let () =
   Alcotest.run "cost_model"
     [ ( "intersection",
-        [ Alcotest.test_case "message/round/enc counts" `Quick
+        [ Alcotest.test_case "reactor knobs leave counts fixed" `Quick
+            test_intersection_costs_reactor_invariant;
+          Alcotest.test_case "message/round/enc counts" `Quick
             test_intersection_costs;
           Alcotest.test_case "scheme-agnostic counts" `Quick
             test_intersection_costs_scheme_agnostic

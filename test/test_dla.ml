@@ -888,7 +888,7 @@ let prop_fragment_wire_roundtrip =
 (* ------------------------------------------------------------------ *)
 
 let grow_cluster () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let m = Membership.found ~net ~authority_seed:42 ~identity:"acme-corp" in
   let founder = List.hd (Membership.members m) in
   let p1 =
@@ -1014,7 +1014,7 @@ let prop_membership_random_growth =
     ~count:25
     (QCheck.pair (QCheck.int_range 2 8) (QCheck.int_range 0 10_000))
     (fun (size, seed) ->
-      let net = Net.Network.create () in
+      let net = Net.Network.of_config (Net.Config.make ()) in
       let m = Membership.found ~net ~authority_seed:seed ~identity:"org-0" in
       let rec grow last i =
         if i >= size then ()

@@ -30,7 +30,7 @@ let test_node_id_collections () =
 (* ------------------------------------------------------------------ *)
 
 let test_network_counters () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let send label bytes =
     match Net.Network.send net ~src:(dla 0) ~dst:(dla 1) ~label ~bytes with
     | Net.Network.Delivered -> ()
@@ -52,7 +52,7 @@ let test_network_latency_model () =
   let latency_ms src _dst =
     match src with Net.Node_id.Dla 0 -> 5.0 | _ -> 1.0
   in
-  let net = Net.Network.create ~latency_ms () in
+  let net = Net.Network.of_config (Net.Config.make ~latency_ms ()) in
   ignore (Net.Network.send net ~src:(dla 0) ~dst:(dla 1) ~label:"x" ~bytes:1);
   ignore (Net.Network.send net ~src:(dla 1) ~dst:(dla 2) ~label:"x" ~bytes:1);
   Net.Network.round net;
@@ -65,7 +65,7 @@ let test_network_latency_model () =
     (Net.Network.stats net).Net.Network.virtual_time_ms
 
 let test_network_down_nodes () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   Net.Network.take_down net (dla 1);
   (match Net.Network.send net ~src:(dla 0) ~dst:(dla 1) ~label:"x" ~bytes:1 with
   | Net.Network.Dropped reason ->
@@ -84,7 +84,7 @@ let test_network_down_nodes () =
 
 let test_network_loss_determinism () =
   let count_delivered seed =
-    let net = Net.Network.create ~seed ~loss_rate:0.5 () in
+    let net = Net.Network.of_config (Net.Config.make ~seed ~loss_rate:0.5 ()) in
     let delivered = ref 0 in
     for _ = 1 to 100 do
       match Net.Network.send net ~src:(dla 0) ~dst:(dla 1) ~label:"x" ~bytes:1 with
@@ -96,11 +96,11 @@ let test_network_loss_determinism () =
   Alcotest.(check int) "same seed" (count_delivered 9) (count_delivered 9);
   Alcotest.(check bool) "loss in effect" true (count_delivered 9 < 100);
   Alcotest.check_raises "bad loss rate"
-    (Invalid_argument "Network.create: loss_rate must be in [0, 1)") (fun () ->
-      ignore (Net.Network.create ~loss_rate:1.5 ()))
+    (Invalid_argument "Net.Config.make: loss_rate must be in [0, 1)") (fun () ->
+      ignore (Net.Network.of_config (Net.Config.make ~loss_rate:1.5 ())))
 
 let test_network_send_exn () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   Net.Network.take_down net (dla 1);
   Alcotest.(check bool) "raises" true
     (try

@@ -15,7 +15,7 @@ let voters votes =
   List.mapi (fun i v -> (Net.Node_id.Dla i, v)) votes
 
 let test_majority_basic () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let outcome =
     Smc.Majority.run ~net ~rng:(Numtheory.Prng.create ~seed:1)
       ~votes:(voters Smc.Majority.[ Approve; Approve; Reject ])
@@ -28,7 +28,7 @@ let test_majority_basic () =
   Alcotest.(check int) "no flags" 0 (List.length outcome.Smc.Majority.flagged)
 
 let test_majority_tie () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let outcome =
     Smc.Majority.run ~net ~rng:(Numtheory.Prng.create ~seed:2)
       ~votes:(voters Smc.Majority.[ Approve; Reject ])
@@ -39,7 +39,7 @@ let test_majority_tie () =
 let test_majority_equivocation_flagged () =
   (* Dla 0 commits Approve but tries to reveal Reject: its opening fails
      against the commitment, so it is flagged and excluded. *)
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let outcome =
     Smc.Majority.run ~net ~rng:(Numtheory.Prng.create ~seed:3)
       ~votes:(voters Smc.Majority.[ Approve; Reject; Reject ])
@@ -56,7 +56,7 @@ let test_majority_equivocation_flagged () =
 
 let test_majority_message_count () =
   (* Two broadcast rounds: 2 * n * (n-1) messages. *)
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let _ =
     Smc.Majority.run ~net ~rng:(Numtheory.Prng.create ~seed:4)
       ~votes:(voters Smc.Majority.[ Approve; Approve; Approve; Approve ])
@@ -401,7 +401,7 @@ let test_federation_total () =
       build_member ~name:"initech" ~seed:33 ~udp_events:2
     ]
   in
-  let fed_net = Net.Network.create () in
+  let fed_net = Net.Network.of_config (Net.Config.make ()) in
   match
     Federation.secret_count_total ~net:fed_net
       ~rng:(Numtheory.Prng.create ~seed:34) ~auditor
@@ -434,7 +434,7 @@ let test_federation_per_member () =
 
 let test_federation_needs_two () =
   let members = [ build_member ~name:"solo" ~seed:37 ~udp_events:1 ] in
-  let fed_net = Net.Network.create () in
+  let fed_net = Net.Network.of_config (Net.Config.make ()) in
   match
     Federation.secret_count_total ~net:fed_net
       ~rng:(Numtheory.Prng.create ~seed:38) ~auditor ~criteria:{|C1 > 0|}
@@ -451,7 +451,7 @@ let test_federation_busiest () =
       build_member ~name:"mid" ~seed:46 ~udp_events:5
     ]
   in
-  let fed_net = Net.Network.create () in
+  let fed_net = Net.Network.of_config (Net.Config.make ()) in
   match
     Federation.busiest_member ~net:fed_net
       ~rng:(Numtheory.Prng.create ~seed:47)

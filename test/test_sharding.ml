@@ -39,7 +39,7 @@ let ingest_ticket_id origin =
 
 let build_reference ?(seed = 7) ?net () =
   let net =
-    match net with Some n -> n | None -> Net.Network.create ~seed ()
+    match net with Some n -> n | None -> Net.Network.of_config (Net.Config.make ~seed ())
   in
   let cluster = Cluster.create ~seed ~net fragmentation in
   let tags = Hashtbl.create 16 in

@@ -42,6 +42,14 @@ let test_queue_validation () =
   Alcotest.check_raises "negative time"
     (Invalid_argument "Event_queue.push: bad time") (fun () ->
       Net.Event_queue.push q ~time:(-1.0) ());
+  Alcotest.check_raises "nan time"
+    (Invalid_argument "Event_queue.push: bad time") (fun () ->
+      Net.Event_queue.push q ~time:Float.nan ());
+  (* An infinite time would wedge [run_until]: the event sorts after
+     every finite deadline yet never becomes due. *)
+  Alcotest.check_raises "infinite time"
+    (Invalid_argument "Event_queue.push: bad time") (fun () ->
+      Net.Event_queue.push q ~time:Float.infinity ());
   Alcotest.(check bool) "empty" true (Net.Event_queue.is_empty q);
   Alcotest.(check bool) "pop empty" true (Net.Event_queue.pop q = None)
 
@@ -63,7 +71,7 @@ let prop_queue_sorts =
 (* ------------------------------------------------------------------ *)
 
 let test_sim_ping_pong () =
-  let sim = Net.Sim.create () in
+  let sim = Net.Sim.of_config (Net.Config.make ()) in
   let a = Net.Node_id.Dla 0 and b = Net.Node_id.Dla 1 in
   let log = ref [] in
   Net.Sim.on_message sim a (fun ~src:_ n ->
@@ -83,13 +91,13 @@ let test_sim_ping_pong () =
   Alcotest.(check (float 1e-9)) "virtual time" 4.0 (Net.Sim.now sim)
 
 let test_sim_timers_and_down () =
-  let sim = Net.Sim.create () in
+  let sim = Net.Sim.of_config (Net.Config.make ()) in
   let fired = ref [] in
   Net.Sim.set_timer sim ~delay_ms:5.0 (fun () -> fired := 5 :: !fired);
   Net.Sim.set_timer sim ~delay_ms:2.0 (fun () -> fired := 2 :: !fired);
   ignore (Net.Sim.run sim);
   Alcotest.(check (list int)) "timer order" [ 2; 5 ] (List.rev !fired);
-  let sim = Net.Sim.create () in
+  let sim = Net.Sim.of_config (Net.Config.make ()) in
   let got = ref false in
   let a = Net.Node_id.Dla 0 and b = Net.Node_id.Dla 1 in
   Net.Sim.on_message sim b (fun ~src:_ () -> got := true);
@@ -100,7 +108,7 @@ let test_sim_timers_and_down () =
   Alcotest.(check int) "dropped" 1 (Net.Sim.dropped sim)
 
 let test_sim_until () =
-  let sim = Net.Sim.create () in
+  let sim = Net.Sim.of_config (Net.Config.make ()) in
   let fired = ref 0 in
   Net.Sim.set_timer sim ~delay_ms:1.0 (fun () -> incr fired);
   Net.Sim.set_timer sim ~delay_ms:50.0 (fun () -> incr fired);
@@ -109,7 +117,7 @@ let test_sim_until () =
 
 let test_sim_determinism () =
   let run () =
-    let sim = Net.Sim.create ~seed:7 ~loss_rate:0.3 () in
+    let sim = Net.Sim.of_config (Net.Config.make ~seed:7 ~loss_rate:0.3 ()) in
     let a = Net.Node_id.Dla 0 and b = Net.Node_id.Dla 1 in
     let count = ref 0 in
     Net.Sim.on_message sim b (fun ~src:_ () -> incr count);
@@ -240,7 +248,7 @@ let test_async_sum_total () =
 let test_async_sum_matches_sync () =
   let values = [ 7; 11; 13 ] in
   let sync =
-    let net = Net.Network.create () in
+    let net = Net.Network.of_config (Net.Config.make ()) in
     Smc.Sum.run ~net ~rng:(Numtheory.Prng.create ~seed:81) ~p:sum_p ~k:2
       ~receiver:Net.Node_id.Auditor
       (List.mapi
@@ -273,7 +281,7 @@ let test_async_sum_dead_dealer_attributed () =
 
 
 let test_sim_jitter_reorders () =
-  let sim = Net.Sim.create ~seed:5 ~jitter_ms:10.0 () in
+  let sim = Net.Sim.of_config (Net.Config.make ~seed:5 ~jitter_ms:10.0 ()) in
   let a = Net.Node_id.Dla 0 and b = Net.Node_id.Dla 1 in
   let order = ref [] in
   Net.Sim.on_message sim b (fun ~src:_ n -> order := n :: !order);

@@ -32,7 +32,7 @@ let figure4_parties =
 
 let test_intersection_figure4 () =
   (* The exact worked example of Figure 4: intersection is {e}. *)
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let result =
     Smc.Set_intersection.run ~net ~scheme:(fresh_scheme 1) ~receiver:p1
       figure4_parties
@@ -57,13 +57,13 @@ let test_intersection_matches_naive () =
         ]
       in
       let secure =
-        let net = Net.Network.create () in
+        let net = Net.Network.of_config (Net.Config.make ()) in
         (Smc.Set_intersection.run ~net ~scheme:(fresh_scheme (100 + i))
            ~receiver:p1 parties)
           .Smc.Set_intersection.intersection
       in
       let naive =
-        let net = Net.Network.create () in
+        let net = Net.Network.of_config (Net.Config.make ()) in
         Smc.Set_intersection.naive ~net ~coordinator:p1 parties
       in
       Alcotest.(check (list string)) (Printf.sprintf "case %d" i) naive secure)
@@ -72,7 +72,7 @@ let test_intersection_matches_naive () =
 let test_intersection_privacy () =
   (* P1 must not observe 'f' or 'g' (only in S2/S3) in plaintext, and P3
      must not observe 'c' (only in S1). *)
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let _ =
     Smc.Set_intersection.run ~net ~scheme:(fresh_scheme 2) ~receiver:p1
       figure4_parties
@@ -91,7 +91,7 @@ let test_intersection_privacy () =
   ()
 
 let test_intersection_naive_exposes_everything () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let _ = Smc.Set_intersection.naive ~net ~coordinator:p1 figure4_parties in
   let ledger = Net.Network.ledger net in
   List.iter
@@ -103,7 +103,7 @@ let test_intersection_naive_exposes_everything () =
     [ "c"; "d"; "e"; "f"; "g" ]
 
 let test_intersection_with_xor_scheme () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let result =
     Smc.Set_intersection.run ~net ~scheme:(xor_scheme 3) ~receiver:p2
       figure4_parties
@@ -119,7 +119,7 @@ let test_intersection_resident_wire_bytes () =
      payload through the scalar enc_many path only. *)
   let seed = 411 in
   let events = ref [] in
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let result =
     Smc.Proto_util.with_transcript_hook
       (fun e ->
@@ -190,7 +190,7 @@ let test_intersection_resident_wire_bytes () =
     final result.Smc.Set_intersection.encrypted_by_all
 
 let test_intersection_validation () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   Alcotest.check_raises "one party"
     (Invalid_argument "Set_intersection.run: need at least 2 parties")
     (fun () ->
@@ -205,7 +205,7 @@ let test_intersection_validation () =
            figure4_parties))
 
 let test_intersection_partition_fault () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   Net.Network.take_down net p2;
   Alcotest.(check bool) "raises Partitioned" true
     (try
@@ -231,20 +231,20 @@ let prop_intersection_matches_naive =
         ]
       in
       let secure =
-        let net = Net.Network.create () in
+        let net = Net.Network.of_config (Net.Config.make ()) in
         (Smc.Set_intersection.run ~net ~scheme:(xor_scheme 7) ~receiver:p1
            parties)
           .Smc.Set_intersection.intersection
       in
       let naive =
-        let net = Net.Network.create () in
+        let net = Net.Network.of_config (Net.Config.make ()) in
         Smc.Set_intersection.naive ~net ~coordinator:p1 parties
       in
       secure = naive)
 
 
 let test_intersection_cardinality () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   (* The receiver is an outside observer, not a party. *)
   let count =
     Smc.Set_intersection.cardinality ~net ~scheme:(xor_scheme 60)
@@ -271,14 +271,14 @@ let test_intersection_cardinality_matches_run () =
         ]
       in
       let full =
-        let net = Net.Network.create () in
+        let net = Net.Network.of_config (Net.Config.make ()) in
         List.length
           (Smc.Set_intersection.run ~net ~scheme:(xor_scheme 61) ~receiver:p1
              parties)
             .Smc.Set_intersection.intersection
       in
       let size =
-        let net = Net.Network.create () in
+        let net = Net.Network.of_config (Net.Config.make ()) in
         Smc.Set_intersection.cardinality ~net ~scheme:(xor_scheme 62)
           ~receiver:Net.Node_id.Auditor parties
       in
@@ -296,7 +296,7 @@ let union_parties =
   ]
 
 let test_union_basic () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let union =
     Smc.Set_union.run ~net ~scheme:(fresh_scheme 8)
       ~rng:(Prng.create ~seed:8) ~receiver:p1 union_parties
@@ -304,9 +304,9 @@ let test_union_basic () =
   Alcotest.(check (list string)) "union" [ "c"; "d"; "e"; "f"; "g" ] union
 
 let test_union_matches_naive () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let naive = Smc.Set_union.naive ~net ~coordinator:p1 union_parties in
-  let net' = Net.Network.create () in
+  let net' = Net.Network.of_config (Net.Config.make ()) in
   let secure =
     Smc.Set_union.run ~net:net' ~scheme:(xor_scheme 9)
       ~rng:(Prng.create ~seed:9) ~receiver:p1 union_parties
@@ -314,7 +314,7 @@ let test_union_matches_naive () =
   Alcotest.(check (list string)) "agree" naive secure
 
 let test_union_duplicates_collapse () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let union =
     Smc.Set_union.run ~net ~scheme:(xor_scheme 10)
       ~rng:(Prng.create ~seed:10) ~receiver:p2
@@ -332,7 +332,7 @@ let test_union_resident_wire_bytes () =
      an identically-seeded rng. *)
   let seed = 412 and rng_seed = 413 in
   let events = ref [] in
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let union =
     Smc.Proto_util.with_transcript_hook
       (fun e ->
@@ -418,7 +418,7 @@ let test_union_resident_wire_bytes () =
     "wire transcript = scalar chain" (List.rev !expected) transcript
 
 let test_union_cardinality () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let count =
     Smc.Set_union.cardinality ~net ~scheme:(xor_scheme 67)
       ~receiver:Net.Node_id.Auditor union_parties
@@ -444,7 +444,7 @@ let sum_parties values =
   List.mapi (fun i v -> { Smc.Sum.node = Net.Node_id.Dla i; value = bn v }) values
 
 let test_sum_basic () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let total =
     Smc.Sum.run ~net ~rng:(Prng.create ~seed:11) ~p:(Lazy.force sum_p) ~k:3
       ~receiver:Net.Node_id.Auditor
@@ -454,9 +454,9 @@ let test_sum_basic () =
 
 let test_sum_matches_naive () =
   let parties = sum_parties [ 123; 456; 789 ] in
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let naive = Smc.Sum.naive ~net ~coordinator:Net.Node_id.Auditor parties in
-  let net' = Net.Network.create () in
+  let net' = Net.Network.of_config (Net.Config.make ()) in
   let secure =
     Smc.Sum.run ~net:net' ~rng:(Prng.create ~seed:12) ~p:(Lazy.force sum_p)
       ~k:2 ~receiver:Net.Node_id.Auditor parties
@@ -465,7 +465,7 @@ let test_sum_matches_naive () =
 
 let test_sum_privacy () =
   let parties = sum_parties [ 111; 222; 333 ] in
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let _ =
     Smc.Sum.run ~net ~rng:(Prng.create ~seed:13) ~p:(Lazy.force sum_p) ~k:2
       ~receiver:Net.Node_id.Auditor parties
@@ -488,7 +488,7 @@ let test_sum_weighted () =
   let weights =
     [ (Net.Node_id.Dla 0, bn 1); (Net.Node_id.Dla 1, bn 2); (Net.Node_id.Dla 2, bn 3) ]
   in
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let total =
     Smc.Sum.run_weighted ~net ~rng:(Prng.create ~seed:14) ~p:(Lazy.force sum_p)
       ~k:2 ~receiver:Net.Node_id.Auditor ~weights parties
@@ -496,7 +496,7 @@ let test_sum_weighted () =
   Alcotest.check bignum_testable "10 + 40 + 90" (bn 140) total
 
 let test_sum_validation () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   Alcotest.check_raises "bad k" (Invalid_argument "Sum: threshold k outside [1, n]")
     (fun () ->
       ignore
@@ -511,7 +511,7 @@ let prop_sum_matches_naive =
     (fun values ->
       let parties = sum_parties values in
       let k = 1 + (List.length values / 2) in
-      let net = Net.Network.create () in
+      let net = Net.Network.of_config (Net.Config.make ()) in
       let secure =
         Smc.Sum.run ~net ~rng:(Prng.create ~seed:16) ~p:(Lazy.force sum_p) ~k
           ~receiver:Net.Node_id.Auditor parties
@@ -522,7 +522,7 @@ let prop_sum_matches_naive =
 let test_sum_ttp_coordinated () =
   let rng = Prng.create ~seed:50 in
   let public, secret = Crypto.Paillier.generate rng ~bits:128 in
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let parties = sum_parties [ 11; 22; 33; 44 ] in
   let total =
     Smc.Sum.run_ttp_coordinated ~net ~rng ~public ~secret
@@ -547,13 +547,13 @@ let test_sum_ttp_matches_shamir () =
   let rng = Prng.create ~seed:51 in
   let public, secret = Crypto.Paillier.generate rng ~bits:128 in
   let parties = sum_parties [ 5; 10; 15 ] in
-  let net1 = Net.Network.create () in
+  let net1 = Net.Network.of_config (Net.Config.make ()) in
   let paillier_total =
     Smc.Sum.run_ttp_coordinated ~net:net1 ~rng ~public ~secret
       ~coordinator:(Net.Node_id.Ttp "agg") ~receiver:Net.Node_id.Auditor
       parties
   in
-  let net2 = Net.Network.create () in
+  let net2 = Net.Network.of_config (Net.Config.make ()) in
   let shamir_total =
     Smc.Sum.run ~net:net2 ~rng:(Prng.create ~seed:52) ~p:(Lazy.force sum_p)
       ~k:2 ~receiver:Net.Node_id.Auditor parties
@@ -573,7 +573,7 @@ let ttp = Net.Node_id.Ttp "cmp"
 let test_equality_via_ttp () =
   let p = Lazy.force sum_p in
   let run l r seed =
-    let net = Net.Network.create () in
+    let net = Net.Network.of_config (Net.Config.make ()) in
     Smc.Equality.via_ttp ~net ~rng:(Prng.create ~seed) ~p ~ttp
       ~left:(p1, bn l) ~right:(p2, bn r)
   in
@@ -583,7 +583,7 @@ let test_equality_via_ttp () =
 
 let test_equality_ttp_privacy () =
   let p = Lazy.force sum_p in
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let _ =
     Smc.Equality.via_ttp ~net ~rng:(Prng.create ~seed:20) ~p ~ttp
       ~left:(p1, bn 987654) ~right:(p2, bn 987654)
@@ -594,7 +594,7 @@ let test_equality_ttp_privacy () =
 
 let test_equality_via_intersection () =
   let run l r seed =
-    let net = Net.Network.create () in
+    let net = Net.Network.of_config (Net.Config.make ()) in
     Smc.Equality.via_intersection ~net ~scheme:(fresh_scheme seed)
       ~left:(p1, l) ~right:(p2, r)
   in
@@ -605,14 +605,14 @@ let test_equality_via_intersection () =
 let test_equality_via_mapping_table () =
   let domain = [ "UDP"; "TCP"; "ICMP"; "SCTP" ] in
   let run l r seed =
-    let net = Net.Network.create () in
+    let net = Net.Network.of_config (Net.Config.make ()) in
     Smc.Equality.via_mapping_table ~net ~rng:(Prng.create ~seed) ~ttp ~domain
       ~left:(p1, l) ~right:(p2, r)
   in
   Alcotest.(check bool) "equal" true (run "TCP" "TCP" 63);
   Alcotest.(check bool) "unequal" false (run "TCP" "UDP" 64);
   (* Outside the agreed domain is a usage error. *)
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   Alcotest.check_raises "outside domain"
     (Invalid_argument "Equality.via_mapping_table: value outside domain")
     (fun () ->
@@ -624,7 +624,7 @@ let test_equality_mapping_table_privacy () =
   (* The TTP sees neither the values nor even their stable indices: the
      permutation is fresh per run. *)
   let domain = [ "a"; "b"; "c" ] in
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let _ =
     Smc.Equality.via_mapping_table ~net ~rng:(Prng.create ~seed:66) ~ttp
       ~domain ~left:(p1, "b") ~right:(p2, "b")
@@ -639,7 +639,7 @@ let test_equality_affine_domain_edges () =
   let p = Lazy.force sum_p in
   let pm1 = Bignum.sub p Bignum.one in
   let run l r seed =
-    let net = Net.Network.create () in
+    let net = Net.Network.of_config (Net.Config.make ()) in
     Smc.Equality.via_ttp ~net ~rng:(Prng.create ~seed) ~p ~ttp ~left:(p1, l)
       ~right:(p2, r)
   in
@@ -647,7 +647,7 @@ let test_equality_affine_domain_edges () =
   Alcotest.(check bool) "p-1 = p-1" true (run pm1 pm1 71);
   Alcotest.(check bool) "zero <> p-1" false (run Bignum.zero pm1 72);
   Alcotest.(check bool) "p-1 <> zero" false (run pm1 Bignum.zero 73);
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   Alcotest.check_raises "value = p rejected"
     (Invalid_argument "Equality.via_ttp: value outside [0, p)") (fun () ->
       ignore
@@ -670,7 +670,7 @@ let test_equality_blinded_no_collision () =
           if String.equal ev.Smc.Proto_util.tag "equality:blinded" then
             captured := ev.Smc.Proto_util.value :: !captured)
         (fun () ->
-          let net = Net.Network.create () in
+          let net = Net.Network.of_config (Net.Config.make ()) in
           Smc.Equality.via_ttp ~net ~rng:(Prng.create ~seed) ~p ~ttp
             ~left:(p1, l) ~right:(p2, r))
     in
@@ -738,7 +738,7 @@ let test_observe_phase_and_hook_nesting () =
   (* [observe] stamps events with the open span path and mirrors to the
      innermost installed hook only; exiting a [with_transcript_hook]
      restores the previous hook (or none). *)
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let outer = ref [] and inner = ref [] in
   let values events = List.rev_map (fun ev -> ev.Smc.Proto_util.value) events in
   let say value =
@@ -786,7 +786,7 @@ let ranking_parties values =
     values
 
 let test_ranking_basic () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let verdict =
     Smc.Ranking.run ~net ~rng:(Prng.create ~seed:23) ~ttp
       (ranking_parties [ 30; 10; 20 ])
@@ -803,7 +803,7 @@ let test_ranking_basic () =
   Alcotest.(check int) "rank P2" 2 (rank_of p2)
 
 let test_ranking_ties () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let verdict =
     Smc.Ranking.run ~net ~rng:(Prng.create ~seed:24) ~ttp
       (ranking_parties [ 5; 5; 1 ])
@@ -814,9 +814,9 @@ let test_ranking_ties () =
 
 let test_ranking_matches_naive () =
   let parties = ranking_parties [ 17; 93; 2; 55 ] in
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let secure = Smc.Ranking.run ~net ~rng:(Prng.create ~seed:25) ~ttp parties in
-  let net' = Net.Network.create () in
+  let net' = Net.Network.of_config (Net.Config.make ()) in
   let naive = Smc.Ranking.naive ~net:net' ~coordinator:ttp parties in
   Alcotest.(check bool) "max agrees" true
     (Net.Node_id.equal secure.Smc.Ranking.max_holder naive.Smc.Ranking.max_holder);
@@ -826,7 +826,7 @@ let test_ranking_matches_naive () =
     (secure.Smc.Ranking.ranks = naive.Smc.Ranking.ranks)
 
 let test_ranking_ttp_privacy () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let _ =
     Smc.Ranking.run ~net ~rng:(Prng.create ~seed:26) ~ttp
       (ranking_parties [ 1234; 5678 ])
@@ -839,7 +839,7 @@ let test_ranking_ttp_privacy () =
 
 let test_comparisons () =
   let run l r seed =
-    let net = Net.Network.create () in
+    let net = Net.Network.of_config (Net.Config.make ()) in
     Smc.Ranking.comparisons ~net ~rng:(Prng.create ~seed) ~ttp
       ~left:(p1, bn l) ~right:(p2, bn r)
   in
@@ -852,7 +852,7 @@ let prop_ranking_matches_sort =
     (QCheck.list_of_size (QCheck.Gen.int_range 2 8) (QCheck.int_range 0 1000))
     (fun values ->
       let parties = ranking_parties values in
-      let net = Net.Network.create () in
+      let net = Net.Network.of_config (Net.Config.make ()) in
       let verdict =
         Smc.Ranking.run ~net ~rng:(Prng.create ~seed:30) ~ttp parties
       in
@@ -874,7 +874,7 @@ let prop_ranking_matches_sort =
 let test_ot_delivers_chosen () =
   List.iter
     (fun choice ->
-      let net = Net.Network.create () in
+      let net = Net.Network.of_config (Net.Config.make ()) in
       let m =
         Smc.Oblivious_transfer.transfer ~net ~rng:(Prng.create ~seed:95)
           ~bits:128
@@ -888,7 +888,7 @@ let test_ot_delivers_chosen () =
     [ false; true ]
 
 let test_ot_strings () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let s =
     Smc.Oblivious_transfer.transfer_strings ~net ~rng:(Prng.create ~seed:96)
       ~bits:192
@@ -900,7 +900,7 @@ let test_ot_strings () =
 let test_ot_privacy () =
   (* Receiver never observes the unchosen message; sender never observes
      the choice (only a blinded value). *)
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let _ =
     Smc.Oblivious_transfer.transfer ~net ~rng:(Prng.create ~seed:97)
       ~bits:128
@@ -924,7 +924,7 @@ let prop_ot_correct =
     (QCheck.triple (QCheck.int_range 0 1000000) (QCheck.int_range 0 1000000)
        QCheck.bool)
     (fun (a, b, choice) ->
-      let net = Net.Network.create () in
+      let net = Net.Network.of_config (Net.Config.make ()) in
       let m =
         Smc.Oblivious_transfer.transfer ~net ~rng:(Prng.create ~seed:(a + b))
           ~bits:128
@@ -937,7 +937,7 @@ let prop_ot_correct =
 let test_ot_and_gate () =
   List.iter
     (fun (a, b) ->
-      let net = Net.Network.create () in
+      let net = Net.Network.of_config (Net.Config.make ()) in
       let result =
         Smc.Oblivious_transfer.and_gate ~net
           ~rng:(Prng.create ~seed:(Bool.to_int a + (2 * Bool.to_int b)))
@@ -956,7 +956,7 @@ let test_millionaire_exhaustive_small_domain () =
   for i = 1 to domain do
     for j = 1 to domain do
       let verdict =
-        let net = Net.Network.create () in
+        let net = Net.Network.of_config (Net.Config.make ()) in
         Smc.Millionaire.run ~net ~rng:(Prng.create ~seed:((i * 10) + j))
           ~bits:128 ~domain ~alice:(p1, i) ~bob:(p2, j) ()
       in
@@ -965,7 +965,7 @@ let test_millionaire_exhaustive_small_domain () =
   done
 
 let test_millionaire_privacy () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let _ =
     Smc.Millionaire.run ~net ~rng:(Prng.create ~seed:90) ~bits:128 ~domain:16
       ~alice:(p1, 11) ~bob:(p2, 7) ()
@@ -978,7 +978,7 @@ let test_millionaire_privacy () =
     (Net.Ledger.saw_plaintext ledger ~node:p2 "11")
 
 let test_millionaire_validation () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   Alcotest.check_raises "wealth outside domain"
     (Invalid_argument "Millionaire.run: wealth outside [1, domain]") (fun () ->
       ignore
@@ -988,12 +988,12 @@ let test_millionaire_validation () =
 let test_millionaire_vs_blinded_ttp_cost () =
   (* The cited classical protocol costs O(domain) crypto + transfer per
      comparison; the paper's relaxed blinded comparison is O(1). *)
-  let mill_net = Net.Network.create () in
+  let mill_net = Net.Network.of_config (Net.Config.make ()) in
   let _ =
     Smc.Millionaire.run ~net:mill_net ~rng:(Prng.create ~seed:92) ~bits:128
       ~domain:32 ~alice:(p1, 20) ~bob:(p2, 9) ()
   in
-  let ttp_net = Net.Network.create () in
+  let ttp_net = Net.Network.of_config (Net.Config.make ()) in
   let _ =
     Smc.Ranking.comparisons ~net:ttp_net ~rng:(Prng.create ~seed:93) ~ttp
       ~left:(p1, bn 20) ~right:(p2, bn 9)
@@ -1010,7 +1010,7 @@ let test_millionaire_vs_blinded_ttp_cost () =
 (* ------------------------------------------------------------------ *)
 
 let test_circuit_sum_correct () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let parties =
     List.mapi
       (fun i v -> { Smc.Circuit_baseline.node = Net.Node_id.Dla i; value = bn v })
@@ -1025,7 +1025,7 @@ let test_circuit_sum_correct () =
 
 let test_circuit_sum_wraps () =
   (* Modulo 2^width, like a hardware adder. *)
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let parties =
     List.mapi
       (fun i v -> { Smc.Circuit_baseline.node = Net.Node_id.Dla i; value = bn v })
@@ -1041,7 +1041,7 @@ let test_circuit_sum_wraps () =
 let test_circuit_cost_dominates_shamir () =
   (* The quantitative form of the paper's "too costly" claim. *)
   let parties_vals = [ 10; 20; 30; 40 ] in
-  let circuit_net = Net.Network.create () in
+  let circuit_net = Net.Network.of_config (Net.Config.make ()) in
   let parties =
     List.mapi
       (fun i v -> { Smc.Circuit_baseline.node = Net.Node_id.Dla i; value = bn v })
@@ -1052,7 +1052,7 @@ let test_circuit_cost_dominates_shamir () =
       ~rng:(Prng.create ~seed:33) ~dealer:(Net.Node_id.Ttp "dealer")
       ~receiver:Net.Node_id.Auditor ~width:16 parties
   in
-  let shamir_net = Net.Network.create () in
+  let shamir_net = Net.Network.of_config (Net.Config.make ()) in
   let _ =
     Smc.Sum.run ~net:shamir_net ~rng:(Prng.create ~seed:34)
       ~p:(Lazy.force sum_p) ~k:3 ~receiver:Net.Node_id.Auditor
@@ -1069,7 +1069,7 @@ let prop_circuit_sum_correct =
   QCheck.Test.make ~name:"circuit sum = plain sum mod 2^w" ~count:10
     (QCheck.list_of_size (QCheck.Gen.int_range 2 4) (QCheck.int_range 0 255))
     (fun values ->
-      let net = Net.Network.create () in
+      let net = Net.Network.of_config (Net.Config.make ()) in
       let parties =
         List.mapi
           (fun i v ->
@@ -1088,7 +1088,7 @@ let prop_circuit_sum_correct =
 (* ------------------------------------------------------------------ *)
 
 let test_stats_accounting () =
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let _ =
     Smc.Sum.run ~net ~rng:(Prng.create ~seed:36) ~p:(Lazy.force sum_p) ~k:2
       ~receiver:Net.Node_id.Auditor
@@ -1136,7 +1136,7 @@ let test_batch_protocol_transcript_identical () =
   (* Protocol level: the ∩ₛ result and every counted message must be
      unchanged by batching — same scheme seed, same parties, compare
      against the recorded Figure-4 expectations. *)
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let result =
     Smc.Set_intersection.run ~net ~scheme:(fresh_scheme 1) ~receiver:p1
       figure4_parties
@@ -1148,7 +1148,7 @@ let test_batch_protocol_transcript_identical () =
 
 let test_loss_injection () =
   (* With heavy loss, ring protocols must fail loudly, never silently. *)
-  let net = Net.Network.create ~seed:37 ~loss_rate:0.9 () in
+  let net = Net.Network.of_config (Net.Config.make ~seed:37 ~loss_rate:0.9 ()) in
   Alcotest.(check bool) "raises Partitioned under loss" true
     (try
        ignore

@@ -418,7 +418,7 @@ let test_transcript_captures_views () =
   in
   let total, transcript =
     Spec.Transcript.record (fun () ->
-        let net = Net.Network.create () in
+        let net = Net.Network.of_config (Net.Config.make ()) in
         Smc.Sum.run ~net ~rng:(Prng.create ~seed:77) ~p ~k:3
           ~receiver:Net.Node_id.Auditor parties)
   in
@@ -447,7 +447,7 @@ let test_transcript_captures_views () =
           (String.concat "/" path))
     (Spec.Transcript.events transcript);
   (* The hook is uninstalled once record returns. *)
-  let net = Net.Network.create () in
+  let net = Net.Network.of_config (Net.Config.make ()) in
   let _ = Smc.Sum.naive ~net ~coordinator:Net.Node_id.Auditor parties in
   Alcotest.(check int) "no late capture" (Spec.Transcript.size transcript)
     (List.length (Spec.Transcript.events transcript))
@@ -459,7 +459,7 @@ let test_transcript_captures_views () =
 let record_events events =
   let _, transcript =
     Spec.Transcript.record (fun () ->
-        let net = Net.Network.create () in
+        let net = Net.Network.of_config (Net.Config.make ()) in
         List.iter
           (fun (node, sensitivity, value) ->
             Smc.Proto_util.observe net ~node ~sensitivity ~tag:"unit" value)
@@ -570,13 +570,13 @@ let test_schedule_suite_shapes () =
     (List.map Spec.Schedule.name schedules);
   (* The skewed profile is deterministic in the seed and stays within
      its bounds. *)
-  let profile = Net.Sim.latency_profile ~seed:5 () in
+  let profile = Net.Config.latency_profile ~seed:5 () in
   let a = Net.Node_id.Dla 0 and b = Net.Node_id.Dla 1 in
   Alcotest.(check (float 0.0)) "deterministic" (profile a b) (profile a b);
   Alcotest.(check bool) "within bounds" true
     (profile a b >= 0.5 && profile a b <= 8.0);
   Alcotest.(check bool) "rejects bad bounds" true
-    (match Net.Sim.latency_profile ~seed:1 ~min_ms:3.0 ~max_ms:1.0 () with
+    (match Net.Config.latency_profile ~seed:1 ~min_ms:3.0 ~max_ms:1.0 () with
     | (_ : Net.Node_id.t -> Net.Node_id.t -> float) -> false
     | exception Invalid_argument _ -> true)
 
@@ -657,7 +657,7 @@ let run_byz_intersection ~seed () =
       (fun node set -> { Smc.Set_intersection.node; set })
       nodes byz_sets
   in
-  let net = Net.Network.create ~seed () in
+  let net = Net.Network.of_config (Net.Config.make ~seed ()) in
   let result =
     Smc.Set_intersection.run ~net
       ~scheme:(Generators.xor_scheme (seed + 17))
@@ -820,7 +820,7 @@ let test_byzantine_sum_voting () =
       let total =
         Net.Adversary.with_active adv (fun () ->
             Smc.Round_guard.with_guard guard (fun () ->
-                let net = Net.Network.create ~seed () in
+                let net = Net.Network.of_config (Net.Config.make ~seed ()) in
                 Smc.Sum.run ~net ~rng:(Prng.create ~seed:(seed + 3)) ~p ~k:2
                   ~receiver:Net.Node_id.Auditor parties))
       in
@@ -851,7 +851,7 @@ let test_byzantine_sum_voting () =
   let total =
     Net.Adversary.with_active adv (fun () ->
         Smc.Round_guard.with_guard guard (fun () ->
-            let net = Net.Network.create ~seed:5 () in
+            let net = Net.Network.of_config (Net.Config.make ~seed:5 ()) in
             Smc.Sum.run ~net ~rng:(Prng.create ~seed:8) ~p ~k:2
               ~receiver:Net.Node_id.Auditor parties))
   in
@@ -869,7 +869,7 @@ let test_verifier_leak_flagged () =
   let record ~sensitivity ~tag value =
     let _, transcript =
       Spec.Transcript.record (fun () ->
-          let net = Net.Network.create () in
+          let net = Net.Network.of_config (Net.Config.make ()) in
           Smc.Proto_util.observe net ~node:alice ~sensitivity ~tag value)
     in
     reasons (Spec.View_auditor.audit ~specs transcript)
